@@ -1,0 +1,132 @@
+// Command oshrun launches one application kernel on the simulated cluster,
+// like `oshrun -np N ./app` launches an OpenSHMEM program:
+//
+//	oshrun -np 64 -ppn 8 -conn ondemand -app heat2d
+//
+// Applications: hello, heat2d, ep, mg, bt, sp, graph500.
+// It reports the start_pes breakdown, total job time (virtual), and the
+// resource usage counters the paper studies.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"goshmem/internal/apps/graph500"
+	"goshmem/internal/apps/heat2d"
+	"goshmem/internal/apps/nas"
+	"goshmem/internal/cluster"
+	"goshmem/internal/gasnet"
+	"goshmem/internal/mpi"
+	"goshmem/internal/shmem"
+	"goshmem/internal/vclock"
+)
+
+func main() {
+	np := flag.Int("np", 16, "number of PEs")
+	ppn := flag.Int("ppn", 8, "PEs per simulated node")
+	conn := flag.String("conn", "ondemand", "connection mode: static | ondemand")
+	app := flag.String("app", "hello", "application: hello | heat2d | ep | mg | bt | sp | graph500")
+	class := flag.String("class", "S", "NAS class: S | A | B")
+	blockingPMI := flag.Bool("blocking-pmi", false, "use blocking Put-Fence-Get instead of PMIX_Iallgather")
+	trace := flag.Int("trace", 0, "print the first N connection-lifecycle events (virtual-time ordered)")
+	flag.Parse()
+
+	mode := gasnet.OnDemand
+	switch *conn {
+	case "static":
+		mode = gasnet.Static
+	case "ondemand", "on-demand":
+		mode = gasnet.OnDemand
+	default:
+		fmt.Fprintf(os.Stderr, "oshrun: unknown -conn %q\n", *conn)
+		os.Exit(2)
+	}
+	cls := nas.Class((*class)[0])
+
+	var body func(c *shmem.Ctx)
+	switch *app {
+	case "hello":
+		body = func(c *shmem.Ctx) {
+			if c.Me() == 0 {
+				fmt.Printf("Hello World from %d PEs\n", c.NPEs())
+			}
+		}
+	case "heat2d":
+		body = func(c *shmem.Ctx) {
+			r := heat2d.Run(c, heat2d.Params{NX: 64, NY: 8 * c.NPEs(), MaxIters: 50, CheckEvery: 10, Tol: 1e-4})
+			if c.Me() == 0 {
+				fmt.Printf("heat2d: %d iters, residual %.3g, checksum %.6f\n", r.Iters, r.Residual, r.Checksum)
+			}
+		}
+	case "ep":
+		body = func(c *shmem.Ctx) {
+			r := nas.EP(c, nas.EPParamsFor(cls))
+			if c.Me() == 0 {
+				fmt.Printf("EP class %c: checksum %.6f\n", cls, r.Checksum)
+			}
+		}
+	case "mg":
+		body = func(c *shmem.Ctx) {
+			r := nas.MG(c, nas.MGParamsFor(cls))
+			if c.Me() == 0 {
+				fmt.Printf("MG class %c: checksum %.6f, residual %.3g\n", cls, r.Checksum, r.Residual)
+			}
+		}
+	case "bt":
+		body = func(c *shmem.Ctx) {
+			r := nas.BT(c, cls)
+			if c.Me() == 0 {
+				fmt.Printf("BT class %c: checksum %.6f\n", cls, r.Checksum)
+			}
+		}
+	case "sp":
+		body = func(c *shmem.Ctx) {
+			r := nas.SP(c, cls)
+			if c.Me() == 0 {
+				fmt.Printf("SP class %c: checksum %.6f\n", cls, r.Checksum)
+			}
+		}
+	case "graph500":
+		body = func(c *shmem.Ctx) {
+			m := mpi.New(c.Conduit())
+			r := graph500.Run(c, m, graph500.DefaultParams())
+			if c.Me() == 0 {
+				fmt.Printf("graph500: reached %d, traversed %d, valid=%v\n",
+					r.ReachedSum, r.TraversedSum, r.ValidationOK)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "oshrun: unknown -app %q\n", *app)
+		os.Exit(2)
+	}
+
+	res, err := cluster.Run(cluster.Config{
+		NP: *np, PPN: *ppn, Mode: mode, BlockingPMI: *blockingPMI,
+		HeapSize: 8 << 20, Trace: *trace > 0,
+	}, body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oshrun:", err)
+		os.Exit(1)
+	}
+
+	if *trace > 0 {
+		fmt.Printf("\n--- connection trace (first %d of %d events) ---\n", min(*trace, len(res.Trace)), len(res.Trace))
+		for i, e := range res.Trace {
+			if i >= *trace {
+				break
+			}
+			fmt.Printf("%12.6fs  pe %4d  %-20s peer %d\n", vclock.Seconds(e.VT), e.Rank, e.Kind, e.Peer)
+		}
+	}
+
+	b := res.PEs[0].Breakdown
+	fmt.Printf("\n--- job report (%s, %d PEs, %d ppn) ---\n", mode, *np, *ppn)
+	fmt.Printf("start_pes avg:      %8.3fs  (conn %.3fs, pmi %.3fs, memreg %.3fs, shmem %.3fs, other %.3fs)\n",
+		vclock.Seconds(res.InitAvg), vclock.Seconds(b.ConnectionSetup), vclock.Seconds(b.PMIExchange),
+		vclock.Seconds(b.MemoryReg), vclock.Seconds(b.SharedMemSetup), vclock.Seconds(b.Other))
+	fmt.Printf("job time (virtual): %8.3fs\n", vclock.Seconds(res.JobVT))
+	fmt.Printf("avg RC endpoints/PE: %7.1f   avg peers/PE: %.1f   (simulated in %v real)\n",
+		res.AvgEndpoints(), res.AvgPeers(), res.Wall.Round(1e6))
+}

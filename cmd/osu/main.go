@@ -1,0 +1,247 @@
+// Command osu is a port of the OSU OpenSHMEM microbenchmark suite (v4.4,
+// the version the paper's section V-A uses) onto the simulated runtime. It
+// prints OSU-style tables of virtual-time latencies.
+//
+//	osu -bench put|get|atomics|barrier|reduce|collect|put_bw [-np N] [-conn MODE]
+//
+// Like the originals: put/get run between two PEs on two nodes; collectives
+// run across -np PEs; numbers are averaged over -iters iterations after
+// warmup. The -conn flag selects the connection design under test.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"goshmem/internal/cluster"
+	"goshmem/internal/gasnet"
+	"goshmem/internal/shmem"
+)
+
+func main() {
+	bench := flag.String("bench", "put", "put | get | atomics | barrier | reduce | collect | put_bw")
+	np := flag.Int("np", 64, "PEs for collective benchmarks")
+	ppn := flag.Int("ppn", 8, "PEs per node")
+	conn := flag.String("conn", "ondemand", "static | ondemand")
+	iters := flag.Int("iters", 200, "timed iterations per size")
+	maxSize := flag.Int("max", 1<<20, "largest message size")
+	flag.Parse()
+
+	mode := gasnet.OnDemand
+	if *conn == "static" {
+		mode = gasnet.Static
+	}
+
+	sizes := []int{1}
+	for s := 2; s <= *maxSize; s *= 2 {
+		sizes = append(sizes, s)
+	}
+
+	switch *bench {
+	case "put", "get":
+		runPutGet(*bench, mode, sizes, *iters)
+	case "atomics":
+		runAtomics(mode, *iters)
+	case "barrier":
+		runBarrier(mode, *np, *ppn, *iters)
+	case "reduce", "collect":
+		runCollective(*bench, mode, *np, *ppn, minInt(*maxSize, 2048), *iters)
+	case "put_bw":
+		runPutBW(mode, sizes, *iters)
+	default:
+		fmt.Fprintf(os.Stderr, "osu: unknown -bench %q\n", *bench)
+		os.Exit(2)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func header(name string, cols ...string) {
+	fmt.Printf("# OSU OpenSHMEM %s Test (simulated, virtual time)\n", name)
+	for _, c := range cols {
+		fmt.Printf("%-16s", c)
+	}
+	fmt.Println()
+}
+
+func runPutGet(which string, mode gasnet.Mode, sizes []int, iters int) {
+	max := sizes[len(sizes)-1]
+	results := map[int]float64{}
+	var mu sync.Mutex
+	_, err := cluster.Run(cluster.Config{NP: 2, PPN: 1, Mode: mode, SkipLaunchCost: true,
+		HeapSize: max}, func(c *shmem.Ctx) {
+		buf := c.Malloc(max)
+		scratch := make([]byte, max)
+		for _, size := range sizes {
+			c.BarrierAll()
+			if c.Me() == 0 {
+				t0 := c.Clock().Now()
+				for i := 0; i < iters; i++ {
+					if which == "put" {
+						c.PutMem(buf, scratch[:size], 1)
+						c.Quiet()
+					} else {
+						c.GetMem(scratch[:size], buf, 1)
+					}
+				}
+				mu.Lock()
+				results[size] = float64(c.Clock().Now()-t0) / float64(iters) / 1000
+				mu.Unlock()
+			}
+		}
+		c.BarrierAll()
+	})
+	die(err)
+	header("shmem_"+which+"mem Latency", "# Size", "Latency (us)")
+	for _, s := range sizes {
+		fmt.Printf("%-16d%-16.2f\n", s, results[s])
+	}
+}
+
+func runAtomics(mode gasnet.Mode, iters int) {
+	type row struct {
+		op string
+		fn func(c *shmem.Ctx, a shmem.SymAddr)
+	}
+	ops := []row{
+		{"shmem_long_fadd", func(c *shmem.Ctx, a shmem.SymAddr) { c.FetchAddInt64(a, 1, 1) }},
+		{"shmem_long_finc", func(c *shmem.Ctx, a shmem.SymAddr) { c.FetchIncInt64(a, 1) }},
+		{"shmem_long_add", func(c *shmem.Ctx, a shmem.SymAddr) { c.AddInt64(a, 1, 1) }},
+		{"shmem_long_inc", func(c *shmem.Ctx, a shmem.SymAddr) { c.IncInt64(a, 1) }},
+		{"shmem_long_cswap", func(c *shmem.Ctx, a shmem.SymAddr) { c.CompareSwapInt64(a, 0, 1, 1) }},
+		{"shmem_long_swap", func(c *shmem.Ctx, a shmem.SymAddr) { c.SwapInt64(a, 1, 1) }},
+	}
+	results := map[string]float64{}
+	var mu sync.Mutex
+	_, err := cluster.Run(cluster.Config{NP: 2, PPN: 1, Mode: mode, SkipLaunchCost: true,
+		HeapSize: 4096}, func(c *shmem.Ctx) {
+		a := c.Malloc(8)
+		for _, op := range ops {
+			c.BarrierAll()
+			if c.Me() == 0 {
+				t0 := c.Clock().Now()
+				for i := 0; i < iters; i++ {
+					op.fn(c, a)
+				}
+				mu.Lock()
+				results[op.op] = float64(c.Clock().Now()-t0) / float64(iters) / 1000
+				mu.Unlock()
+			}
+		}
+		c.BarrierAll()
+	})
+	die(err)
+	header("Atomic Operation Rate", "# Operation", "Latency (us)")
+	for _, op := range ops {
+		fmt.Printf("%-24s%-16.2f\n", op.op, results[op.op])
+	}
+}
+
+func runBarrier(mode gasnet.Mode, np, ppn, iters int) {
+	var lat float64
+	var mu sync.Mutex
+	_, err := cluster.Run(cluster.Config{NP: np, PPN: ppn, Mode: mode, SkipLaunchCost: true,
+		HeapSize: 4096}, func(c *shmem.Ctx) {
+		c.BarrierAll()
+		c.BarrierAll()
+		t0 := c.Clock().Now()
+		for i := 0; i < iters; i++ {
+			c.BarrierAll()
+		}
+		if c.Me() == 0 {
+			mu.Lock()
+			lat = float64(c.Clock().Now()-t0) / float64(iters) / 1000
+			mu.Unlock()
+		}
+	})
+	die(err)
+	header("shmem_barrier_all Latency", "# PEs", "Latency (us)")
+	fmt.Printf("%-16d%-16.2f\n", np, lat)
+}
+
+func runCollective(which string, mode gasnet.Mode, np, ppn, maxSize, iters int) {
+	sizes := []int{4}
+	for s := 8; s <= maxSize; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	results := map[int]float64{}
+	var mu sync.Mutex
+	_, err := cluster.Run(cluster.Config{NP: np, PPN: ppn, Mode: mode, SkipLaunchCost: true,
+		HeapSize: 4096}, func(c *shmem.Ctx) {
+		contrib := make([]byte, maxSize)
+		fcontrib := make([]float64, maxSize/8+1)
+		c.FCollectBytes(contrib[:1])
+		c.ReduceFloat64(shmem.OpSum, fcontrib[:1])
+		c.BarrierAll()
+		c.BarrierAll()
+		for _, size := range sizes {
+			c.BarrierAll()
+			t0 := c.Clock().Now()
+			for i := 0; i < iters; i++ {
+				if which == "collect" {
+					c.FCollectBytes(contrib[:size])
+				} else {
+					c.ReduceFloat64(shmem.OpSum, fcontrib[:size/8+1])
+				}
+			}
+			if c.Me() == 0 {
+				mu.Lock()
+				results[size] = float64(c.Clock().Now()-t0) / float64(iters) / 1000
+				mu.Unlock()
+			}
+		}
+	})
+	die(err)
+	header("shmem_"+which+" Latency ("+fmt.Sprint(np)+" PEs)", "# Size", "Latency (us)")
+	for _, s := range sizes {
+		fmt.Printf("%-16d%-16.2f\n", s, results[s])
+	}
+}
+
+func runPutBW(mode gasnet.Mode, sizes []int, iters int) {
+	const window = 32
+	max := sizes[len(sizes)-1]
+	results := map[int]float64{}
+	var mu sync.Mutex
+	_, err := cluster.Run(cluster.Config{NP: 2, PPN: 1, Mode: mode, SkipLaunchCost: true,
+		HeapSize: max * window}, func(c *shmem.Ctx) {
+		buf := c.Malloc(max * window)
+		scratch := make([]byte, max)
+		for _, size := range sizes {
+			c.BarrierAll()
+			if c.Me() == 0 {
+				t0 := c.Clock().Now()
+				for it := 0; it < iters; it++ {
+					for w := 0; w < window; w++ {
+						c.PutMem(buf+shmem.SymAddr(w*size), scratch[:size], 1)
+					}
+					c.Quiet()
+				}
+				dt := float64(c.Clock().Now() - t0)
+				mu.Lock()
+				results[size] = float64(size) * window * float64(iters) / dt * 1e9 / (1 << 20)
+				mu.Unlock()
+			}
+		}
+		c.BarrierAll()
+	})
+	die(err)
+	header("shmem_putmem Bandwidth", "# Size", "MB/s")
+	for _, s := range sizes {
+		fmt.Printf("%-16d%-16.1f\n", s, results[s])
+	}
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "osu:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,171 @@
+// Command reproduce regenerates the paper's tables and figures as text
+// tables. Without flags it runs every experiment at laptop-friendly default
+// scales; -full uses the paper's scales where memory permits (the static
+// fully connected sweep is capped by -maxstatic; see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	reproduce [-exp all|fig1|fig2|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|table1|ablation] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"goshmem/internal/apps/nas"
+	"goshmem/internal/bench"
+	"goshmem/internal/gasnet"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, fig1, fig2, fig5a, fig5b, fig6, fig7, fig8a, fig8b, fig9, table1, ablation)")
+	full := flag.Bool("full", false, "use paper-scale job sizes (slower; needs several GiB of RAM)")
+	maxStatic := flag.Int("maxstatic", 0, "largest job size for static (fully connected) sweeps; 0 = preset")
+	out := flag.String("o", "", "also write output to this file")
+	flag.Parse()
+
+	w := os.Stdout
+	var tee *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tee = f
+	}
+	emit := func(t *bench.Table) {
+		t.Fprint(w)
+		if tee != nil {
+			t.Fprint(tee)
+		}
+	}
+
+	// Scale presets.
+	ppn := 16
+	initSizes := []int{128, 256, 512, 1024}             // Fig 1 / 5b sweep
+	startupSizes := []int{128, 256, 512, 1024}          // Fig 5a sweep
+	msgSizes := []int{1, 16, 256, 4096, 65536, 1 << 20} // Fig 6
+	collSizes := []int{1, 16, 256, 1024}                // Fig 7a/b per-PE bytes
+	barrierSizes := []int{16, 64, 256}                  // Fig 7c
+	collNP := 128
+	nasNP, nasClass := 64, nas.ClassA
+	g500Sizes := []int{16, 64}
+	resSizes := []int{16, 64, 256}
+	projN := 1024
+	capStatic := 1024
+	if *full {
+		initSizes = []int{128, 256, 512, 1024, 2048, 4096}
+		startupSizes = []int{128, 256, 512, 1024, 2048, 4096, 8192}
+		collNP = 512
+		barrierSizes = []int{64, 128, 256, 512, 1024}
+		nasNP, nasClass = 256, nas.ClassB
+		g500Sizes = []int{128, 256, 512}
+		resSizes = []int{64, 256, 1024}
+		projN = 4096
+		capStatic = 4096
+	}
+	if *maxStatic > 0 {
+		capStatic = *maxStatic
+	}
+
+	want := func(name string) bool { return *exp == "all" || strings.EqualFold(*exp, name) }
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reproduce:", err)
+			os.Exit(1)
+		}
+	}
+
+	var startupPts []bench.StartupPoint
+	var nasPts []bench.NASPoint
+	var resSeries map[string][]bench.PeerPoint
+
+	if want("fig1") {
+		sizes := capSizes(initSizes, capStatic)
+		pts, err := bench.InitBreakdown(gasnet.Static, sizes, ppn)
+		die(err)
+		emit(bench.BreakdownTable("Figure 1: start_pes breakdown, current (static) design, 16 ppn", pts))
+	}
+	if want("fig5b") {
+		pts, err := bench.InitBreakdown(gasnet.OnDemand, initSizes, ppn)
+		die(err)
+		emit(bench.BreakdownTable("Figure 5(b): start_pes breakdown, proposed (on-demand + PMIX_Iallgather) design", pts))
+	}
+	if want("fig5a") || want("fig2") {
+		var err error
+		startupPts, err = bench.Startup(startupSizes, ppn, capStatic)
+		die(err)
+		if want("fig5a") {
+			emit(bench.StartupTable(startupPts))
+		}
+	}
+	if want("fig6") {
+		pts, err := bench.PutGetLatency(msgSizes, 200)
+		die(err)
+		emit(bench.PutGetTable(pts))
+		apts, err := bench.AtomicLatency(500)
+		die(err)
+		emit(bench.AtomicTable(apts))
+	}
+	if want("fig7") {
+		pts, err := bench.CollectiveLatency(collNP, collSizes, 5, 8)
+		die(err)
+		emit(bench.CollectiveTable(collNP, pts))
+		bpts, err := bench.BarrierLatency(barrierSizes, 20, 8)
+		die(err)
+		emit(bench.BarrierTable(bpts))
+	}
+	if want("fig8a") || want("fig2") {
+		var err error
+		nasPts, err = bench.NASExecution(nasNP, 8, nasClass)
+		die(err)
+		if want("fig8a") {
+			emit(bench.NASTable(nasNP, nasClass, nasPts))
+		}
+	}
+	if want("fig8b") {
+		pts, err := bench.Graph500Execution(g500Sizes, 8)
+		die(err)
+		emit(bench.Graph500Table(pts))
+	}
+	if want("table1") {
+		np := 256
+		if !*full {
+			np = 64
+		}
+		pts, err := bench.PeersAt(np, 8)
+		die(err)
+		emit(bench.PeersTableRender(np, pts))
+	}
+	if want("fig9") || want("fig2") {
+		var proj map[string]float64
+		var err error
+		resSeries, proj, err = bench.ResourceUsage(resSizes, 8, projN)
+		die(err)
+		if want("fig9") {
+			emit(bench.ResourceTable(resSeries, proj, resSizes, projN))
+		}
+	}
+	if want("fig2") {
+		emit(bench.SummaryTable(startupPts, nasPts, resSeries))
+	}
+	if want("ablation") {
+		rows, err := bench.Ablations(64, 8)
+		die(err)
+		emit(bench.AblationTable(rows))
+	}
+}
+
+func capSizes(sizes []int, max int) []int {
+	var out []int
+	for _, s := range sizes {
+		if s <= max {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+// Heat2d example: the paper's 2D-Heat kernel run under both connection
+// designs, showing what Table I and Figure 8(a) measure — a sparse
+// communication pattern (two halo neighbours plus a reduction tree) whose
+// job time improves with on-demand connections purely through faster
+// startup, while resource usage collapses from N endpoints per PE to a
+// handful.
+//
+//	go run ./examples/heat2d
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"goshmem/internal/apps/heat2d"
+	"goshmem/internal/cluster"
+	"goshmem/internal/gasnet"
+	"goshmem/internal/shmem"
+	"goshmem/internal/vclock"
+)
+
+func main() {
+	const np, ppn = 32, 8
+	params := heat2d.Params{
+		NX: 64, NY: 8 * np,
+		MaxIters:   200,
+		CheckEvery: 20,
+		Tol:        1e-4,
+	}
+
+	for _, mode := range []gasnet.Mode{gasnet.Static, gasnet.OnDemand} {
+		var result heat2d.Result
+		res, err := cluster.Run(cluster.Config{NP: np, PPN: ppn, Mode: mode},
+			func(c *shmem.Ctx) {
+				r := heat2d.Run(c, params)
+				if c.Me() == 0 {
+					result = r
+				}
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s  job %7.3fs  start_pes %6.3fs  iters %4d  residual %.2e  endpoints/PE %6.1f  peers/PE %4.1f\n",
+			mode, vclock.Seconds(res.JobVT), vclock.Seconds(res.InitAvg),
+			result.Iters, result.Residual, res.AvgEndpoints(), res.AvgPeers())
+	}
+	fmt.Println("\nThe checksums are identical by construction; only startup cost and resource usage differ.")
+}

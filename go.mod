@@ -1,0 +1,3 @@
+module goshmem
+
+go 1.22

@@ -1,0 +1,318 @@
+// Package graph500 reproduces the hybrid MPI+OpenSHMEM Graph500 BFS of Jose
+// et al. ("Designing Scalable Graph500 Benchmark with Hybrid MPI+OpenSHMEM
+// Programming Models", ISC 2013), the application the paper's Figure 8(b)
+// evaluates: Kronecker (R-MAT) graph generation, a level-synchronized BFS
+// whose vertex discoveries are pushed with one-sided OpenSHMEM atomics and
+// puts, and MPI collectives for level termination — both models running
+// over the unified runtime's single connection pool.
+//
+// The paper's experiment uses a graph of 2^10 vertices and 2^14 edges
+// (scale 10, edge factor 16); Params mirrors that.
+package graph500
+
+import (
+	"math/rand"
+
+	"goshmem/internal/mpi"
+	"goshmem/internal/shmem"
+)
+
+// Params configures a run.
+type Params struct {
+	// Scale is log2 of the vertex count.
+	Scale int
+	// EdgeFactor is edges per vertex (Graph500 default 16).
+	EdgeFactor int
+	// Roots is the number of BFS roots to run (Graph500 uses 64; scaled
+	// down by default).
+	Roots int
+	// Seed makes generation deterministic.
+	Seed int64
+	// ComputeScale multiplies the virtual compute charge for generation,
+	// traversal and validation (see EXPERIMENTS.md).
+	ComputeScale float64
+}
+
+// DefaultParams matches the paper's Figure 8(b) graph (2^10 vertices,
+// 2^14 edges). The compute scale models the full benchmark's generation and
+// validation cost, which dominates total execution time in the paper's runs
+// — that is why Figure 8(b) sees <2% difference between connection modes.
+func DefaultParams() Params {
+	return Params{Scale: 10, EdgeFactor: 16, Roots: 4, Seed: 20150525, ComputeScale: 8e6}
+}
+
+// Result summarizes a run.
+type Result struct {
+	NVertices      int64
+	NEdges         int64
+	TraversedSum   int64 // total edges traversed over all roots
+	ReachedSum     int64 // total vertices reached over all roots
+	ValidationOK   bool
+	ParentChecksum int64 // deterministic over roots and owned vertices
+}
+
+// Run executes generation, BFS and validation on one PE of a hybrid job.
+func Run(c *shmem.Ctx, m *mpi.Comm, p Params) Result {
+	n := int64(1) << p.Scale
+	nEdges := n * int64(p.EdgeFactor)
+	np := int64(c.NPEs())
+	me := int64(c.Me())
+
+	// --- Generation: every PE generates its slice of the Kronecker edge
+	// list, then routes edges to their endpoint owners with MPI Alltoallv
+	// (the "MPI part" of the hybrid generator). Vertex v is owned by PE
+	// v % np; each undirected edge is delivered to both endpoints' owners.
+	perPE := nEdges / np
+	lo := me * perPE
+	hi := lo + perPE
+	if me == np-1 {
+		hi = nEdges
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	type edge struct{ u, v int64 }
+	outb := make([][]int64, np)
+	// R-MAT parameters (A,B,C) = (0.57, 0.19, 0.19).
+	for i := int64(0); i < nEdges; i++ {
+		var u, v int64
+		for b := p.Scale - 1; b >= 0; b-- {
+			r := rng.Float64()
+			switch {
+			case r < 0.57:
+			case r < 0.76:
+				v |= 1 << b
+			case r < 0.95:
+				u |= 1 << b
+			default:
+				u |= 1 << b
+				v |= 1 << b
+			}
+		}
+		// Every PE runs the full generator stream for determinism but keeps
+		// only its slice (cheap at these scales and avoids RNG jumping).
+		if i < lo || i >= hi || u == v {
+			continue
+		}
+		outb[u%np] = append(outb[u%np], u, v)
+		if v%np != u%np {
+			outb[v%np] = append(outb[v%np], u, v)
+		}
+	}
+	scale := p.ComputeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	c.Compute(float64(nEdges) * 12 * scale / float64(np)) // generation share
+	bufs := make([][]byte, np)
+	for r := range bufs {
+		bufs[r] = int64sToBytes(outb[r])
+	}
+	recv := m.Alltoallv(bufs)
+
+	// Build the local CSR over owned vertices.
+	nLocal := int((n + np - 1 - me) / np) // owned vertices: me, me+np, ...
+	localIdx := func(v int64) int { return int(v / np) }
+	deg := make([]int, nLocal)
+	var edges []edge
+	for _, b := range recv {
+		vals := bytesToInt64s(b)
+		for i := 0; i+1 < len(vals); i += 2 {
+			u, v := vals[i], vals[i+1]
+			if u%np == me {
+				deg[localIdx(u)]++
+				edges = append(edges, edge{u, v})
+			}
+			if v%np == me {
+				deg[localIdx(v)]++
+				edges = append(edges, edge{v, u})
+			}
+		}
+	}
+	adjOff := make([]int, nLocal+1)
+	for i, d := range deg {
+		adjOff[i+1] = adjOff[i] + d
+	}
+	adj := make([]int64, adjOff[nLocal])
+	fill := make([]int, nLocal)
+	for _, e := range edges {
+		li := localIdx(e.u)
+		adj[adjOff[li]+fill[li]] = e.v
+		fill[li]++
+	}
+
+	// --- Symmetric BFS state. Slots are per owned vertex, indexed by v/np,
+	// sized for the largest owner so the layout stays symmetric.
+	maxLocal := int((n + np - 1) / np)
+	parent := c.Malloc(8 * maxLocal)
+	level := c.Malloc(8 * maxLocal)
+	nextQ := c.Malloc(8 * maxLocal) // overflow-safe: a vertex enqueues once
+	nextCnt := c.Malloc(8)
+
+	res := Result{NVertices: n, NEdges: int64(adjOff[nLocal])}
+	for root := 0; root < p.Roots; root++ {
+		rootV := int64((root*7919 + 13) % int(n))
+		for i := 0; i < maxLocal; i++ {
+			c.StoreInt64(parent, i, -1)
+			c.StoreInt64(level, i, -1)
+		}
+		c.StoreInt64(nextCnt, 0, 0)
+		c.BarrierAll()
+
+		var frontier []int64
+		if rootV%np == me {
+			c.StoreInt64(parent, localIdx(rootV), rootV)
+			c.StoreInt64(level, localIdx(rootV), 0)
+			frontier = append(frontier, rootV)
+		}
+		depth := int64(0)
+		traversed := int64(0)
+		reached := int64(1)
+		for {
+			// Expand: push discoveries into owners' symmetric state with
+			// one-sided compare-and-swap; winners are appended to the
+			// owner's next-frontier queue via fetch-add + put.
+			for _, v := range frontier {
+				li := localIdx(v)
+				for _, u := range adj[adjOff[li]:adjOff[li+1]] {
+					traversed++
+					owner := int(u % np)
+					slot := shmem.SymAddr(8 * (u / np))
+					if c.CompareSwapInt64(parent+slot, -1, v, owner) == -1 {
+						c.P64(level+slot, depth+1, owner)
+						pos := c.FetchAddInt64(nextCnt, 1, owner)
+						c.P64(nextQ+shmem.SymAddr(8*pos), u, owner)
+					}
+				}
+			}
+			c.Compute(float64(len(frontier)) * 8 * scale) // traversal share
+			c.Quiet()
+			m.Barrier() // level synchronization (MPI side of the hybrid)
+			// Harvest my next frontier.
+			cnt := c.LoadInt64(nextCnt, 0)
+			frontier = frontier[:0]
+			for i := int64(0); i < cnt; i++ {
+				frontier = append(frontier, c.LoadInt64(nextQ, int(i)))
+			}
+			c.StoreInt64(nextCnt, 0, 0)
+			m.Barrier() // counters reset before anyone pushes again
+			// Terminate when no PE discovered anything this level.
+			tot := m.AllreduceInt64(mpi.OpSum, []int64{int64(len(frontier))})[0]
+			if tot == 0 {
+				break
+			}
+			reached += tot
+			depth++
+		}
+		res.TraversedSum += m.AllreduceInt64(mpi.OpSum, []int64{traversed})[0]
+		res.ReachedSum += reached // already global: accumulated from allreduces
+
+		c.Compute(float64(nLocal) * 30 * scale) // validation share
+		ok := validate(c, m, p, rootV, nLocal, localIdx, adjOff, adj, parent, level)
+		if root == 0 {
+			res.ValidationOK = ok
+		} else {
+			res.ValidationOK = res.ValidationOK && ok
+		}
+		sum := int64(0)
+		for i := 0; i < nLocal; i++ {
+			sum += c.LoadInt64(parent, i) * int64(i+1)
+		}
+		res.ParentChecksum += m.AllreduceInt64(mpi.OpSum, []int64{sum})[0]
+	}
+	c.BarrierAll()
+	return res
+}
+
+// validate performs the Graph500-style BFS tree checks:
+//  1. the root is its own parent at level 0;
+//  2. every reached vertex has a parent whose level is exactly one less;
+//  3. every local edge connects vertices whose levels differ by at most 1;
+//  4. parent(v) is reachable (level >= 0) whenever v is reached.
+func validate(c *shmem.Ctx, m *mpi.Comm, p Params, root int64,
+	nLocal int, localIdx func(int64) int, adjOff []int, adj []int64,
+	parent, level shmem.SymAddr) bool {
+
+	np := int64(c.NPEs())
+	me := int64(c.Me())
+	okLocal := int64(1)
+
+	getLevel := func(v int64) int64 {
+		owner := int(v % np)
+		if owner == int(me) {
+			return c.LoadInt64(level, localIdx(v))
+		}
+		return c.G64(level+shmem.SymAddr(8*(v/np)), owner)
+	}
+
+	for i := 0; i < nLocal; i++ {
+		v := me + int64(i)*np
+		pv := c.LoadInt64(parent, i)
+		lv := c.LoadInt64(level, i)
+		if pv == -1 {
+			if lv != -1 {
+				okLocal = 0
+			}
+			continue
+		}
+		if v == root {
+			if pv != root || lv != 0 {
+				okLocal = 0
+			}
+			continue
+		}
+		if lv <= 0 {
+			okLocal = 0
+			continue
+		}
+		if getLevel(pv) != lv-1 {
+			okLocal = 0
+		}
+		// Edge-span check over the local adjacency.
+		for _, u := range adj[adjOff[i]:adjOff[i+1]] {
+			lu := getLevel(u)
+			if lu >= 0 && lv >= 0 {
+				d := lu - lv
+				if d < -1 || d > 1 {
+					okLocal = 0
+				}
+			}
+			if lu < 0 && lv >= 0 {
+				okLocal = 0 // reached vertex with unreached neighbour
+			}
+		}
+	}
+	return m.AllreduceInt64(mpi.OpLAnd, []int64{okLocal})[0] == 1
+}
+
+func int64sToBytes(v []int64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		le64put(b[8*i:], uint64(x))
+	}
+	return b
+}
+
+func bytesToInt64s(b []byte) []int64 {
+	v := make([]int64, len(b)/8)
+	for i := range v {
+		v[i] = int64(le64(b[8*i:]))
+	}
+	return v
+}
+
+func le64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func le64put(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,56 @@
+package heat2d_test
+
+import (
+	"math"
+	"testing"
+
+	"goshmem/internal/apps/heat2d"
+	"goshmem/internal/cluster"
+	"goshmem/internal/gasnet"
+	"goshmem/internal/ib"
+	"goshmem/internal/shmem"
+)
+
+// End-to-end failure injection: the application must compute bit-identical
+// results even when the connection handshake runs over a lossy UD transport
+// (drops and duplicates), exercising retransmission, duplicate suppression
+// and exactly-once payload delivery under a real workload.
+func TestHeat2DExactUnderUDFaults(t *testing.T) {
+	p := heat2d.Params{NX: 16, NY: 24, MaxIters: 12}
+	want := 0.0
+	{
+		var res heat2d.Result
+		_, err := cluster.Run(cluster.Config{NP: 4, PPN: 2, Mode: gasnet.OnDemand, SkipLaunchCost: true},
+			func(c *shmem.Ctx) {
+				r := heat2d.Run(c, p)
+				if c.Me() == 0 {
+					res = r
+				}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = res.Checksum
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		fi := ib.NewFaultInjector(seed)
+		fi.DropProb = 0.35
+		fi.DupProb = 0.25
+		fi.MaxDrops = 60
+		var res heat2d.Result
+		_, err := cluster.Run(cluster.Config{NP: 4, PPN: 2, Mode: gasnet.OnDemand,
+			Faults: fi, SkipLaunchCost: true},
+			func(c *shmem.Ctx) {
+				r := heat2d.Run(c, p)
+				if c.Me() == 0 {
+					res = r
+				}
+			})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if math.Abs(res.Checksum-want) > 0 {
+			t.Fatalf("seed %d: checksum %v != fault-free %v", seed, res.Checksum, want)
+		}
+	}
+}

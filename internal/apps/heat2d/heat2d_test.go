@@ -1,0 +1,126 @@
+package heat2d_test
+
+import (
+	"math"
+	"testing"
+
+	"goshmem/internal/apps/heat2d"
+	"goshmem/internal/cluster"
+	"goshmem/internal/gasnet"
+	"goshmem/internal/shmem"
+)
+
+// serial is a reference single-process Jacobi identical to the kernel's
+// update (same boundary handling, same initial condition).
+func serial(p heat2d.Params) float64 {
+	nx, ny := p.NX, p.NY
+	cur := make([]float64, ny*nx)
+	next := make([]float64, ny*nx)
+	for g := 0; g < ny; g++ {
+		for x := 0; x < nx; x++ {
+			v := 0.0
+			if x == 0 {
+				v = 100
+			} else if g == 0 || g == ny-1 {
+				v = 25
+			} else {
+				v = math.Sin(float64(g*nx+x)) * 0.01
+			}
+			cur[g*nx+x] = v
+		}
+	}
+	copy(next, cur)
+	for k := 1; k <= p.MaxIters; k++ {
+		for g := 0; g < ny; g++ {
+			for x := 0; x < nx; x++ {
+				i := g*nx + x
+				if x == 0 || x == nx-1 || g == 0 || g == ny-1 {
+					next[i] = cur[i]
+					continue
+				}
+				next[i] = 0.25 * (cur[i-1] + cur[i+1] + cur[i-nx] + cur[i+nx])
+			}
+		}
+		cur, next = next, cur
+	}
+	sum := 0.0
+	for _, v := range cur {
+		sum += v
+	}
+	return sum
+}
+
+func TestHeat2DMatchesSerial(t *testing.T) {
+	p := heat2d.Params{NX: 24, NY: 32, MaxIters: 25}
+	want := serial(p)
+	for _, np := range []int{1, 2, 4, 8} {
+		np := np
+		results := make([]heat2d.Result, np)
+		_, err := cluster.Run(cluster.Config{NP: np, PPN: 4, Mode: gasnet.OnDemand, SkipLaunchCost: true},
+			func(c *shmem.Ctx) { results[c.Me()] = heat2d.Run(c, p) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < np; r++ {
+			if math.Abs(results[r].Checksum-want) > 1e-9 {
+				t.Fatalf("np=%d rank %d: checksum %.12f, serial %.12f", np, r, results[r].Checksum, want)
+			}
+		}
+	}
+}
+
+func TestHeat2DConvergenceCheck(t *testing.T) {
+	p := heat2d.Params{NX: 16, NY: 16, MaxIters: 10000, CheckEvery: 20, Tol: 1e-3}
+	var res heat2d.Result
+	_, err := cluster.Run(cluster.Config{NP: 4, PPN: 4, Mode: gasnet.OnDemand, SkipLaunchCost: true},
+		func(c *shmem.Ctx) {
+			r := heat2d.Run(c, p)
+			if c.Me() == 0 {
+				res = r
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters >= p.MaxIters {
+		t.Fatalf("did not converge: %d iters, residual %g", res.Iters, res.Residual)
+	}
+	if res.Residual >= p.Tol {
+		t.Fatalf("stopped with residual %g >= tol", res.Residual)
+	}
+}
+
+func TestHeat2DStaticEqualsOnDemand(t *testing.T) {
+	p := heat2d.Params{NX: 12, NY: 20, MaxIters: 15}
+	sums := map[gasnet.Mode]float64{}
+	for _, mode := range []gasnet.Mode{gasnet.Static, gasnet.OnDemand} {
+		var got float64
+		_, err := cluster.Run(cluster.Config{NP: 4, PPN: 2, Mode: mode, SkipLaunchCost: true},
+			func(c *shmem.Ctx) {
+				r := heat2d.Run(c, p)
+				if c.Me() == 0 {
+					got = r.Checksum
+				}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums[mode] = got
+	}
+	if sums[gasnet.Static] != sums[gasnet.OnDemand] {
+		t.Fatalf("modes diverge: %v", sums)
+	}
+}
+
+// The paper's Table I: 2D-Heat talks to very few peers regardless of scale.
+func TestHeat2DSparsePeers(t *testing.T) {
+	p := heat2d.Params{NX: 16, NY: 64, MaxIters: 8, CheckEvery: 4, Tol: 0}
+	res, err := cluster.Run(cluster.Config{NP: 16, PPN: 8, Mode: gasnet.OnDemand, SkipLaunchCost: true},
+		func(c *shmem.Ctx) { heat2d.Run(c, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := res.AvgPeers(); avg > 8 {
+		t.Fatalf("2D-Heat average peers = %.1f, expected sparse (<8)", avg)
+	}
+}

@@ -1,0 +1,84 @@
+package nas
+
+import (
+	"math"
+
+	"goshmem/internal/shmem"
+)
+
+// EPParams configures the EP kernel.
+type EPParams struct {
+	// LogPairs is log2 of the total number of random pairs across all PEs
+	// (NPB class B uses 30; scaled down here by default).
+	LogPairs int
+	// ComputeScale multiplies the virtual compute charge, so scaled-down
+	// runs still model full-class execution time (see EXPERIMENTS.md).
+	ComputeScale float64
+}
+
+// EPParamsFor returns the scaled parameters for a class.
+func EPParamsFor(class Class) EPParams {
+	switch class {
+	case ClassS:
+		return EPParams{LogPairs: 12, ComputeScale: 1}
+	case ClassA:
+		return EPParams{LogPairs: 16, ComputeScale: 256}
+	default: // ClassB (models NPB's 2^30 pairs)
+		return EPParams{LogPairs: 18, ComputeScale: 1400}
+	}
+}
+
+// EP runs the embarrassingly-parallel kernel: every PE draws its share of
+// uniform pairs, applies the Marsaglia polar acceptance test, accumulates
+// Gaussian sums and per-annulus counts, and the job ends with three small
+// tree reductions — EP's entire communication.
+func EP(c *shmem.Ctx, p EPParams) Result {
+	total := int64(1) << p.LogPairs
+	per := total / int64(c.NPEs())
+	start := per * int64(c.Me())
+	if c.Me() == c.NPEs()-1 {
+		per = total - start // remainder to the last PE
+	}
+
+	var g lcg
+	g.seek(271828183, 2*start) // jump to this PE's slice of the stream
+	sx, sy := 0.0, 0.0
+	counts := make([]int64, 10)
+	for i := int64(0); i < per; i++ {
+		x := 2*g.next() - 1
+		y := 2*g.next() - 1
+		t := x*x + y*y
+		if t > 1 || t == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(t) / t)
+		gx, gy := x*f, y*f
+		sx += gx
+		sy += gy
+		l := int(math.Max(math.Abs(gx), math.Abs(gy)))
+		if l < 10 {
+			counts[l]++
+		}
+	}
+
+	scale := p.ComputeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	c.Compute(float64(per) * 90 * scale) // ~90 flops per pair (sqrt, log)
+
+	// The communication phase: reductions of the sums and the annulus table
+	// — EP's only communication (the reductions are themselves
+	// synchronizing, so no trailing barrier is needed, keeping EP's peer
+	// set as sparse as the paper's Table I reports).
+	sums := c.ReduceFloat64(shmem.OpSum, []float64{sx, sy})
+	gcounts := c.ReduceInt64(shmem.OpSum, counts)
+	nAccepted := int64(0)
+	for _, v := range gcounts {
+		nAccepted += v
+	}
+	return Result{
+		Checksum:   sums[0] + sums[1]*1e-3 + float64(nAccepted)*1e-9,
+		Iterations: int(per),
+	}
+}

@@ -1,0 +1,329 @@
+package nas
+
+import (
+	"math"
+
+	"goshmem/internal/shmem"
+)
+
+// MGParams configures the multigrid kernel.
+type MGParams struct {
+	// LocalN is the finest-level local block edge (global grid is
+	// (px*LocalN) x (py*LocalN) x (pz*LocalN) over the processor grid).
+	LocalN int
+	// Levels is the V-cycle depth (LocalN must be divisible by 2^(Levels-1)).
+	Levels int
+	// Cycles is the number of V-cycles.
+	Cycles int
+	// ComputeScale multiplies the virtual compute charge (see EXPERIMENTS.md).
+	ComputeScale float64
+}
+
+// MGParamsFor returns scaled parameters for a class.
+func MGParamsFor(class Class) MGParams {
+	switch class {
+	case ClassS:
+		return MGParams{LocalN: 8, Levels: 2, Cycles: 2, ComputeScale: 1}
+	case ClassA:
+		return MGParams{LocalN: 16, Levels: 3, Cycles: 4, ComputeScale: 24}
+	default: // ClassB (models the 256^3, 20-iteration problem)
+		return MGParams{LocalN: 16, Levels: 3, Cycles: 8, ComputeScale: 100}
+	}
+}
+
+// ProcGridForTest exposes procGrid for tests.
+func ProcGridForTest(n int) (int, int, int) { return procGrid(n) }
+
+// procGrid factors n into the most cubic (px, py, pz) with px*py*pz == n.
+func procGrid(n int) (int, int, int) {
+	best := [3]int{1, 1, n}
+	bestScore := 1 << 62
+	for px := 1; px <= n; px++ {
+		if n%px != 0 {
+			continue
+		}
+		rem := n / px
+		for py := 1; py <= rem; py++ {
+			if rem%py != 0 {
+				continue
+			}
+			pz := rem / py
+			score := (px-py)*(px-py) + (py-pz)*(py-pz) + (px-pz)*(px-pz)
+			if score < bestScore {
+				bestScore = score
+				best = [3]int{px, py, pz}
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}
+
+// mgLevel holds one level's local block with a one-cell halo.
+type mgLevel struct {
+	n      int // interior edge length
+	u, rhs []float64
+}
+
+func newMGLevel(n int) *mgLevel {
+	s := n + 2
+	return &mgLevel{n: n, u: make([]float64, s*s*s), rhs: make([]float64, s*s*s)}
+}
+
+func (l *mgLevel) idx(x, y, z int) int {
+	s := l.n + 2
+	return (z*s+y)*s + x
+}
+
+// MG runs the simplified 3-D multigrid kernel: Cycles V-cycles of a 7-point
+// Poisson problem. Each smoothing step exchanges six face halos with the
+// processor-grid neighbours over one-sided puts with flag synchronization,
+// and every cycle ends with a residual allreduce — MG's Table-I communication
+// signature (≈ 6 stencil peers plus the reduction tree).
+func MG(c *shmem.Ctx, p MGParams) Result {
+	px, py, pz := procGrid(c.NPEs())
+	me := c.Me()
+	mx := me % px
+	my := (me / px) % py
+	mz := me / (px * py)
+
+	if p.LocalN>>(p.Levels-1) < 2 {
+		panic("nas: MG LocalN too small for level count")
+	}
+
+	levels := make([]*mgLevel, p.Levels)
+	for i := range levels {
+		levels[i] = newMGLevel(p.LocalN >> i)
+	}
+
+	// Deterministic RHS: a few point charges scattered by global coordinates.
+	fin := levels[0]
+	for z := 1; z <= fin.n; z++ {
+		for y := 1; y <= fin.n; y++ {
+			for x := 1; x <= fin.n; x++ {
+				gx := mx*fin.n + x - 1
+				gy := my*fin.n + y - 1
+				gz := mz*fin.n + z - 1
+				h := uint64(gx)*2654435761 ^ uint64(gy)*40503 ^ uint64(gz)*97
+				switch h % 997 {
+				case 0:
+					fin.rhs[fin.idx(x, y, z)] = 1
+				case 1:
+					fin.rhs[fin.idx(x, y, z)] = -1
+				}
+			}
+		}
+	}
+
+	// Neighbour ranks per face (non-periodic).
+	rankOf := func(ix, iy, iz int) int {
+		if ix < 0 || ix >= px || iy < 0 || iy >= py || iz < 0 || iz >= pz {
+			return -1
+		}
+		return (iz*py+iy)*px + ix
+	}
+	nbr := [6]int{
+		rankOf(mx-1, my, mz), rankOf(mx+1, my, mz),
+		rankOf(mx, my-1, mz), rankOf(mx, my+1, mz),
+		rankOf(mx, my, mz-1), rankOf(mx, my, mz+1),
+	}
+
+	// Symmetric halo buffers: 6 directions x 2 parities, sized for the
+	// finest face; plus 6 flag words.
+	faceMax := fin.n * fin.n
+	inbox := c.Malloc(6 * 2 * faceMax * 8)
+	flags := newFlagSync(c, 6)
+	step := int64(0)
+
+	packFace := func(l *mgLevel, dir int) []float64 {
+		n := l.n
+		out := make([]float64, n*n)
+		k := 0
+		for b := 1; b <= n; b++ {
+			for a := 1; a <= n; a++ {
+				switch dir {
+				case 0: // -x face
+					out[k] = l.u[l.idx(1, a, b)]
+				case 1: // +x face
+					out[k] = l.u[l.idx(n, a, b)]
+				case 2:
+					out[k] = l.u[l.idx(a, 1, b)]
+				case 3:
+					out[k] = l.u[l.idx(a, n, b)]
+				case 4:
+					out[k] = l.u[l.idx(a, b, 1)]
+				case 5:
+					out[k] = l.u[l.idx(a, b, n)]
+				}
+				k++
+			}
+		}
+		return out
+	}
+
+	unpackFace := func(l *mgLevel, dir int, in []float64) {
+		n := l.n
+		k := 0
+		for b := 1; b <= n; b++ {
+			for a := 1; a <= n; a++ {
+				switch dir {
+				case 0:
+					l.u[l.idx(0, a, b)] = in[k]
+				case 1:
+					l.u[l.idx(n+1, a, b)] = in[k]
+				case 2:
+					l.u[l.idx(a, 0, b)] = in[k]
+				case 3:
+					l.u[l.idx(a, n+1, b)] = in[k]
+				case 4:
+					l.u[l.idx(a, b, 0)] = in[k]
+				case 5:
+					l.u[l.idx(a, b, n+1)] = in[k]
+				}
+				k++
+			}
+		}
+	}
+
+	// exchange swaps halos with the six neighbours at one level. Every PE
+	// calls it the same number of times, so the monotone step stamp keeps
+	// parity buffers safe (see heat2d).
+	exchange := func(l *mgLevel) {
+		step++
+		parity := int(step % 2)
+		n := l.n
+		for dir := 0; dir < 6; dir++ {
+			to := nbr[dir]
+			if to < 0 {
+				continue
+			}
+			face := packFace(l, dir)
+			// My -x face lands in the neighbour's +x inbox slot (dir^1).
+			slot := (dir ^ 1)
+			off := shmem.SymAddr(((slot*2 + parity) * faceMax) * 8)
+			c.PutFloat64(inbox+off, face, to)
+			flags.raise(slot, to, step)
+		}
+		for dir := 0; dir < 6; dir++ {
+			if nbr[dir] < 0 {
+				continue
+			}
+			flags.await(dir, step)
+			off := shmem.SymAddr(((dir*2 + int(step%2)) * faceMax) * 8)
+			unpackFace(l, dir, c.LocalFloat64(inbox+off, n*n))
+		}
+	}
+
+	scale := p.ComputeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	smooth := func(l *mgLevel, sweeps int) {
+		for s := 0; s < sweeps; s++ {
+			exchange(l)
+			n := l.n
+			c.Compute(float64(n*n*n) * 10 * scale)
+			for z := 1; z <= n; z++ {
+				for y := 1; y <= n; y++ {
+					for x := 1; x <= n; x++ {
+						i := l.idx(x, y, z)
+						l.u[i] += 0.8 / 6 * (l.rhs[i] -
+							(6*l.u[i] - l.u[i-1] - l.u[i+1] -
+								l.u[l.idx(x, y-1, z)] - l.u[l.idx(x, y+1, z)] -
+								l.u[l.idx(x, y, z-1)] - l.u[l.idx(x, y, z+1)]))
+					}
+				}
+			}
+		}
+	}
+
+	residual := func(l *mgLevel) []float64 {
+		exchange(l)
+		n := l.n
+		c.Compute(float64(n*n*n) * 9 * scale)
+		r := make([]float64, len(l.u))
+		for z := 1; z <= n; z++ {
+			for y := 1; y <= n; y++ {
+				for x := 1; x <= n; x++ {
+					i := l.idx(x, y, z)
+					r[i] = l.rhs[i] - (6*l.u[i] - l.u[i-1] - l.u[i+1] -
+						l.u[l.idx(x, y-1, z)] - l.u[l.idx(x, y+1, z)] -
+						l.u[l.idx(x, y, z-1)] - l.u[l.idx(x, y, z+1)])
+				}
+			}
+		}
+		return r
+	}
+
+	var vcycle func(lv int)
+	vcycle = func(lv int) {
+		l := levels[lv]
+		if lv == p.Levels-1 {
+			smooth(l, 4)
+			return
+		}
+		smooth(l, 2)
+		r := residual(l)
+		// Restrict r to the coarser level (2^3 averaging).
+		cl := levels[lv+1]
+		for i := range cl.u {
+			cl.u[i] = 0
+		}
+		for z := 1; z <= cl.n; z++ {
+			for y := 1; y <= cl.n; y++ {
+				for x := 1; x <= cl.n; x++ {
+					sum := 0.0
+					for dz := 0; dz < 2; dz++ {
+						for dy := 0; dy < 2; dy++ {
+							for dx := 0; dx < 2; dx++ {
+								sum += r[l.idx(2*x-1+dx, 2*y-1+dy, 2*z-1+dz)]
+							}
+						}
+					}
+					cl.rhs[cl.idx(x, y, z)] = sum / 8
+				}
+			}
+		}
+		vcycle(lv + 1)
+		// Prolong the coarse correction (injection).
+		for z := 1; z <= cl.n; z++ {
+			for y := 1; y <= cl.n; y++ {
+				for x := 1; x <= cl.n; x++ {
+					cv := cl.u[cl.idx(x, y, z)]
+					for dz := 0; dz < 2; dz++ {
+						for dy := 0; dy < 2; dy++ {
+							for dx := 0; dx < 2; dx++ {
+								l.u[l.idx(2*x-1+dx, 2*y-1+dy, 2*z-1+dz)] += cv
+							}
+						}
+					}
+				}
+			}
+		}
+		smooth(l, 1)
+	}
+
+	var norm float64
+	for cyc := 0; cyc < p.Cycles; cyc++ {
+		vcycle(0)
+		r := residual(fin)
+		local := 0.0
+		for _, v := range r {
+			local += v * v
+		}
+		norm = math.Sqrt(c.ReduceFloat64(shmem.OpSum, []float64{local})[0])
+	}
+
+	local := 0.0
+	for z := 1; z <= fin.n; z++ {
+		for y := 1; y <= fin.n; y++ {
+			for x := 1; x <= fin.n; x++ {
+				local += fin.u[fin.idx(x, y, z)]
+			}
+		}
+	}
+	// Checksum via the reduction tree (fixed combine order, so it is
+	// deterministic and identical on every PE) rather than an allgather,
+	// which would add 2*log2(N) peers MG does not otherwise talk to.
+	sum := c.ReduceFloat64(shmem.OpSum, []float64{local})[0]
+	return Result{Checksum: sum, Residual: norm, Iterations: p.Cycles}
+}

@@ -1,0 +1,92 @@
+// Package nas provides communication-faithful kernels of the NAS Parallel
+// Benchmarks the paper evaluates over OpenSHMEM: BT, SP, MG and EP. The
+// kernels perform real (small) numerics, but their purpose in this
+// reproduction is to drive the runtime with the benchmarks' communication
+// graphs, because the paper's Table I, Figure 8(a) and Figure 9 depend on
+// how many distinct peers each process talks to and on how much computation
+// precedes the first communication — not on Mop/s:
+//
+//   - EP: embarrassingly parallel random-number statistics; the only
+//     communication is a handful of tree reductions at the end.
+//   - MG: 3-D multigrid V-cycles on a processor grid; each smoothing step
+//     exchanges six face halos, and levels add an allreduce.
+//   - BT/SP: alternating-direction implicit (ADI) sweeps over the NPB
+//     multi-partition decomposition (both require a square process count);
+//     every sweep direction forwards cell faces to a handful of distinct
+//     successor owners, giving the ~12-peer pattern of Table I.
+//
+// Every kernel returns a deterministic checksum so static and on-demand
+// runs can be asserted bit-identical.
+package nas
+
+import (
+	"goshmem/internal/shmem"
+)
+
+// Class selects a problem scale loosely following NPB classes (the absolute
+// sizes are scaled down so the simulation stays laptop-friendly; the
+// communication structure is unchanged).
+type Class byte
+
+// Classes S (tiny, for tests), A and B (benchmark harness defaults).
+const (
+	ClassS Class = 'S'
+	ClassA Class = 'A'
+	ClassB Class = 'B'
+)
+
+// Result is a kernel outcome.
+type Result struct {
+	Checksum   float64
+	Residual   float64 // final residual norm, where the kernel has one
+	Iterations int
+}
+
+// lcg is the NPB-style multiplicative congruential generator (a=5^13,
+// m=2^46), used so EP exercises "real" pseudo-random number generation.
+type lcg struct{ x uint64 }
+
+const (
+	lcgA = 1220703125      // 5^13
+	lcgM = uint64(1) << 46 // modulus
+	lcgD = float64(1) / (1 << 46)
+)
+
+func (g *lcg) next() float64 {
+	g.x = (g.x * lcgA) % lcgM
+	return float64(g.x) * lcgD
+}
+
+// seek positions the generator at the k-th value of the stream with the
+// given seed, in O(log k), like NPB's randlc power algorithm.
+func (g *lcg) seek(seed uint64, k int64) {
+	a := uint64(lcgA)
+	x := seed % lcgM
+	for k > 0 {
+		if k&1 == 1 {
+			x = (x * a) % lcgM
+		}
+		a = (a * a) % lcgM
+		k >>= 1
+	}
+	g.x = x
+}
+
+// barrierFreeSync is a put+wait flag pair used by the kernels' neighbour
+// exchanges (see heat2d for the parity-safety argument).
+type flagSync struct {
+	c    *shmem.Ctx
+	addr shmem.SymAddr // one int64 per (neighbour slot)
+}
+
+func newFlagSync(c *shmem.Ctx, slots int) flagSync {
+	return flagSync{c: c, addr: c.Malloc(8 * slots)}
+}
+
+func (f flagSync) raise(slot, pe int, k int64) {
+	f.c.P64(f.addr+shmem.SymAddr(8*slot), k, pe)
+}
+
+func (f flagSync) await(slot int, k int64) {
+	f.c.WaitUntilInt64(f.addr+shmem.SymAddr(8*slot), shmem.CmpGE, k)
+}

@@ -1,0 +1,156 @@
+package nas_test
+
+import (
+	"math"
+	"testing"
+
+	"goshmem/internal/apps/nas"
+	"goshmem/internal/cluster"
+	"goshmem/internal/gasnet"
+	"goshmem/internal/shmem"
+)
+
+func runKernel(t *testing.T, np, ppn int, mode gasnet.Mode, k func(c *shmem.Ctx) nas.Result) (*cluster.Result, []nas.Result) {
+	t.Helper()
+	out := make([]nas.Result, np)
+	res, err := cluster.Run(cluster.Config{NP: np, PPN: ppn, Mode: mode, SkipLaunchCost: true},
+		func(c *shmem.Ctx) { out[c.Me()] = k(c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, out
+}
+
+func TestEPDeterministicAcrossNP(t *testing.T) {
+	ep := func(c *shmem.Ctx) nas.Result { return nas.EP(c, nas.EPParamsFor(nas.ClassS)) }
+	var ref float64
+	for i, np := range []int{1, 2, 4, 8} {
+		_, out := runKernel(t, np, 4, gasnet.OnDemand, ep)
+		for r := 1; r < np; r++ {
+			if out[r].Checksum != out[0].Checksum {
+				t.Fatalf("np=%d: PEs disagree on checksum", np)
+			}
+		}
+		if i == 0 {
+			ref = out[0].Checksum
+		} else if math.Abs(out[0].Checksum-ref) > 1e-9 {
+			t.Fatalf("np=%d: checksum %.12g differs from serial %.12g", np, out[0].Checksum, ref)
+		}
+	}
+}
+
+func TestEPStaticEqualsOnDemand(t *testing.T) {
+	ep := func(c *shmem.Ctx) nas.Result { return nas.EP(c, nas.EPParamsFor(nas.ClassS)) }
+	_, a := runKernel(t, 4, 2, gasnet.Static, ep)
+	_, b := runKernel(t, 4, 2, gasnet.OnDemand, ep)
+	if a[0].Checksum != b[0].Checksum {
+		t.Fatalf("static %v != on-demand %v", a[0].Checksum, b[0].Checksum)
+	}
+}
+
+func TestEPSparseCommunication(t *testing.T) {
+	ep := func(c *shmem.Ctx) nas.Result { return nas.EP(c, nas.EPParamsFor(nas.ClassS)) }
+	res, _ := runKernel(t, 16, 8, gasnet.OnDemand, ep)
+	// EP communicates only through the final reductions; far fewer peers
+	// than the 15 an all-to-all would need.
+	if avg := res.AvgPeers(); avg > 8 {
+		t.Fatalf("EP avg peers = %.1f, want sparse", avg)
+	}
+	if res.AvgEndpoints() >= 16 {
+		t.Fatalf("EP endpoints %.1f should be far below NP", res.AvgEndpoints())
+	}
+}
+
+func TestMGRunsAndConverges(t *testing.T) {
+	p := nas.MGParamsFor(nas.ClassS)
+	mg := func(c *shmem.Ctx) nas.Result { return nas.MG(c, p) }
+	_, out := runKernel(t, 8, 4, gasnet.OnDemand, mg)
+	for r := 1; r < len(out); r++ {
+		if out[r].Checksum != out[0].Checksum {
+			t.Fatal("PEs disagree on MG checksum")
+		}
+	}
+	if out[0].Residual <= 0 || math.IsNaN(out[0].Residual) || math.IsInf(out[0].Residual, 0) {
+		t.Fatalf("bad residual %v", out[0].Residual)
+	}
+
+	// More V-cycles must not increase the residual (multigrid property).
+	pLong := p
+	pLong.Cycles = p.Cycles * 3
+	mgLong := func(c *shmem.Ctx) nas.Result { return nas.MG(c, pLong) }
+	_, outLong := runKernel(t, 8, 4, gasnet.OnDemand, mgLong)
+	if outLong[0].Residual > out[0].Residual {
+		t.Fatalf("residual grew with cycles: %g -> %g", out[0].Residual, outLong[0].Residual)
+	}
+}
+
+func TestMGStaticEqualsOnDemand(t *testing.T) {
+	p := nas.MGParamsFor(nas.ClassS)
+	mg := func(c *shmem.Ctx) nas.Result { return nas.MG(c, p) }
+	_, a := runKernel(t, 4, 2, gasnet.Static, mg)
+	_, b := runKernel(t, 4, 2, gasnet.OnDemand, mg)
+	if a[0].Checksum != b[0].Checksum || a[0].Residual != b[0].Residual {
+		t.Fatalf("MG modes diverge: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestBTSPDeterminismAndModes(t *testing.T) {
+	for _, kernel := range []struct {
+		name string
+		fn   func(c *shmem.Ctx) nas.Result
+	}{
+		{"BT", func(c *shmem.Ctx) nas.Result { return nas.BT(c, nas.ClassS) }},
+		{"SP", func(c *shmem.Ctx) nas.Result { return nas.SP(c, nas.ClassS) }},
+	} {
+		kernel := kernel
+		t.Run(kernel.name, func(t *testing.T) {
+			_, a := runKernel(t, 4, 2, gasnet.Static, kernel.fn)
+			_, b := runKernel(t, 4, 2, gasnet.OnDemand, kernel.fn)
+			for r := range a {
+				if a[r].Checksum != a[0].Checksum || b[r].Checksum != b[0].Checksum {
+					t.Fatal("PEs disagree on checksum")
+				}
+			}
+			if a[0].Checksum != b[0].Checksum {
+				t.Fatalf("static %v != on-demand %v", a[0].Checksum, b[0].Checksum)
+			}
+			if math.IsNaN(a[0].Checksum) || math.IsInf(a[0].Checksum, 0) {
+				t.Fatalf("bad checksum %v", a[0].Checksum)
+			}
+		})
+	}
+}
+
+func TestBTPeersBounded(t *testing.T) {
+	bt := func(c *shmem.Ctx) nas.Result { return nas.BT(c, nas.ClassS) }
+	res, _ := runKernel(t, 16, 8, gasnet.OnDemand, bt)
+	// Multi-partition: 6 sweep neighbours + barrier partners; far below 15.
+	if avg := res.AvgPeers(); avg > 12 {
+		t.Fatalf("BT avg peers = %.1f, want ~6-11", avg)
+	}
+	if avg := res.AvgPeers(); avg < 4 {
+		t.Fatalf("BT avg peers = %.1f suspiciously low", avg)
+	}
+}
+
+func TestBTSPRequireSquare(t *testing.T) {
+	defer func() { _ = recover() }()
+	_, err := cluster.Run(cluster.Config{NP: 3, PPN: 4, Mode: gasnet.OnDemand, SkipLaunchCost: true},
+		func(c *shmem.Ctx) { nas.BT(c, nas.ClassS) })
+	if err == nil {
+		t.Fatal("BT on non-square NP should fail")
+	}
+}
+
+func TestProcGridFactorization(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 128, 1024} {
+		px, py, pz := nas.ProcGridForTest(n)
+		if px*py*pz != n {
+			t.Fatalf("procGrid(%d) = %d*%d*%d", n, px, py, pz)
+		}
+		if px > pz*4 || pz > px*4+4 {
+			// Should be near-cubic; loose sanity bound.
+			t.Logf("procGrid(%d) = (%d,%d,%d)", n, px, py, pz)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package cluster launches simulated OpenSHMEM (and hybrid MPI+OpenSHMEM)
+// jobs: it builds the fabric (one HCA per node), the PMI server, and one
+// goroutine per PE, each with its own virtual clock starting at the modeled
+// process-manager fan-out time. It aggregates per-PE results — start_pes
+// breakdowns, job wall time (virtual), endpoint counts, communicating-peer
+// counts — which are exactly the quantities the paper's figures plot.
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"goshmem/internal/gasnet"
+	"goshmem/internal/ib"
+	"goshmem/internal/pmi"
+	"goshmem/internal/shmem"
+	"goshmem/internal/vclock"
+)
+
+// Config describes a job.
+type Config struct {
+	// NP is the number of PEs; PPN the PEs per simulated node (default 16,
+	// the paper's Cluster-B fill).
+	NP  int
+	PPN int
+
+	// Mode selects static or on-demand connection management.
+	Mode gasnet.Mode
+	// BlockingPMI forces blocking PMI even in on-demand mode (ablation).
+	BlockingPMI bool
+	// SegEx overrides the segment exchange strategy (default follows Mode).
+	SegEx shmem.SegExchange
+	// GlobalInitBarriers forces global barriers during on-demand init
+	// (section IV-E ablation).
+	GlobalInitBarriers bool
+
+	// HeapSize is the actual symmetric heap per PE (default 256 KiB);
+	// DeclaredHeapSize the size used by the registration cost model
+	// (default: HeapSize).
+	HeapSize         int
+	DeclaredHeapSize int
+
+	// Model overrides the cost model; Faults injects UD faults.
+	Model  *vclock.CostModel
+	Faults *ib.FaultInjector
+
+	// SkipLaunchCost starts clocks at zero instead of the modeled
+	// fork/exec fan-out (useful for latency microbenchmarks).
+	SkipLaunchCost bool
+
+	// Trace records connection-lifecycle events into Result.Trace
+	// (virtual-time-ordered across all PEs).
+	Trace bool
+}
+
+// TraceEvent is one connection-lifecycle event from a traced run.
+type TraceEvent struct {
+	VT   int64 // virtual time (ns)
+	Rank int   // the PE the event occurred on
+	Kind string
+	Peer int
+}
+
+// PEResult is one PE's outcome.
+type PEResult struct {
+	Rank      int
+	Breakdown shmem.InitBreakdown
+	InitVT    int64 // start_pes duration (virtual ns)
+	FinalVT   int64 // clock when the PE finished Finalize
+	Stats     gasnet.Stats
+	Peers     int // distinct communicating peers, excluding self
+}
+
+// Result aggregates a job run.
+type Result struct {
+	Cfg  Config
+	PEs  []PEResult
+	Wall time.Duration // real time the simulation took
+
+	// JobVT is the modeled job wall clock: launch fan-out through the last
+	// PE's finalize plus teardown — what "time ./hello_world" reports.
+	JobVT int64
+
+	// Trace holds connection-lifecycle events when Config.Trace was set,
+	// ordered by virtual time.
+	Trace []TraceEvent
+
+	// InitAvg and InitMax summarize start_pes across PEs (the paper's
+	// initialization-time metric averages over PEs).
+	InitAvg int64
+	InitMax int64
+
+	HCA []ib.HCAStats
+}
+
+// AvgPeers returns the mean communicating-peer count (Table I metric).
+func (r *Result) AvgPeers() float64 {
+	if len(r.PEs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, p := range r.PEs {
+		sum += p.Peers
+	}
+	return float64(sum) / float64(len(r.PEs))
+}
+
+// AvgEndpoints returns the mean number of RC endpoints created per PE
+// (Figure 9 metric).
+func (r *Result) AvgEndpoints() float64 {
+	if len(r.PEs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, p := range r.PEs {
+		sum += p.Stats.RCQPsCreated
+	}
+	return float64(sum) / float64(len(r.PEs))
+}
+
+// AvgConns returns the mean number of established connections per PE.
+func (r *Result) AvgConns() float64 {
+	if len(r.PEs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, p := range r.PEs {
+		sum += p.Stats.ConnsEstablished
+	}
+	return float64(sum) / float64(len(r.PEs))
+}
+
+// RunEnvs launches a job but hands each PE its raw substrate environment
+// instead of an initialized OpenSHMEM context. Alternative PGAS clients of
+// the conduit (the mini-UPC layer, custom runtimes, tests) use it; the body
+// is responsible for its own attach/finalize.
+func RunEnvs(cfg Config, body func(env shmem.Env)) error {
+	if cfg.NP <= 0 {
+		return fmt.Errorf("cluster: NP must be positive, got %d", cfg.NP)
+	}
+	if cfg.PPN <= 0 {
+		cfg.PPN = 16
+	}
+	model := cfg.Model
+	if model == nil {
+		model = vclock.Default()
+	}
+	fab := ib.NewFabric(model, cfg.Faults)
+	srv := pmi.NewServer(cfg.NP, model)
+	nodes := (cfg.NP + cfg.PPN - 1) / cfg.PPN
+	hcas := make([]*ib.HCA, nodes)
+	bars := make([]*vclock.VBarrier, nodes)
+	for i := 0; i < nodes; i++ {
+		hcas[i] = fab.AddHCA()
+		ppn := cfg.PPN
+		if i == nodes-1 {
+			ppn = cfg.NP - i*cfg.PPN
+		}
+		bars[i] = vclock.NewVBarrier(ppn)
+	}
+	launchVT := int64(0)
+	if !cfg.SkipLaunchCost {
+		launchVT = model.LaunchCost(cfg.NP, nodes)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.NP)
+	for r := 0; r < cfg.NP; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs <- fmt.Errorf("cluster: PE %d panicked: %v\n%s", rank, p, debug.Stack())
+				}
+			}()
+			node := rank / cfg.PPN
+			clk := vclock.NewClock(launchVT)
+			body(shmem.Env{
+				Rank: rank, NProcs: cfg.NP, Node: node, PPN: cfg.PPN,
+				HCA: hcas[node], PMI: srv.Client(rank, clk), Clock: clk,
+				NodeBarrier: bars[node],
+			})
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Run launches the job and executes app on every PE concurrently. It
+// returns when every PE has finished and finalized.
+func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
+	if cfg.NP <= 0 {
+		return nil, fmt.Errorf("cluster: NP must be positive, got %d", cfg.NP)
+	}
+	if cfg.PPN <= 0 {
+		cfg.PPN = 16
+	}
+	if cfg.HeapSize <= 0 {
+		cfg.HeapSize = 256 << 10
+	}
+	model := cfg.Model
+	if model == nil {
+		model = vclock.Default()
+	}
+
+	fab := ib.NewFabric(model, cfg.Faults)
+	srv := pmi.NewServer(cfg.NP, model)
+	nodes := (cfg.NP + cfg.PPN - 1) / cfg.PPN
+	hcas := make([]*ib.HCA, nodes)
+	bars := make([]*vclock.VBarrier, nodes)
+	for i := 0; i < nodes; i++ {
+		hcas[i] = fab.AddHCA()
+		ppn := cfg.PPN
+		if i == nodes-1 {
+			ppn = cfg.NP - i*cfg.PPN
+		}
+		bars[i] = vclock.NewVBarrier(ppn)
+	}
+
+	launchVT := int64(0)
+	if !cfg.SkipLaunchCost {
+		launchVT = model.LaunchCost(cfg.NP, nodes)
+	}
+
+	res := &Result{Cfg: cfg, PEs: make([]PEResult, cfg.NP)}
+	var traceMu sync.Mutex
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.NP)
+	for r := 0; r < cfg.NP; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			var ctx *shmem.Ctx
+			defer func() {
+				if p := recover(); p != nil {
+					errs <- fmt.Errorf("cluster: PE %d panicked: %v\n%s", rank, p, debug.Stack())
+					if ctx != nil {
+						// Best-effort finalize so surviving PEs are not
+						// stranded in the teardown barrier. A panic inside a
+						// collective can still leave peers blocked; the
+						// launcher only guarantees recovery for application
+						// level panics between collectives.
+						func() {
+							defer func() { _ = recover() }()
+							ctx.Finalize()
+						}()
+					}
+				}
+			}()
+			node := rank / cfg.PPN
+			clk := vclock.NewClock(launchVT)
+			var onEvent func(kind string, peer int, vt int64)
+			if cfg.Trace {
+				onEvent = func(kind string, peer int, vt int64) {
+					traceMu.Lock()
+					res.Trace = append(res.Trace, TraceEvent{VT: vt, Rank: rank, Kind: kind, Peer: peer})
+					traceMu.Unlock()
+				}
+			}
+			ctx = shmem.Attach(shmem.Env{
+				Rank: rank, NProcs: cfg.NP, Node: node, PPN: cfg.PPN,
+				HCA: hcas[node], PMI: srv.Client(rank, clk), Clock: clk,
+				NodeBarrier: bars[node],
+				OnConnEvent: onEvent,
+			}, shmem.Options{
+				Mode: cfg.Mode, BlockingPMI: cfg.BlockingPMI, SegEx: cfg.SegEx,
+				HeapSize: cfg.HeapSize, DeclaredHeapSize: cfg.DeclaredHeapSize,
+				GlobalInitBarriers: cfg.GlobalInitBarriers,
+			})
+			app(ctx)
+			// Snapshot resource counters before finalize so Table I / Fig. 9
+			// metrics reflect the application, not the teardown barrier.
+			stats := ctx.Stats()
+			peers := ctx.CommunicatingPeers()
+			ctx.Finalize()
+			res.PEs[rank] = PEResult{
+				Rank:      rank,
+				Breakdown: ctx.Breakdown(),
+				InitVT:    ctx.InitTime(),
+				FinalVT:   clk.Now(),
+				Stats:     stats,
+				Peers:     peers,
+			}
+		}(r)
+	}
+	wg.Wait()
+	res.Wall = time.Since(start)
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+
+	var initSum, initMax, finalMax int64
+	for _, p := range res.PEs {
+		initSum += p.InitVT
+		if p.InitVT > initMax {
+			initMax = p.InitVT
+		}
+		if p.FinalVT > finalMax {
+			finalMax = p.FinalVT
+		}
+	}
+	res.InitAvg = initSum / int64(cfg.NP)
+	res.InitMax = initMax
+	res.JobVT = finalMax + model.TeardownBase
+	sort.Slice(res.Trace, func(i, j int) bool { return res.Trace[i].VT < res.Trace[j].VT })
+	for _, h := range fab.HCAs() {
+		res.HCA = append(res.HCA, h.Stats())
+	}
+	if cfg.NP >= 512 {
+		// Large static jobs leave O(NP^2) dead protocol objects behind;
+		// reclaim them before the caller starts the next sweep point.
+		runtime.GC()
+	}
+	return res, nil
+}

@@ -1,0 +1,102 @@
+package cluster_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"goshmem/internal/cluster"
+	"goshmem/internal/gasnet"
+	"goshmem/internal/shmem"
+)
+
+func TestRunBasics(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	res, err := cluster.Run(cluster.Config{NP: 12, PPN: 5, Mode: gasnet.OnDemand},
+		func(c *shmem.Ctx) {
+			mu.Lock()
+			seen[c.Me()] = true
+			mu.Unlock()
+			c.BarrierAll()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 12 {
+		t.Fatalf("only %d PEs ran", len(seen))
+	}
+	if len(res.PEs) != 12 || res.PEs[7].Rank != 7 {
+		t.Fatal("results not indexed by rank")
+	}
+	if res.JobVT <= res.InitMax {
+		t.Fatal("job time should exceed init time")
+	}
+	// 12 PEs at 5 ppn -> 3 nodes -> 3 HCAs.
+	if len(res.HCA) != 3 {
+		t.Fatalf("HCAs = %d, want 3", len(res.HCA))
+	}
+}
+
+func TestRunLaunchCostSetsClockOrigin(t *testing.T) {
+	with, err := cluster.Run(cluster.Config{NP: 4, PPN: 4, Mode: gasnet.OnDemand},
+		func(c *shmem.Ctx) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := cluster.Run(cluster.Config{NP: 4, PPN: 4, Mode: gasnet.OnDemand, SkipLaunchCost: true},
+		func(c *shmem.Ctx) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.JobVT <= without.JobVT {
+		t.Fatalf("launch cost missing: with=%d without=%d", with.JobVT, without.JobVT)
+	}
+	// Init duration itself should be unaffected by the clock origin.
+	diff := with.InitAvg - without.InitAvg
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > with.InitAvg/10 {
+		t.Fatalf("init duration should not depend on launch offset: %d vs %d", with.InitAvg, without.InitAvg)
+	}
+}
+
+func TestRunAppPanicPropagates(t *testing.T) {
+	_, err := cluster.Run(cluster.Config{NP: 2, PPN: 2, Mode: gasnet.OnDemand},
+		func(c *shmem.Ctx) {
+			if c.Me() == 1 {
+				panic("boom")
+			}
+			// PE 0 must not hang on a collective with a dead partner; it
+			// simply finishes without synchronizing in this test.
+		})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want panic propagation", err)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := cluster.Run(cluster.Config{NP: 0}, func(c *shmem.Ctx) {}); err == nil {
+		t.Fatal("NP=0 should error")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	res, err := cluster.Run(cluster.Config{NP: 4, PPN: 2, Mode: gasnet.OnDemand, SkipLaunchCost: true},
+		func(c *shmem.Ctx) {
+			a := c.Malloc(8)
+			c.P64(a, 1, (c.Me()+1)%4)
+			c.BarrierAll()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgPeers() <= 0 || res.AvgEndpoints() <= 0 || res.AvgConns() <= 0 {
+		t.Fatalf("aggregates: peers=%v eps=%v conns=%v", res.AvgPeers(), res.AvgEndpoints(), res.AvgConns())
+	}
+	// On-demand ring: endpoints per PE well below NP+1.
+	if res.AvgEndpoints() > 6 {
+		t.Fatalf("on-demand ring endpoints = %v", res.AvgEndpoints())
+	}
+}

@@ -1,0 +1,59 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"goshmem/internal/cluster"
+	"goshmem/internal/gasnet"
+	"goshmem/internal/shmem"
+)
+
+func TestTraceRecordsHandshakeLifecycle(t *testing.T) {
+	res, err := cluster.Run(cluster.Config{NP: 4, PPN: 2, Mode: gasnet.OnDemand,
+		Trace: true, SkipLaunchCost: true},
+		func(c *shmem.Ctx) {
+			a := c.Malloc(8)
+			c.P64(a, 1, (c.Me()+1)%4)
+			c.BarrierAll()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	kinds := map[string]int{}
+	for i, e := range res.Trace {
+		kinds[e.Kind]++
+		if i > 0 && e.VT < res.Trace[i-1].VT {
+			t.Fatal("trace not sorted by virtual time")
+		}
+		if e.Rank < 0 || e.Rank >= 4 || e.Peer < 0 || e.Peer >= 4 {
+			t.Fatalf("bad event %+v", e)
+		}
+	}
+	for _, want := range []string{"conn-initiate", "conn-req-served", "conn-ready-client", "conn-ready-server"} {
+		if kinds[want] == 0 {
+			t.Errorf("no %q events (got %v)", want, kinds)
+		}
+	}
+	// Every client-side establishment pairs an initiate with a ready.
+	if kinds["conn-ready-client"] > kinds["conn-initiate"] {
+		t.Errorf("more client-ready than initiate events: %v", kinds)
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	res, err := cluster.Run(cluster.Config{NP: 2, PPN: 2, Mode: gasnet.OnDemand, SkipLaunchCost: true},
+		func(c *shmem.Ctx) {
+			a := c.Malloc(8)
+			c.P64(a, 1, 1-c.Me())
+			c.BarrierAll()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 0 {
+		t.Fatalf("trace recorded without Trace=true: %d events", len(res.Trace))
+	}
+}

@@ -1,0 +1,650 @@
+// Package gasnet implements the communication conduit the OpenSHMEM and
+// mini-MPI runtimes share, modeled on the GASNet mvapich2x conduit the paper
+// modifies: an active-message core API, an extended one-sided RMA API, and —
+// the paper's central subject — two connection-management strategies:
+//
+//   - Static: every PE establishes a reliable connection to every PE
+//     (including itself) during attach, after a blocking PMI exchange of UD
+//     endpoint addresses. This is the baseline ("Current Design").
+//   - OnDemand: PEs create only a UD endpoint at attach; reliable
+//     connections are established lazily by a two-phase UD handshake
+//     (REQ/REP, plus the RTU ready-to-use leg) the first time a pair
+//     communicates. Opaque upper-layer payloads (OpenSHMEM's segment
+//     triplets) piggyback on REQ and REP, and UD endpoint info is exchanged
+//     with a non-blocking PMIX_Iallgather whose completion is deferred to
+//     first communication ("Proposed Design").
+//
+// The conduit also provides the intra-node barrier the paper substitutes for
+// global barriers during initialization (section IV-E).
+package gasnet
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"goshmem/internal/ib"
+	"goshmem/internal/pmi"
+	"goshmem/internal/vclock"
+)
+
+// timeNow is a test seam for the retransmission backoff clock.
+var timeNow = time.Now
+
+// Mode selects the connection-management strategy.
+type Mode uint8
+
+const (
+	// Static is the fully connected baseline.
+	Static Mode = iota
+	// OnDemand establishes connections lazily.
+	OnDemand
+)
+
+func (m Mode) String() string {
+	if m == Static {
+		return "static"
+	}
+	return "on-demand"
+}
+
+// Handler is an active-message handler. It runs on the conduit's progress
+// goroutine and must not block or invoke blocking conduit operations (Get,
+// Quiet, barriers); it may send further AMRequests. at is the virtual time
+// at which the message has been dispatched at the receiver.
+type Handler func(src int, args [4]uint64, payload []byte, at int64)
+
+// Config wires a conduit to its process, node and job.
+type Config struct {
+	Rank   int
+	NProcs int
+	Node   int // node index (informational; the HCA defines locality)
+	PPN    int // processes per node
+
+	HCA   *ib.HCA
+	PMI   *pmi.Client
+	Clock *vclock.Clock
+
+	Mode Mode
+	// BlockingPMI forces the Put-Fence-Get endpoint exchange even in
+	// on-demand mode (the paper's section IV-D ablation). Static mode always
+	// uses the blocking exchange.
+	BlockingPMI bool
+
+	// NodeBarrier synchronizes the PEs of one node (shared-memory barrier).
+	NodeBarrier *vclock.VBarrier
+
+	// OnEvent, if set, receives connection-lifecycle trace events
+	// (initiate, req-recv, req-held, ready-client, ready-server, collision,
+	// retransmit) with the virtual time they occurred at. Must be cheap and
+	// non-blocking; invoked from both the application and manager threads.
+	OnEvent func(kind string, peer int, vt int64)
+
+	// ConnectPayload, if set, supplies the opaque payload appended to
+	// connection REQ/REP messages (OpenSHMEM serializes its segment
+	// <address,size,rkey> triplets here). OnConnectPayload consumes the
+	// payload received from a peer; it is invoked exactly once per peer,
+	// before any pending traffic to or from that peer is released.
+	ConnectPayload   func() []byte
+	OnConnectPayload func(peer int, payload []byte, at int64)
+}
+
+// Stats counts the per-PE resource usage and traffic that feed the paper's
+// Table I and Figure 9.
+type Stats struct {
+	QPsCreated       int   // all queue pairs this PE created (UD + RC, incl. discarded)
+	RCQPsCreated     int   // reliable endpoints created
+	ConnsEstablished int   // connections that reached the ready state
+	Retransmits      int   // UD handshake retransmissions
+	AMsSent          int64 // active messages sent
+	PutsIssued       int64
+	GetsIssued       int64
+	AtomicsIssued    int64
+	BytesPut         int64
+	BytesGot         int64
+	PeersContacted   int // distinct peers this PE sent anything to
+}
+
+type connState uint8
+
+const (
+	connNone       connState = iota
+	connConnecting           // client: REQ sent, waiting for REP
+	connAccepted             // server: REP sent, waiting for RTU
+	connReady
+)
+
+type pendingWR struct {
+	wr  ib.SendWR
+	enq int64 // virtual enqueue time
+}
+
+type conn struct {
+	state   connState
+	qp      *ib.QP
+	loopbk  *ib.QP // second endpoint of a self-connection
+	peerUD  ib.Dest
+	seq     uint32
+	attempt int
+	firstTx int64     // virtual time of first REQ/REP transmission
+	lastTx  time.Time // real time of last transmission (retransmit backoff)
+	pending []pendingWR
+	readyVT int64
+	gotPay  bool // upper-layer payload already consumed
+}
+
+// Conduit is one PE's endpoint on the fabric.
+type Conduit struct {
+	cfg    Config
+	model  *vclock.CostModel
+	clk    *vclock.Clock
+	mgrClk *vclock.Clock // the connection-manager "thread" clock (paper Fig. 4)
+
+	udQP *ib.QP
+	cq   *ib.CQ
+
+	handlers   [256]Handler // guarded by connMu
+	deferredAM map[uint8][]deferredAM
+
+	connMu      sync.Mutex
+	connCond    *sync.Cond
+	connSlice   []*conn // static mode: dense table
+	connMap     map[int]*conn
+	nReady      int
+	lastReadyVT int64 // max virtual time any connection became ready
+	heldReqs    []connMsg
+	timerOn     bool
+	timer       *time.Timer
+
+	waiterMu    sync.Mutex
+	waiters     map[uint64]chan ib.Completion
+	pendingGets map[uint64][]byte // non-blocking-implicit gets by WRID
+	wrid        atomic.Uint64
+
+	outMu       sync.Mutex
+	outCond     *sync.Cond
+	outstanding int
+	lastPutVT   int64
+
+	udVals    []string
+	udOp      *pmi.AllgatherOp
+	udFromKVS bool
+	exchanged atomic.Bool
+	ready     atomic.Bool
+
+	statMu sync.Mutex
+	stats  Stats
+	peers  map[int]struct{}
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeCh   chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New creates the conduit, its UD endpoint and its progress goroutine. The
+// UD QP creation cost is charged to the PE's clock.
+func New(cfg Config) *Conduit {
+	if cfg.NProcs <= 0 || cfg.Rank < 0 || cfg.Rank >= cfg.NProcs {
+		panic(fmt.Sprintf("gasnet: bad rank/nprocs %d/%d", cfg.Rank, cfg.NProcs))
+	}
+	c := &Conduit{
+		cfg:     cfg,
+		model:   cfg.HCA.Fabric().Model(),
+		clk:     cfg.Clock,
+		mgrClk:  vclock.NewClock(cfg.Clock.Now()),
+		cq:      ib.NewCQ(),
+		waiters: make(map[uint64]chan ib.Completion),
+		peers:   make(map[int]struct{}),
+		closeCh: make(chan struct{}),
+	}
+	c.connCond = sync.NewCond(&c.connMu)
+	c.outCond = sync.NewCond(&c.outMu)
+	if cfg.Mode == Static {
+		c.connSlice = make([]*conn, cfg.NProcs)
+	} else {
+		c.connMap = make(map[int]*conn)
+	}
+	c.udQP = cfg.HCA.CreateQP(ib.UD, c.clk, nil, c.cq)
+	c.countQP(ib.UD)
+	mustQP(c.udQP.ToInit())
+	mustQP(c.udQP.ToRTR(ib.Dest{}))
+	mustQP(c.udQP.ToRTS())
+	c.wg.Add(1)
+	go c.progress()
+	return c
+}
+
+func mustQP(err error) {
+	if err != nil {
+		panic("gasnet: qp setup: " + err.Error())
+	}
+}
+
+// Rank returns this PE's rank.
+func (c *Conduit) Rank() int { return c.cfg.Rank }
+
+// NProcs returns the job size.
+func (c *Conduit) NProcs() int { return c.cfg.NProcs }
+
+// Mode returns the connection strategy in use.
+func (c *Conduit) Mode() Mode { return c.cfg.Mode }
+
+// Clock returns the PE's virtual clock.
+func (c *Conduit) Clock() *vclock.Clock { return c.clk }
+
+// UDAddr returns this PE's UD endpoint address.
+func (c *Conduit) UDAddr() ib.Dest { return c.udQP.Addr() }
+
+// SetReady marks this PE willing to accept incoming connection requests
+// (i.e. its segments are registered). Requests that arrived earlier were
+// held and are served now, at this PE's current virtual time — the paper's
+// section IV-E treatment of early arrivals ("the reply message is held
+// until the server is ready").
+func (c *Conduit) SetReady() {
+	c.mgrClk.AdvanceTo(c.clk.Now())
+	c.ready.Store(true)
+	c.connMu.Lock()
+	held := c.heldReqs
+	c.heldReqs = nil
+	c.connMu.Unlock()
+	for _, m := range held {
+		c.handleReq(m)
+	}
+}
+
+// ExchangeEndpoints publishes this PE's UD endpoint out-of-band. In static
+// or blocking mode it performs the Put-Fence sequence (the Fence cost lands
+// on the critical path); otherwise it launches a PMIX_Iallgather whose
+// completion is deferred until the first connection attempt needs it.
+func (c *Conduit) ExchangeEndpoints() {
+	val := encodeDest(c.udQP.Addr())
+	if c.cfg.Mode == Static || c.cfg.BlockingPMI {
+		c.cfg.PMI.Put(pmi.KeyFor("ud", c.cfg.Rank), val)
+		c.cfg.PMI.Fence()
+		c.udFromKVS = true
+	} else {
+		c.udOp = c.cfg.PMI.IAllgather(val)
+	}
+	c.exchanged.Store(true)
+}
+
+// resolveUD returns a peer's UD endpoint, completing the out-of-band
+// exchange if it is still outstanding (PMIX_Wait semantics).
+func (c *Conduit) resolveUD(peer int) (ib.Dest, error) {
+	if !c.exchanged.Load() {
+		return ib.Dest{}, fmt.Errorf("gasnet: endpoint exchange not started")
+	}
+	if c.udFromKVS {
+		s, ok := c.cfg.PMI.Get(pmi.KeyFor("ud", peer))
+		if !ok {
+			return ib.Dest{}, fmt.Errorf("gasnet: no UD endpoint published for rank %d", peer)
+		}
+		return decodeDest(s)
+	}
+	if c.udVals == nil {
+		c.udVals = c.udOp.Wait(c.cfg.PMI)
+	}
+	return decodeDest(c.udVals[peer])
+}
+
+// deferredAM is an active message that arrived before its handler was
+// registered (e.g. MPI traffic reaching a PE still wiring up its hybrid
+// layer). It is replayed, in arrival order, at registration.
+type deferredAM struct {
+	src     int
+	args    [4]uint64
+	payload []byte
+	at      int64
+}
+
+// RegisterHandler installs an active-message handler and replays any
+// messages for this id that arrived before registration.
+func (c *Conduit) RegisterHandler(id uint8, h Handler) {
+	c.connMu.Lock()
+	c.handlers[id] = h
+	queued := c.deferredAM[id]
+	delete(c.deferredAM, id)
+	c.connMu.Unlock()
+	for _, m := range queued {
+		h(m.src, m.args, m.payload, m.at)
+	}
+}
+
+// AMRequest sends an active message. It never blocks on the network: if no
+// connection to the peer exists yet it is queued behind the on-demand
+// handshake.
+func (c *Conduit) AMRequest(peer int, handler uint8, args [4]uint64, payload []byte) error {
+	c.notePeer(peer)
+	c.statMu.Lock()
+	c.stats.AMsSent++
+	c.statMu.Unlock()
+	data := encodeAM(handler, c.cfg.Rank, args, payload)
+	return c.post(peer, ib.SendWR{Op: ib.OpSend, Data: data, NoSendCompletion: true}, false)
+}
+
+// Put issues a one-sided RDMA write of data into (raddr, rkey) at peer. It
+// returns once the source buffer is reusable; remote completion is deferred
+// to Quiet.
+func (c *Conduit) Put(peer int, raddr uint64, rkey uint32, data []byte) error {
+	c.notePeer(peer)
+	c.statMu.Lock()
+	c.stats.PutsIssued++
+	c.stats.BytesPut += int64(len(data))
+	c.statMu.Unlock()
+	c.outMu.Lock()
+	c.outstanding++
+	c.outMu.Unlock()
+	wr := ib.SendWR{Op: ib.OpRDMAWrite, WRID: c.wrid.Add(1), RemoteAddr: raddr, RKey: rkey, Data: data}
+	if err := c.post(peer, wr, true); err != nil {
+		c.outMu.Lock()
+		c.outstanding--
+		c.outMu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// GetNBI issues a non-blocking-implicit RDMA read: it returns immediately
+// and buf is guaranteed filled once Quiet returns (shmem_getmem_nbi
+// semantics).
+func (c *Conduit) GetNBI(peer int, raddr uint64, rkey uint32, buf []byte) error {
+	c.notePeer(peer)
+	c.statMu.Lock()
+	c.stats.GetsIssued++
+	c.stats.BytesGot += int64(len(buf))
+	c.statMu.Unlock()
+	wr := ib.SendWR{Op: ib.OpRDMARead, WRID: c.wrid.Add(1), RemoteAddr: raddr, RKey: rkey, Len: len(buf)}
+	c.waiterMu.Lock()
+	if c.pendingGets == nil {
+		c.pendingGets = make(map[uint64][]byte)
+	}
+	c.pendingGets[wr.WRID] = buf
+	c.waiterMu.Unlock()
+	c.outMu.Lock()
+	c.outstanding++
+	c.outMu.Unlock()
+	if err := c.post(peer, wr, true); err != nil {
+		c.waiterMu.Lock()
+		delete(c.pendingGets, wr.WRID)
+		c.waiterMu.Unlock()
+		c.outMu.Lock()
+		c.outstanding--
+		c.outMu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Get issues a blocking RDMA read of len(buf) bytes from (raddr, rkey) at
+// peer into buf.
+func (c *Conduit) Get(peer int, raddr uint64, rkey uint32, buf []byte) error {
+	c.notePeer(peer)
+	c.statMu.Lock()
+	c.stats.GetsIssued++
+	c.stats.BytesGot += int64(len(buf))
+	c.statMu.Unlock()
+	wr := ib.SendWR{Op: ib.OpRDMARead, WRID: c.wrid.Add(1), RemoteAddr: raddr, RKey: rkey, Len: len(buf)}
+	comp, err := c.postWait(peer, wr)
+	if err != nil {
+		return err
+	}
+	copy(buf, comp.Data)
+	return nil
+}
+
+// FetchAdd atomically adds delta to the remote little-endian uint64 at
+// (raddr, rkey) and returns the previous value.
+func (c *Conduit) FetchAdd(peer int, raddr uint64, rkey uint32, delta uint64) (uint64, error) {
+	return c.atomicOp(peer, ib.SendWR{Op: ib.OpFetchAdd, RemoteAddr: raddr, RKey: rkey, Add: delta})
+}
+
+// CompareSwap atomically replaces the remote value with swap if it equals
+// compare, returning the previous value.
+func (c *Conduit) CompareSwap(peer int, raddr uint64, rkey uint32, compare, swap uint64) (uint64, error) {
+	return c.atomicOp(peer, ib.SendWR{Op: ib.OpCmpSwap, RemoteAddr: raddr, RKey: rkey, Compare: compare, Swap: swap})
+}
+
+// Swap atomically replaces the remote value, returning the previous value.
+func (c *Conduit) Swap(peer int, raddr uint64, rkey uint32, swap uint64) (uint64, error) {
+	return c.atomicOp(peer, ib.SendWR{Op: ib.OpSwap, RemoteAddr: raddr, RKey: rkey, Swap: swap})
+}
+
+func (c *Conduit) atomicOp(peer int, wr ib.SendWR) (uint64, error) {
+	c.notePeer(peer)
+	c.statMu.Lock()
+	c.stats.AtomicsIssued++
+	c.statMu.Unlock()
+	wr.WRID = c.wrid.Add(1)
+	comp, err := c.postWait(peer, wr)
+	if err != nil {
+		return 0, err
+	}
+	return comp.Old, nil
+}
+
+// postWait posts a work request and blocks for its completion, advancing the
+// PE clock to the completion's virtual time.
+func (c *Conduit) postWait(peer int, wr ib.SendWR) (ib.Completion, error) {
+	ch := make(chan ib.Completion, 1)
+	c.waiterMu.Lock()
+	c.waiters[wr.WRID] = ch
+	c.waiterMu.Unlock()
+	if err := c.post(peer, wr, true); err != nil {
+		c.waiterMu.Lock()
+		delete(c.waiters, wr.WRID)
+		c.waiterMu.Unlock()
+		return ib.Completion{}, err
+	}
+	comp := <-ch
+	c.clk.AdvanceTo(comp.VTime)
+	if comp.Status != ib.StatusOK {
+		return comp, fmt.Errorf("gasnet: remote operation failed: %v", comp.Status)
+	}
+	return comp, nil
+}
+
+// Quiet blocks until all outstanding Puts have completed remotely
+// (shmem_quiet semantics) and advances the clock to the last completion.
+func (c *Conduit) Quiet() {
+	c.outMu.Lock()
+	for c.outstanding > 0 {
+		c.outCond.Wait()
+	}
+	v := c.lastPutVT
+	c.outMu.Unlock()
+	c.clk.AdvanceTo(v)
+}
+
+// IntraNodeBarrier synchronizes the PEs of this node through the
+// shared-memory barrier (paper section IV-E).
+func (c *Conduit) IntraNodeBarrier() {
+	rounds := int64(log2ceil(c.cfg.PPN))
+	if rounds < 1 {
+		rounds = 1
+	}
+	c.cfg.NodeBarrier.Wait(c.clk, rounds*c.model.IntraNodeLatency)
+}
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	k := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}
+
+// Stats returns a snapshot of the PE's resource and traffic counters.
+func (c *Conduit) Stats() Stats {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	s := c.stats
+	s.PeersContacted = len(c.peers)
+	return s
+}
+
+// PeerSet returns the set of peers this PE has sent traffic to.
+func (c *Conduit) PeerSet() map[int]struct{} {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	out := make(map[int]struct{}, len(c.peers))
+	for p := range c.peers {
+		out[p] = struct{}{}
+	}
+	return out
+}
+
+// event emits a trace event if tracing is enabled.
+func (c *Conduit) event(kind string, peer int, vt int64) {
+	if c.cfg.OnEvent != nil {
+		c.cfg.OnEvent(kind, peer, vt)
+	}
+}
+
+func (c *Conduit) notePeer(peer int) {
+	c.statMu.Lock()
+	c.peers[peer] = struct{}{}
+	c.statMu.Unlock()
+}
+
+func (c *Conduit) countQP(t ib.QPType) {
+	c.statMu.Lock()
+	c.stats.QPsCreated++
+	if t == ib.RC {
+		c.stats.RCQPsCreated++
+	}
+	c.statMu.Unlock()
+}
+
+// Close drains outstanding traffic and shuts down the progress goroutine.
+// The drain matters: a send queued behind a still-in-flight handshake (for
+// example the last barrier message before finalize) is only delivered once
+// the handshake completes, so teardown must wait for it or the peer would
+// block forever. Established connections and QPs are then left to the
+// garbage collector, like process teardown.
+func (c *Conduit) Close() {
+	c.closeOnce.Do(func() {
+		c.connMu.Lock()
+		for c.hasPendingLocked() {
+			c.connCond.Wait()
+		}
+		c.connMu.Unlock()
+		c.closed.Store(true)
+		close(c.closeCh)
+		c.connMu.Lock()
+		if c.timer != nil {
+			c.timer.Stop()
+		}
+		c.connMu.Unlock()
+		c.cq.Close()
+		c.wg.Wait()
+	})
+}
+
+// hasPendingLocked reports whether any connection is still being
+// established or has queued traffic. Caller holds connMu.
+func (c *Conduit) hasPendingLocked() bool {
+	busy := func(cn *conn) bool {
+		return cn != nil && (cn.state == connConnecting || cn.state == connAccepted || len(cn.pending) > 0)
+	}
+	if c.connSlice != nil {
+		for _, cn := range c.connSlice {
+			if busy(cn) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, cn := range c.connMap {
+		if busy(cn) {
+			return true
+		}
+	}
+	return false
+}
+
+// progress is the conduit's receive/progress loop: it dispatches UD control
+// traffic (the connection manager), RC active messages, and send-side
+// completions (routing them to blocked callers or the Quiet accounting).
+func (c *Conduit) progress() {
+	defer c.wg.Done()
+	for {
+		comp, ok := c.cq.Wait()
+		if !ok {
+			return
+		}
+		if comp.Recv {
+			if comp.QPN == c.udQP.QPN() {
+				c.handleControl(comp)
+			} else {
+				c.handleAM(comp)
+			}
+			continue
+		}
+		// Send-side completion.
+		c.waiterMu.Lock()
+		ch := c.waiters[comp.WRID]
+		if ch != nil {
+			delete(c.waiters, comp.WRID)
+		}
+		var nbiBuf []byte
+		if ch == nil && comp.Op == ib.OpRDMARead {
+			nbiBuf = c.pendingGets[comp.WRID]
+			delete(c.pendingGets, comp.WRID)
+		}
+		c.waiterMu.Unlock()
+		if ch != nil {
+			if comp.Op == ib.OpRDMAWrite {
+				// Puts with waiters are not used, but keep accounting exact.
+				c.putDone(comp)
+			}
+			ch <- comp
+			continue
+		}
+		if nbiBuf != nil {
+			if comp.Status == ib.StatusOK {
+				copy(nbiBuf, comp.Data)
+			}
+			c.putDone(comp) // counts toward Quiet like an implicit op
+			continue
+		}
+		if comp.Op == ib.OpRDMAWrite {
+			c.putDone(comp)
+		}
+	}
+}
+
+func (c *Conduit) putDone(comp ib.Completion) {
+	c.outMu.Lock()
+	c.outstanding--
+	if comp.VTime > c.lastPutVT {
+		c.lastPutVT = comp.VTime
+	}
+	c.outMu.Unlock()
+	c.outCond.Broadcast()
+}
+
+func (c *Conduit) handleAM(comp ib.Completion) {
+	handler, src, args, payload, err := decodeAM(comp.Data)
+	if err != nil {
+		return
+	}
+	at := comp.VTime + c.model.AMProcess
+	c.connMu.Lock()
+	h := c.handlers[handler]
+	if h == nil {
+		if c.deferredAM == nil {
+			c.deferredAM = make(map[uint8][]deferredAM)
+		}
+		c.deferredAM[handler] = append(c.deferredAM[handler],
+			deferredAM{src: src, args: args, payload: payload, at: at})
+		c.connMu.Unlock()
+		return
+	}
+	c.connMu.Unlock()
+	h(src, args, payload, at)
+}

@@ -1,0 +1,553 @@
+package gasnet
+
+import (
+	"fmt"
+	"time"
+
+	"goshmem/internal/ib"
+	"goshmem/internal/vclock"
+)
+
+// retransInterval is the real-time retransmission scan period, and
+// retransBaseRTO the initial per-connection retransmission timeout with
+// exponential backoff. Backoff matters even without fault injection: a large
+// static ConnectAll keeps thousands of handshakes legitimately in flight for
+// (real) seconds, and resending all of them every scan would flood the
+// completion queues. Virtual-time charges for retransmissions use
+// CostModel.ConnRetransmitTimeout.
+const (
+	retransInterval = 10 * time.Millisecond
+	retransBaseRTO  = 25 * time.Millisecond
+	retransMaxShift = 6
+)
+
+// rtoFor returns the real-time retransmission timeout for the given attempt.
+func rtoFor(attempt int) time.Duration {
+	if attempt > retransMaxShift {
+		attempt = retransMaxShift
+	}
+	return retransBaseRTO << attempt
+}
+
+// connFor returns (creating if necessary) the connection slot for peer.
+// Caller holds connMu.
+func (c *Conduit) connFor(peer int) *conn {
+	if c.connSlice != nil {
+		cn := c.connSlice[peer]
+		if cn == nil {
+			cn = &conn{}
+			c.connSlice[peer] = cn
+		}
+		return cn
+	}
+	cn := c.connMap[peer]
+	if cn == nil {
+		cn = &conn{}
+		c.connMap[peer] = cn
+	}
+	return cn
+}
+
+// peekConn returns the slot without creating it. Caller holds connMu.
+func (c *Conduit) peekConn(peer int) *conn {
+	if c.connSlice != nil {
+		return c.connSlice[peer]
+	}
+	return c.connMap[peer]
+}
+
+// Connected reports whether a ready connection to peer exists.
+func (c *Conduit) Connected(peer int) bool {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	cn := c.peekConn(peer)
+	return cn != nil && cn.state == connReady
+}
+
+// NumConnected returns the number of ready connections at this PE.
+func (c *Conduit) NumConnected() int {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.nReady
+}
+
+// payload returns the upper layer's connect payload, or nil.
+func (c *Conduit) payload() []byte {
+	if c.cfg.ConnectPayload == nil {
+		return nil
+	}
+	return c.cfg.ConnectPayload()
+}
+
+// consumePayloadLocked hands the peer's piggybacked payload to the upper
+// layer exactly once. Called with connMu held, before the connection becomes
+// visible as ready, so a PE that observes the connection always observes the
+// segment info too. OnConnectPayload must therefore not call back into the
+// conduit.
+func (c *Conduit) consumePayloadLocked(cn *conn, peer int, payload []byte, at int64) {
+	if cn.gotPay {
+		return
+	}
+	cn.gotPay = true
+	if c.cfg.OnConnectPayload != nil && payload != nil {
+		c.cfg.OnConnectPayload(peer, payload, at)
+	}
+}
+
+// post sends a work request to peer, establishing the connection on demand.
+// If the connection is still being established the request is queued and
+// flushed, in order, the moment the connection is ready. clonePending makes
+// a private copy of wr.Data when queueing (callers that hand over ownership
+// of the buffer, such as AMRequest, pass false).
+func (c *Conduit) post(peer int, wr ib.SendWR, clonePending bool) error {
+	if peer < 0 || peer >= c.cfg.NProcs {
+		return fmt.Errorf("gasnet: peer %d out of range [0,%d)", peer, c.cfg.NProcs)
+	}
+	for {
+		c.connMu.Lock()
+		cn := c.connFor(peer)
+		switch cn.state {
+		case connReady:
+			qp := cn.qp
+			c.connMu.Unlock()
+			wr.Clk = c.clk
+			return qp.PostSend(wr)
+		case connConnecting, connAccepted:
+			if clonePending && wr.Data != nil {
+				wr.Data = append([]byte(nil), wr.Data...)
+			}
+			cn.pending = append(cn.pending, pendingWR{wr: wr, enq: c.clk.Now()})
+			c.connMu.Unlock()
+			return nil
+		default: // connNone
+			c.connMu.Unlock()
+			if err := c.initiate(peer); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// EnsureConnected blocks until a ready connection to peer exists,
+// establishing it if necessary. On return, any payload piggybacked by the
+// peer has been consumed, so one-sided addressing info is available.
+func (c *Conduit) EnsureConnected(peer int) error {
+	if peer < 0 || peer >= c.cfg.NProcs {
+		return fmt.Errorf("gasnet: peer %d out of range [0,%d)", peer, c.cfg.NProcs)
+	}
+	for {
+		c.connMu.Lock()
+		cn := c.connFor(peer)
+		switch cn.state {
+		case connReady:
+			ready := cn.readyVT
+			c.connMu.Unlock()
+			// The caller blocked until the handshake finished; its time
+			// advances to the connection-ready instant.
+			c.clk.AdvanceTo(ready)
+			return nil
+		case connNone:
+			c.connMu.Unlock()
+			if err := c.initiate(peer); err != nil {
+				return err
+			}
+		default:
+			c.connCond.Wait()
+			c.connMu.Unlock()
+		}
+	}
+}
+
+// initiate starts the client side of the two-phase handshake (paper Fig. 4):
+// resolve the peer's UD endpoint (completing the non-blocking PMI exchange
+// if needed), create an RC QP, move it to INIT, and send a ConnReq carrying
+// our RC endpoint and the upper layer's payload.
+func (c *Conduit) initiate(peer int) error {
+	c.connMu.Lock()
+	cn := c.connFor(peer)
+	if cn.state != connNone {
+		c.connMu.Unlock()
+		return nil
+	}
+	if peer == c.cfg.Rank {
+		return c.connectSelfLocked(cn) // unlocks
+	}
+	cn.state = connConnecting
+	cn.seq++
+	seq := cn.seq
+	c.connMu.Unlock()
+
+	// The out-of-band lookup can block (PMIX_Wait / PMI Get); do it without
+	// the lock. An incoming ConnReq from the same peer may meanwhile turn
+	// this slot into the server side (collision: the lower rank's request
+	// wins); in that case we abandon the client attempt.
+	ud, err := c.resolveUD(peer)
+
+	c.connMu.Lock()
+	if cn.state != connConnecting || cn.seq != seq {
+		c.connMu.Unlock()
+		return nil
+	}
+	if err != nil {
+		cn.state = connNone
+		c.connMu.Unlock()
+		return err
+	}
+	qp := c.cfg.HCA.CreateQP(ib.RC, c.clk, c.cq, c.cq)
+	c.countQP(ib.RC)
+	if e := qp.ToInit(); e != nil {
+		c.connMu.Unlock()
+		return e
+	}
+	cn.qp = qp
+	cn.peerUD = ud
+	cn.firstTx = c.clk.Now()
+	cn.lastTx = timeNow()
+	cn.attempt = 0
+	req := connMsg{Kind: msgConnReq, SrcRank: int32(c.cfg.Rank), Seq: seq,
+		RC: qp.Addr(), UD: c.udQP.Addr(), Payload: c.payload()}
+	c.armTimerLocked()
+	c.connMu.Unlock()
+	c.event("conn-initiate", peer, c.clk.Now())
+	return c.sendControl(ud, req, c.clk)
+}
+
+// connectSelfLocked builds the loopback connection to this PE itself
+// (OpenSHMEM semantics allow communication with one's own rank; the fully
+// connected baseline counts it too). Called with connMu held; unlocks.
+func (c *Conduit) connectSelfLocked(cn *conn) error {
+	a := c.cfg.HCA.CreateQP(ib.RC, c.clk, c.cq, c.cq)
+	b := c.cfg.HCA.CreateQP(ib.RC, c.clk, c.cq, c.cq)
+	c.countQP(ib.RC)
+	c.countQP(ib.RC)
+	for _, s := range []struct {
+		q *ib.QP
+		r ib.Dest
+	}{{a, b.Addr()}, {b, a.Addr()}} {
+		if err := s.q.ToInit(); err != nil {
+			c.connMu.Unlock()
+			return err
+		}
+		if err := s.q.ToRTR(s.r); err != nil {
+			c.connMu.Unlock()
+			return err
+		}
+		if err := s.q.ToRTS(); err != nil {
+			c.connMu.Unlock()
+			return err
+		}
+	}
+	cn.qp = a
+	cn.loopbk = b
+	cn.readyVT = c.clk.Now()
+	c.consumePayloadLocked(cn, c.cfg.Rank, c.payload(), cn.readyVT)
+	cn.state = connReady
+	c.nReady++
+	if cn.readyVT > c.lastReadyVT {
+		c.lastReadyVT = cn.readyVT
+	}
+	c.connMu.Unlock()
+	c.statMu.Lock()
+	c.stats.ConnsEstablished++
+	c.statMu.Unlock()
+	c.connCond.Broadcast()
+	return nil
+}
+
+// sendControl transmits a handshake datagram over the UD endpoint.
+func (c *Conduit) sendControl(dest ib.Dest, m connMsg, clk *vclock.Clock) error {
+	return c.udQP.PostSend(ib.SendWR{Op: ib.OpSend, Dest: dest, Data: m.encode(), Clk: clk})
+}
+
+// handleControl dispatches UD handshake traffic on the connection-manager
+// "thread" (the progress goroutine), charging the manager clock.
+func (c *Conduit) handleControl(comp ib.Completion) {
+	m, err := decodeConnMsg(comp.Data)
+	if err != nil {
+		return
+	}
+	c.mgrClk.AdvanceTo(comp.VTime)
+	c.mgrClk.Advance(c.model.ConnReqProcess)
+	switch m.Kind {
+	case msgConnReq:
+		c.handleReq(m)
+	case msgConnRep:
+		c.handleRep(m)
+	case msgConnRTU:
+		c.handleRTU(m)
+	}
+}
+
+// handleReq is the server side: create an RC endpoint, bind it to the
+// client's, consume the piggybacked payload and reply with our endpoint and
+// payload. Duplicates are answered idempotently; requests arriving before
+// this PE is ready (segments unregistered) are dropped and recovered by the
+// client's retransmission.
+func (c *Conduit) handleReq(m connMsg) {
+	peer := int(m.SrcRank)
+	if peer < 0 || peer >= c.cfg.NProcs || peer == c.cfg.Rank {
+		return
+	}
+	if !c.ready.Load() {
+		// Hold the request until this PE has registered its segments
+		// (paper section IV-E). The payload slice is already private.
+		c.connMu.Lock()
+		if !c.ready.Load() {
+			c.heldReqs = append(c.heldReqs, m)
+			c.connMu.Unlock()
+			c.event("conn-req-held", peer, c.mgrClk.Now())
+			return
+		}
+		c.connMu.Unlock()
+	}
+	c.connMu.Lock()
+	cn := c.connFor(peer)
+	switch cn.state {
+	case connReady, connAccepted:
+		// Duplicate request: resend the reply with the existing endpoint.
+		// (If we are already fully connected the client must have processed
+		// the original reply to send RTU, but a stale duplicate is still
+		// answered; the client ignores replies when ready.)
+		rep := connMsg{Kind: msgConnRep, SrcRank: int32(c.cfg.Rank), Seq: cn.seq,
+			RC: cn.qp.Addr(), UD: c.udQP.Addr(), Payload: c.payload()}
+		ud := cn.peerUD
+		c.connMu.Unlock()
+		c.sendControl(ud, rep, c.mgrClk)
+		return
+	case connConnecting:
+		if c.cfg.Rank < peer {
+			// Collision, and we are the winner: ignore the peer's request;
+			// the peer will abandon its attempt and serve ours.
+			c.connMu.Unlock()
+			return
+		}
+		// Collision, and we are the loser: abandon the client attempt (the
+		// half-open QP is discarded; queued sends stay and flush over the
+		// winning connection).
+		c.event("conn-collision-lost", peer, c.mgrClk.Now())
+		if cn.qp != nil {
+			cn.qp.Destroy()
+			cn.qp = nil
+		}
+	case connNone:
+	}
+
+	qp := c.cfg.HCA.CreateQP(ib.RC, c.mgrClk, c.cq, c.cq)
+	c.countQP(ib.RC)
+	if qp.ToInit() != nil || qp.ToRTR(m.RC) != nil || qp.ToRTS() != nil {
+		c.connMu.Unlock()
+		return
+	}
+	cn.qp = qp
+	cn.peerUD = m.UD
+	cn.seq = m.Seq
+	cn.firstTx = c.mgrClk.Now()
+	cn.lastTx = timeNow()
+	cn.attempt = 0
+	c.consumePayloadLocked(cn, peer, m.Payload, c.mgrClk.Now())
+	cn.state = connAccepted
+	rep := connMsg{Kind: msgConnRep, SrcRank: int32(c.cfg.Rank), Seq: m.Seq,
+		RC: qp.Addr(), UD: c.udQP.Addr(), Payload: c.payload()}
+	c.armTimerLocked()
+	c.connMu.Unlock()
+	c.event("conn-req-served", peer, c.mgrClk.Now())
+	c.sendControl(m.UD, rep, c.mgrClk)
+}
+
+// handleRep is the client side completing the handshake: move our QP to
+// RTR/RTS against the server's endpoint, consume the server's payload, flush
+// queued traffic and confirm with RTU.
+func (c *Conduit) handleRep(m connMsg) {
+	peer := int(m.SrcRank)
+	if peer < 0 || peer >= c.cfg.NProcs {
+		return
+	}
+	c.connMu.Lock()
+	cn := c.peekConn(peer)
+	if cn == nil {
+		c.connMu.Unlock()
+		return
+	}
+	switch cn.state {
+	case connReady:
+		// Duplicate reply (our RTU was lost): re-acknowledge.
+		rtu := connMsg{Kind: msgConnRTU, SrcRank: int32(c.cfg.Rank), Seq: m.Seq,
+			UD: c.udQP.Addr()}
+		ud := cn.peerUD
+		c.connMu.Unlock()
+		c.sendControl(ud, rtu, c.mgrClk)
+		return
+	case connConnecting:
+		if m.Seq != cn.seq || cn.qp == nil {
+			c.connMu.Unlock()
+			return // stale attempt or reply raced our setup
+		}
+		cn.qp.SetClock(c.mgrClk) // paper Fig. 4: the manager thread drives RTR/RTS
+		if cn.qp.ToRTR(m.RC) != nil || cn.qp.ToRTS() != nil {
+			c.connMu.Unlock()
+			return
+		}
+		cn.peerUD = m.UD
+		cn.readyVT = c.mgrClk.Now()
+		c.consumePayloadLocked(cn, peer, m.Payload, cn.readyVT)
+		cn.state = connReady
+		c.nReady++
+		if cn.readyVT > c.lastReadyVT {
+			c.lastReadyVT = cn.readyVT
+		}
+		c.flushLocked(cn)
+		rtu := connMsg{Kind: msgConnRTU, SrcRank: int32(c.cfg.Rank), Seq: m.Seq,
+			UD: c.udQP.Addr()}
+		ud := cn.peerUD
+		c.connMu.Unlock()
+		c.statMu.Lock()
+		c.stats.ConnsEstablished++
+		c.statMu.Unlock()
+		c.event("conn-ready-client", peer, c.mgrClk.Now())
+		c.sendControl(ud, rtu, c.mgrClk)
+		c.connCond.Broadcast()
+		return
+	default:
+		c.connMu.Unlock()
+	}
+}
+
+// handleRTU completes the server side: the client is ready-to-send, so the
+// connection becomes usable and queued traffic flushes.
+func (c *Conduit) handleRTU(m connMsg) {
+	peer := int(m.SrcRank)
+	if peer < 0 || peer >= c.cfg.NProcs {
+		return
+	}
+	c.connMu.Lock()
+	cn := c.peekConn(peer)
+	if cn == nil || cn.state != connAccepted || m.Seq != cn.seq {
+		c.connMu.Unlock()
+		return
+	}
+	cn.state = connReady
+	cn.readyVT = c.mgrClk.Now()
+	c.nReady++
+	if cn.readyVT > c.lastReadyVT {
+		c.lastReadyVT = cn.readyVT
+	}
+	c.flushLocked(cn)
+	c.connMu.Unlock()
+	c.statMu.Lock()
+	c.stats.ConnsEstablished++
+	c.statMu.Unlock()
+	c.event("conn-ready-server", peer, c.mgrClk.Now())
+	c.connCond.Broadcast()
+}
+
+// flushLocked posts the traffic queued behind the handshake, in order. Each
+// queued request departs at max(its enqueue time, the connection-ready
+// time), accumulating post overheads on a dedicated flush clock.
+func (c *Conduit) flushLocked(cn *conn) {
+	if len(cn.pending) == 0 {
+		return
+	}
+	fc := vclock.NewClock(cn.readyVT)
+	for _, p := range cn.pending {
+		fc.AdvanceTo(p.enq)
+		wr := p.wr
+		wr.Clk = fc
+		if err := cn.qp.PostSend(wr); err != nil {
+			// The queue pair failed underneath us; nothing more to flush.
+			break
+		}
+	}
+	cn.pending = nil
+}
+
+// armTimerLocked schedules a retransmission scan if one is not pending.
+// Retransmission exists for lossy fabrics only; see ib.Fabric.Lossy.
+func (c *Conduit) armTimerLocked() {
+	if c.timerOn || c.closed.Load() || !c.cfg.HCA.Fabric().Lossy() {
+		return
+	}
+	c.timerOn = true
+	c.timer = time.AfterFunc(retransInterval, c.retransScan)
+}
+
+// retransScan resends REQ (client, awaiting REP) and REP (server, awaiting
+// RTU) for connections still in flight. Each retransmission charges the
+// virtual retransmission timeout so fault-injected runs remain causally
+// plausible.
+func (c *Conduit) retransScan() {
+	if c.closed.Load() {
+		return
+	}
+	type tx struct {
+		peer int
+		ud   ib.Dest
+		m    connMsg
+	}
+	var resend []tx
+	c.connMu.Lock()
+	c.timerOn = false
+	now := timeNow()
+	scan := func(peer int, cn *conn) {
+		if cn == nil {
+			return
+		}
+		if cn.state != connConnecting && cn.state != connAccepted {
+			return
+		}
+		if cn.state == connConnecting && cn.qp == nil {
+			return // still resolving the UD endpoint
+		}
+		if now.Sub(cn.lastTx) < rtoFor(cn.attempt) {
+			return // not yet stale; avoid duplicate floods during bulk setup
+		}
+		cn.attempt++
+		cn.lastTx = now
+		c.stats.Retransmits++
+		c.mgrClk.AdvanceTo(cn.firstTx + int64(cn.attempt)*c.model.ConnRetransmitTimeout)
+		kind := msgConnReq
+		if cn.state == connAccepted {
+			kind = msgConnRep
+		}
+		resend = append(resend, tx{peer, cn.peerUD, connMsg{Kind: kind,
+			SrcRank: int32(c.cfg.Rank), Seq: cn.seq, RC: cn.qp.Addr(),
+			UD: c.udQP.Addr(), Payload: c.payload()}})
+	}
+	if c.connSlice != nil {
+		for peer, cn := range c.connSlice {
+			scan(peer, cn)
+		}
+	} else {
+		for peer, cn := range c.connMap {
+			scan(peer, cn)
+		}
+	}
+	if c.hasPendingLocked() {
+		c.armTimerLocked()
+	}
+	c.connMu.Unlock()
+	for _, t := range resend {
+		c.event("conn-retransmit", t.peer, c.mgrClk.Now())
+		c.sendControl(t.ud, t.m, c.mgrClk)
+	}
+}
+
+// ConnectAll eagerly establishes the fully connected process group: the
+// static baseline. Each PE initiates to itself and to every higher rank
+// (lower ranks initiate to us), then waits until one ready connection per
+// peer exists. Must be called after SetReady and ExchangeEndpoints.
+func (c *Conduit) ConnectAll() error {
+	for peer := c.cfg.Rank; peer < c.cfg.NProcs; peer++ {
+		if err := c.initiate(peer); err != nil {
+			return err
+		}
+	}
+	c.connMu.Lock()
+	for c.nReady < c.cfg.NProcs {
+		c.connCond.Wait()
+	}
+	ready := c.lastReadyVT
+	c.connMu.Unlock()
+	// Establishment completes when the last handshake does.
+	c.clk.AdvanceTo(ready)
+	return nil
+}

@@ -1,0 +1,104 @@
+package gasnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"goshmem/internal/ib"
+)
+
+// Control-message kinds carried over the UD transport. The handshake follows
+// the paper's Figure 4 plus the standard ready-to-use third leg (as in RDMA
+// CM): REQ -> REP -> RTU. REQ and REP carry the opaque upper-layer payload
+// (the OpenSHMEM segment triplets) so that both sides can issue RDMA the
+// moment the connection is up — the paper's section IV-C.
+const (
+	msgConnReq uint8 = 1
+	msgConnRep uint8 = 2
+	msgConnRTU uint8 = 3
+)
+
+// connMsg is the UD control datagram for connection establishment.
+type connMsg struct {
+	Kind    uint8
+	SrcRank int32
+	Seq     uint32 // connection-attempt sequence for duplicate suppression
+	RC      ib.Dest
+	UD      ib.Dest // sender's UD endpoint, so the target can reply
+	Payload []byte  // opaque upper-layer data (segment info); REQ and REP only
+}
+
+const connMsgHdr = 1 + 4 + 4 + 6 + 6 + 4
+
+func (m *connMsg) encode() []byte {
+	b := make([]byte, connMsgHdr+len(m.Payload))
+	b[0] = m.Kind
+	binary.LittleEndian.PutUint32(b[1:], uint32(m.SrcRank))
+	binary.LittleEndian.PutUint32(b[5:], m.Seq)
+	binary.LittleEndian.PutUint16(b[9:], m.RC.LID)
+	binary.LittleEndian.PutUint32(b[11:], m.RC.QPN)
+	binary.LittleEndian.PutUint16(b[15:], m.UD.LID)
+	binary.LittleEndian.PutUint32(b[17:], m.UD.QPN)
+	binary.LittleEndian.PutUint32(b[21:], uint32(len(m.Payload)))
+	copy(b[connMsgHdr:], m.Payload)
+	return b
+}
+
+func decodeConnMsg(b []byte) (connMsg, error) {
+	var m connMsg
+	if len(b) < connMsgHdr {
+		return m, errors.New("gasnet: short control message")
+	}
+	m.Kind = b[0]
+	m.SrcRank = int32(binary.LittleEndian.Uint32(b[1:]))
+	m.Seq = binary.LittleEndian.Uint32(b[5:])
+	m.RC.LID = binary.LittleEndian.Uint16(b[9:])
+	m.RC.QPN = binary.LittleEndian.Uint32(b[11:])
+	m.UD.LID = binary.LittleEndian.Uint16(b[15:])
+	m.UD.QPN = binary.LittleEndian.Uint32(b[17:])
+	n := int(binary.LittleEndian.Uint32(b[21:]))
+	if n != len(b)-connMsgHdr {
+		return m, fmt.Errorf("gasnet: control payload length mismatch: %d vs %d", n, len(b)-connMsgHdr)
+	}
+	m.Payload = b[connMsgHdr:]
+	return m, nil
+}
+
+// amHdr frames an active message inside an RC send:
+// [handler u8][srcRank u32][args 4*u64][payload].
+const amHdrLen = 1 + 4 + 32
+
+func encodeAM(handler uint8, srcRank int, args [4]uint64, payload []byte) []byte {
+	b := make([]byte, amHdrLen+len(payload))
+	b[0] = handler
+	binary.LittleEndian.PutUint32(b[1:], uint32(srcRank))
+	for i, a := range args {
+		binary.LittleEndian.PutUint64(b[5+8*i:], a)
+	}
+	copy(b[amHdrLen:], payload)
+	return b
+}
+
+func decodeAM(b []byte) (handler uint8, srcRank int, args [4]uint64, payload []byte, err error) {
+	if len(b) < amHdrLen {
+		return 0, 0, args, nil, errors.New("gasnet: short active message")
+	}
+	handler = b[0]
+	srcRank = int(int32(binary.LittleEndian.Uint32(b[1:])))
+	for i := range args {
+		args[i] = binary.LittleEndian.Uint64(b[5+8*i:])
+	}
+	return handler, srcRank, args, b[amHdrLen:], nil
+}
+
+// Endpoint string form used in the PMI key-value store.
+func encodeDest(d ib.Dest) string { return fmt.Sprintf("%d:%d", d.LID, d.QPN) }
+
+func decodeDest(s string) (ib.Dest, error) {
+	var lid, qpn uint32
+	if _, err := fmt.Sscanf(s, "%d:%d", &lid, &qpn); err != nil {
+		return ib.Dest{}, fmt.Errorf("gasnet: bad endpoint %q: %v", s, err)
+	}
+	return ib.Dest{LID: uint16(lid), QPN: qpn}, nil
+}

@@ -1,0 +1,102 @@
+package ib
+
+import (
+	"testing"
+
+	"goshmem/internal/vclock"
+)
+
+// The Clk override lets the connection-manager thread charge its own clock
+// instead of the application's (paper Fig. 4 threading).
+func TestSendWRClockOverride(t *testing.T) {
+	r := newRig(t, nil)
+	q1, _ := r.connectRC(t)
+	appBefore := r.c1.Now()
+	mgr := vclock.NewClock(appBefore)
+	if err := q1.PostSend(SendWR{Op: OpSend, Data: []byte("ctrl"), Clk: mgr, NoSendCompletion: true}); err != nil {
+		t.Fatal(err)
+	}
+	if r.c1.Now() != appBefore {
+		t.Fatalf("app clock moved by manager-clocked send: %d -> %d", appBefore, r.c1.Now())
+	}
+	if mgr.Now() <= appBefore {
+		t.Fatal("manager clock not charged")
+	}
+	c, _ := r.cq2.Wait()
+	if c.VTime <= appBefore {
+		t.Fatal("arrival time should exceed departure")
+	}
+}
+
+func TestSetClockRebindsTransitions(t *testing.T) {
+	r := newRig(t, nil)
+	q := r.h1.CreateQP(RC, r.c1, nil, r.cq1)
+	mgr := vclock.NewClock(0)
+	q.SetClock(mgr)
+	if err := q.ToInit(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Now() == 0 {
+		t.Fatal("transition did not charge rebound clock")
+	}
+}
+
+// Virtual arrival time is never before departure, across op types.
+func TestCausalityAllOps(t *testing.T) {
+	r := newRig(t, nil)
+	q1, _ := r.connectRC(t)
+	heap := make([]byte, 1024)
+	mr := r.h2.RegisterMR(heap, r.c2)
+	wrs := []SendWR{
+		{Op: OpSend, Data: make([]byte, 100)},
+		{Op: OpRDMAWrite, RemoteAddr: mr.Base(), RKey: mr.RKey(), Data: make([]byte, 100)},
+		{Op: OpRDMARead, RemoteAddr: mr.Base(), RKey: mr.RKey(), Len: 100},
+		{Op: OpFetchAdd, RemoteAddr: mr.Base(), RKey: mr.RKey(), Add: 1},
+		{Op: OpSwap, RemoteAddr: mr.Base(), RKey: mr.RKey(), Swap: 2},
+		{Op: OpCmpSwap, RemoteAddr: mr.Base(), RKey: mr.RKey(), Compare: 0, Swap: 3},
+	}
+	for i, wr := range wrs {
+		depart := r.c1.Now()
+		wr.WRID = uint64(i + 1)
+		if err := q1.PostSend(wr); err != nil {
+			t.Fatalf("op %v: %v", wr.Op, err)
+		}
+		if wr.Op == OpSend {
+			c, _ := r.cq2.Wait()
+			if c.VTime < depart {
+				t.Fatalf("op %v: arrival %d before departure %d", wr.Op, c.VTime, depart)
+			}
+			// drain our own send completion
+			c2, _ := r.cq1.Wait()
+			if c2.VTime < depart {
+				t.Fatalf("op %v: send completion %d before departure %d", wr.Op, c2.VTime, depart)
+			}
+			continue
+		}
+		c, _ := r.cq1.Wait()
+		if c.VTime < depart {
+			t.Fatalf("op %v: completion %d before departure %d", wr.Op, c.VTime, depart)
+		}
+	}
+}
+
+// Larger transfers must take longer (bandwidth term).
+func TestBandwidthTermMonotone(t *testing.T) {
+	r := newRig(t, nil)
+	q1, _ := r.connectRC(t)
+	heap := make([]byte, 1<<21)
+	mr := r.h2.RegisterMR(heap, r.c2)
+	lat := func(n int) int64 {
+		depart := r.c1.Now()
+		if err := q1.PostSend(SendWR{Op: OpRDMAWrite, RemoteAddr: mr.Base(), RKey: mr.RKey(),
+			Data: make([]byte, n), WRID: uint64(n)}); err != nil {
+			t.Fatal(err)
+		}
+		c, _ := r.cq1.Wait()
+		return c.VTime - depart
+	}
+	small, big := lat(64), lat(1<<20)
+	if big <= small {
+		t.Fatalf("1MB (%d) should take longer than 64B (%d)", big, small)
+	}
+}

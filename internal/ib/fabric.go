@@ -1,0 +1,268 @@
+package ib
+
+import (
+	"sync"
+
+	"goshmem/internal/vclock"
+)
+
+// Fabric is the simulated switched interconnect: a set of HCAs addressed by
+// LID plus the cost model and fault injector shared by all traffic.
+type Fabric struct {
+	model  *vclock.CostModel
+	faults *FaultInjector
+
+	mu   sync.RWMutex
+	hcas []*HCA
+}
+
+// NewFabric creates an empty fabric. faults may be nil.
+func NewFabric(model *vclock.CostModel, faults *FaultInjector) *Fabric {
+	if model == nil {
+		model = vclock.Default()
+	}
+	return &Fabric{model: model, faults: faults}
+}
+
+// Model returns the fabric's cost model.
+func (f *Fabric) Model() *vclock.CostModel { return f.model }
+
+// Lossy reports whether a fault injector can drop datagrams on this fabric.
+// Upper layers arm their retransmission machinery only on lossy fabrics: in
+// a fault-free simulation nothing is ever lost, and real-time retransmit
+// timers would misread simulation slowness as message loss.
+func (f *Fabric) Lossy() bool { return f.faults != nil }
+
+// AddHCA attaches a new adapter and assigns it the next LID (LIDs start at 1,
+// as LID 0 is reserved, like the permissive LID in real InfiniBand).
+func (f *Fabric) AddHCA() *HCA {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := &HCA{f: f, lid: uint16(len(f.hcas) + 1)}
+	f.hcas = append(f.hcas, h)
+	return h
+}
+
+// HCA returns the adapter with the given LID, or nil.
+func (f *Fabric) HCA(lid uint16) *HCA {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if lid == 0 || int(lid) > len(f.hcas) {
+		return nil
+	}
+	return f.hcas[lid-1]
+}
+
+// HCAs returns all adapters (for stats aggregation).
+func (f *Fabric) HCAs() []*HCA {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]*HCA, len(f.hcas))
+	copy(out, f.hcas)
+	return out
+}
+
+// oneWay returns the one-way wire time for n payload bytes between two
+// adapters, including endpoint-cache penalties on both sides.
+func (f *Fabric) oneWay(src, dst *HCA, base int64, n int) int64 {
+	if src == dst {
+		return f.model.IntraNodeLatency + f.model.IntraXferTime(n)
+	}
+	return base + f.model.XferTime(n) + src.cachePenalty() + dst.cachePenalty()
+}
+
+// latencyOnly is oneWay without the serialization term, for operations whose
+// sender already paid the wire occupancy (see occupancy).
+func (f *Fabric) latencyOnly(src, dst *HCA, base int64) int64 {
+	if src == dst {
+		return f.model.IntraNodeLatency
+	}
+	return base + src.cachePenalty() + dst.cachePenalty()
+}
+
+// occupancy is the sender-side injection time of n payload bytes (the LogGP
+// gap-per-byte term): a sender cannot post payload faster than the wire
+// drains it, which is what bounds streaming bandwidth at the modeled rate.
+func (f *Fabric) occupancy(src, dst *HCA, n int) int64 {
+	if src == dst {
+		return f.model.IntraXferTime(n)
+	}
+	return f.model.XferTime(n)
+}
+
+// sendUD delivers an unreliable datagram. Unknown targets and datagrams that
+// the fault injector drops vanish silently, exactly like UD.
+func (f *Fabric) sendUD(q *QP, wr SendWR) error {
+	clk := q.clk
+	if wr.Clk != nil {
+		clk = wr.Clk
+	}
+	depart := clk.Advance(f.model.SendPostOverhead)
+	if q.sendCQ != nil && !wr.NoSendCompletion {
+		q.sendCQ.Push(Completion{WRID: wr.WRID, QPN: q.qpn, Op: OpSend, Status: StatusOK, VTime: depart})
+	}
+	drop, dup := f.faults.udFate()
+	if drop {
+		return nil
+	}
+	dh := f.HCA(wr.Dest.LID)
+	if dh == nil {
+		return nil
+	}
+	dh.mu.Lock()
+	dq := dh.qpLocked(wr.Dest.QPN)
+	if dq == nil || dq.typ != UD || (dq.state != StateRTR && dq.state != StateRTS) || dq.recvCQ == nil {
+		dh.mu.Unlock()
+		return nil
+	}
+	recvCQ := dq.recvCQ
+	dh.mu.Unlock()
+
+	depart = clk.Advance(f.occupancy(q.hca, dh, len(wr.Data)))
+	arrival := depart + f.latencyOnly(q.hca, dh, f.model.UDSendLatency)
+	data := append([]byte(nil), wr.Data...)
+	src := q.Addr()
+	dh.countDelivery(len(data))
+	recvCQ.Push(Completion{QPN: wr.Dest.QPN, Src: src, Op: OpSend, Recv: true,
+		Data: data, Imm: wr.Imm, Status: StatusOK, VTime: arrival})
+	if dup {
+		dupData := append([]byte(nil), wr.Data...)
+		recvCQ.Push(Completion{QPN: wr.Dest.QPN, Src: src, Op: OpSend, Recv: true,
+			Data: dupData, Imm: wr.Imm, Status: StatusOK, VTime: arrival + f.model.UDSendLatency})
+	}
+	return nil
+}
+
+// sendRC executes a reliable-connected operation against the connected peer.
+func (f *Fabric) sendRC(q *QP, wr SendWR) error {
+	clk := q.clk
+	if wr.Clk != nil {
+		clk = wr.Clk
+	}
+	depart := clk.Advance(f.model.SendPostOverhead)
+	dh := f.HCA(q.remote.LID)
+	if dh == nil {
+		return ErrBadLID
+	}
+
+	completeSend := func(c Completion) {
+		if q.sendCQ != nil && !wr.NoSendCompletion {
+			c.WRID = wr.WRID
+			c.QPN = q.qpn
+			c.Op = wr.Op
+			q.sendCQ.Push(c)
+		}
+	}
+
+	switch wr.Op {
+	case OpSend:
+		// The sender pays the wire occupancy (LogGP gap); the receiver sees
+		// the last byte one latency later. Compute the latency before taking
+		// the target HCA lock: the cache-penalty accounting locks both
+		// adapters itself.
+		depart = clk.Advance(f.occupancy(q.hca, dh, len(wr.Data)))
+		lat := f.latencyOnly(q.hca, dh, f.model.RCSendLatency)
+		dh.mu.Lock()
+		dq := dh.qpLocked(q.remote.QPN)
+		if dq == nil || dq.typ != RC || (dq.state != StateRTR && dq.state != StateRTS) || dq.recvCQ == nil {
+			dh.mu.Unlock()
+			completeSend(Completion{Status: StatusFlushed, VTime: depart})
+			return ErrNotConnected
+		}
+		arrival := depart + lat
+		// RC delivery is in-order: clamp arrival monotone per target QP.
+		if arrival <= dq.lastArr {
+			arrival = dq.lastArr + 1
+		}
+		dq.lastArr = arrival
+		recvCQ := dq.recvCQ
+		dh.mu.Unlock()
+
+		data := append([]byte(nil), wr.Data...)
+		dh.countDelivery(len(data))
+		recvCQ.Push(Completion{QPN: q.remote.QPN, Src: q.Addr(), Op: OpSend, Recv: true,
+			Data: data, Imm: wr.Imm, Status: StatusOK, VTime: arrival})
+		completeSend(Completion{Status: StatusOK, VTime: arrival + f.model.RCAckLatency})
+		return nil
+
+	case OpRDMAWrite:
+		mr, off, ok := f.resolve(dh, wr.RemoteAddr, wr.RKey, len(wr.Data))
+		if !ok {
+			completeSend(Completion{Status: StatusRemoteAccessErr, VTime: depart + f.model.RCSendLatency})
+			return nil
+		}
+		depart = clk.Advance(f.occupancy(q.hca, dh, len(wr.Data)))
+		arrival := depart + f.latencyOnly(q.hca, dh, f.model.RCSendLatency)
+		dh.memMu.Lock()
+		copy(mr.buf[off:], wr.Data)
+		dh.memMu.Unlock()
+		dh.countDelivery(len(wr.Data))
+		if mr.onWrite != nil {
+			mr.onWrite(off, len(wr.Data), arrival)
+		}
+		completeSend(Completion{Status: StatusOK, VTime: arrival + f.model.RCAckLatency})
+		return nil
+
+	case OpRDMARead:
+		mr, off, ok := f.resolve(dh, wr.RemoteAddr, wr.RKey, wr.Len)
+		if !ok {
+			completeSend(Completion{Status: StatusRemoteAccessErr, VTime: depart + f.model.RCSendLatency})
+			return nil
+		}
+		req := f.oneWay(q.hca, dh, f.model.RCSendLatency, 0)
+		data := make([]byte, wr.Len)
+		dh.memMu.Lock()
+		copy(data, mr.buf[off:off+wr.Len])
+		dh.memMu.Unlock()
+		resp := f.oneWay(dh, q.hca, f.model.RCSendLatency, wr.Len)
+		dh.countDelivery(wr.Len)
+		completeSend(Completion{Status: StatusOK, Data: data, VTime: depart + req + resp})
+		return nil
+
+	case OpFetchAdd, OpCmpSwap, OpSwap:
+		mr, off, ok := f.resolve(dh, wr.RemoteAddr, wr.RKey, 8)
+		if !ok {
+			completeSend(Completion{Status: StatusRemoteAccessErr, VTime: depart + f.model.RCSendLatency})
+			return nil
+		}
+		if wr.RemoteAddr%8 != 0 {
+			return ErrUnaligned
+		}
+		req := f.oneWay(q.hca, dh, f.model.RCSendLatency, 8)
+		dh.memMu.Lock()
+		old := leU64(mr.buf[off : off+8])
+		switch wr.Op {
+		case OpFetchAdd:
+			putLeU64(mr.buf[off:off+8], old+wr.Add)
+		case OpCmpSwap:
+			if old == wr.Compare {
+				putLeU64(mr.buf[off:off+8], wr.Swap)
+			}
+		case OpSwap:
+			putLeU64(mr.buf[off:off+8], wr.Swap)
+		}
+		dh.memMu.Unlock()
+		arrival := depart + req + f.model.AtomicLatency
+		dh.countDelivery(8)
+		if mr.onWrite != nil {
+			mr.onWrite(off, 8, arrival)
+		}
+		resp := f.oneWay(dh, q.hca, f.model.RCSendLatency, 8)
+		completeSend(Completion{Status: StatusOK, Old: old, VTime: arrival + resp})
+		return nil
+	}
+	return ErrOpUnsupported
+}
+
+// resolve validates an (rkey, addr, len) triple against the target adapter's
+// memory-region table and returns the region and byte offset.
+func (f *Fabric) resolve(dh *HCA, addr uint64, rkey uint32, n int) (*MR, int, bool) {
+	mr := dh.lookupMR(rkey)
+	if mr == nil || mr.dead || n < 0 {
+		return nil, 0, false
+	}
+	if addr < mr.base || addr+uint64(n) > mr.base+uint64(len(mr.buf)) {
+		return nil, 0, false
+	}
+	return mr, int(addr - mr.base), true
+}

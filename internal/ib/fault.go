@@ -1,0 +1,71 @@
+package ib
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// FaultInjector perturbs the unreliable-datagram transport: drops, duplicates
+// and (bounded) reordering. RC traffic is never perturbed — reliability is
+// exactly what the RC hardware guarantees. A nil *FaultInjector injects
+// nothing and is the default.
+//
+// The injector is deterministic for a given seed and call sequence, which
+// keeps connection-manager fault tests reproducible.
+type FaultInjector struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// DropProb is the probability a UD datagram is silently dropped.
+	DropProb float64
+	// DupProb is the probability a UD datagram is delivered twice.
+	DupProb float64
+	// MaxDrops caps the number of drops (0 = unlimited) so a test can
+	// guarantee eventual delivery.
+	MaxDrops int
+
+	// DropFirstN drops the first N UD datagrams outright, regardless of
+	// probability — handy for forcing the retransmission path.
+	DropFirstN int
+
+	drops int
+	seen  int
+}
+
+// NewFaultInjector returns a deterministic injector.
+func NewFaultInjector(seed int64) *FaultInjector {
+	return &FaultInjector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Drops reports how many datagrams have been dropped so far.
+func (fi *FaultInjector) Drops() int {
+	if fi == nil {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.drops
+}
+
+// udFate decides the fate of one UD datagram.
+func (fi *FaultInjector) udFate() (drop, dup bool) {
+	if fi == nil {
+		return false, false
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.seen++
+	if fi.seen <= fi.DropFirstN {
+		fi.drops++
+		return true, false
+	}
+	if fi.DropProb > 0 && (fi.MaxDrops == 0 || fi.drops < fi.MaxDrops) &&
+		fi.rng.Float64() < fi.DropProb {
+		fi.drops++
+		return true, false
+	}
+	if fi.DupProb > 0 && fi.rng.Float64() < fi.DupProb {
+		return false, true
+	}
+	return false, false
+}

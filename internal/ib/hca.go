@@ -1,0 +1,154 @@
+package ib
+
+import (
+	"sync"
+
+	"goshmem/internal/vclock"
+)
+
+// HCA is a simulated host channel adapter. The cluster layer creates one HCA
+// per simulated node; the node's PEs share it, exactly like 8-16 processes
+// per node sharing a physical ConnectX adapter in the paper's testbeds.
+type HCA struct {
+	f   *Fabric
+	lid uint16
+
+	mu     sync.Mutex // guards qps, mrs, counters
+	qps    []*QP      // index qpn-1
+	mrs    map[uint32]*MR
+	nextVA uint64
+	nextRK uint32
+
+	// memMu serializes remote RDMA/atomic access to this HCA's registered
+	// memory, giving network atomics their atomicity guarantee.
+	memMu sync.Mutex
+
+	stats HCAStats
+}
+
+// HCAStats counts resource usage and traffic through one adapter.
+type HCAStats struct {
+	QPsCreatedUD   int64
+	QPsCreatedRC   int64
+	RCEstablished  int64 // RC QPs that reached RTS
+	LiveRC         int64 // RC QPs currently in RTS
+	MsgsDelivered  int64
+	BytesDelivered int64
+	CacheMisses    int64
+	MRsRegistered  int64
+	BytesPinned    int64
+}
+
+// LID returns the adapter's local identifier on the fabric.
+func (h *HCA) LID() uint16 { return h.lid }
+
+// Fabric returns the fabric this adapter is attached to.
+func (h *HCA) Fabric() *Fabric { return h.f }
+
+// Stats returns a snapshot of the adapter's counters.
+func (h *HCA) Stats() HCAStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// CreateQP creates a queue pair in the RESET state, charging the owner's
+// clock. sendCQ may be nil if the owner does not consume send completions
+// (e.g. a UD QP used only for datagram receive/transmit of control traffic);
+// recvCQ receives inbound messages once the QP reaches RTR.
+func (h *HCA) CreateQP(typ QPType, clk *vclock.Clock, sendCQ, recvCQ *CQ) *QP {
+	switch typ {
+	case UD:
+		clk.Advance(h.f.model.UDQPCreate)
+	case RC:
+		clk.Advance(h.f.model.RCQPCreate)
+	}
+	q := &QP{hca: h, typ: typ, clk: clk, sendCQ: sendCQ, recvCQ: recvCQ, state: StateReset}
+	h.mu.Lock()
+	h.qps = append(h.qps, q)
+	q.qpn = uint32(len(h.qps))
+	if typ == UD {
+		h.stats.QPsCreatedUD++
+	} else {
+		h.stats.QPsCreatedRC++
+	}
+	h.mu.Unlock()
+	return q
+}
+
+// RegisterMR registers (pins) buf with the adapter and returns the region.
+// The registration cost is charged on the buffer's declared size.
+func (h *HCA) RegisterMR(buf []byte, clk *vclock.Clock) *MR {
+	clk.Advance(h.f.model.MemRegTime(len(buf)))
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.mrs == nil {
+		h.mrs = make(map[uint32]*MR)
+	}
+	h.nextRK++
+	// Separate regions by a guard page in the fake virtual address space so
+	// out-of-bounds accesses cannot silently land in a neighbouring region.
+	h.nextVA += 0x1000
+	m := &MR{hca: h, base: h.nextVA, buf: buf, lkey: h.nextRK, rkey: h.nextRK | 0x80000000}
+	h.nextVA += uint64(len(buf))
+	if rem := h.nextVA % 0x1000; rem != 0 {
+		h.nextVA += 0x1000 - rem
+	}
+	h.mrs[m.rkey] = m
+	h.stats.MRsRegistered++
+	h.stats.BytesPinned += int64(len(buf))
+	return m
+}
+
+// DeregisterMR removes the region; later remote accesses fail with
+// StatusRemoteAccessErr.
+func (h *HCA) DeregisterMR(m *MR) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m.dead = true
+	delete(h.mrs, m.rkey)
+	h.stats.BytesPinned -= int64(len(m.buf))
+}
+
+// QP returns the queue pair with the given number, or nil.
+func (h *HCA) QP(qpn uint32) *QP {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.qpLocked(qpn)
+}
+
+func (h *HCA) qpLocked(qpn uint32) *QP {
+	if qpn == 0 || int(qpn) > len(h.qps) {
+		return nil
+	}
+	q := h.qps[qpn-1]
+	if q == nil || q.state == StateDestroyed {
+		return nil
+	}
+	return q
+}
+
+func (h *HCA) lookupMR(rkey uint32) *MR {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.mrs[rkey]
+}
+
+// cachePenalty returns the extra latency a message pays at this adapter when
+// the endpoint cache is oversubscribed by live RC connections.
+func (h *HCA) cachePenalty() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if int(h.stats.LiveRC) > h.f.model.HCACacheQPs {
+		h.stats.CacheMisses++
+		return h.f.model.HCACacheMissPenalty
+	}
+	return 0
+}
+
+func (h *HCA) countDelivery(bytes int) {
+	h.mu.Lock()
+	h.stats.MsgsDelivered++
+	h.stats.BytesDelivered += int64(bytes)
+	h.mu.Unlock()
+}

@@ -1,0 +1,176 @@
+package ib
+
+import (
+	"goshmem/internal/vclock"
+)
+
+// QP is a simulated queue pair. A QP is owned by one PE; its methods charge
+// that PE's virtual clock. The struct is kept small deliberately: static
+// connection mode materializes N queue pairs per process, and the memory
+// pressure of that fully connected model (the paper's section I, item 2) is
+// one of the phenomena under study.
+type QP struct {
+	hca     *HCA
+	clk     *vclock.Clock
+	sendCQ  *CQ
+	recvCQ  *CQ
+	qpn     uint32
+	remote  Dest
+	lastArr int64 // monotone arrival clamp for ordered RC delivery
+	typ     QPType
+	state   QPState
+}
+
+// QPN returns the queue-pair number.
+func (q *QP) QPN() uint32 { return q.qpn }
+
+// Type returns the transport type.
+func (q *QP) Type() QPType { return q.typ }
+
+// State returns the current state.
+func (q *QP) State() QPState {
+	q.hca.mu.Lock()
+	defer q.hca.mu.Unlock()
+	return q.state
+}
+
+// Addr returns the <lid,qpn> address peers use to reach this QP.
+func (q *QP) Addr() Dest { return Dest{LID: q.hca.lid, QPN: q.qpn} }
+
+// SetClock rebinds the clock charged for this QP's state transitions and
+// default-clocked posts. The conduit uses it when responsibility for a QP
+// moves between the application thread and the connection-manager thread.
+func (q *QP) SetClock(clk *vclock.Clock) {
+	q.hca.mu.Lock()
+	q.clk = clk
+	q.hca.mu.Unlock()
+}
+
+// Remote returns the connected peer address (RC only).
+func (q *QP) Remote() Dest { return q.remote }
+
+// ToInit transitions RESET -> INIT.
+func (q *QP) ToInit() error {
+	q.hca.mu.Lock()
+	defer q.hca.mu.Unlock()
+	if q.state != StateReset {
+		return ErrBadState
+	}
+	q.state = StateInit
+	q.clk.Advance(q.hca.f.model.QPTransition)
+	return nil
+}
+
+// ToRTR transitions INIT -> RTR. For RC the remote <lid,qpn> must be given
+// (obtained out-of-band, e.g. via PMI or the UD connect handshake); for UD
+// remote is ignored.
+func (q *QP) ToRTR(remote Dest) error {
+	q.hca.mu.Lock()
+	defer q.hca.mu.Unlock()
+	if q.state != StateInit {
+		return ErrBadState
+	}
+	if q.typ == RC {
+		if remote.LID == 0 || remote.QPN == 0 {
+			return ErrNotConnected
+		}
+		q.remote = remote
+	}
+	q.state = StateRTR
+	q.clk.Advance(q.hca.f.model.QPTransition)
+	return nil
+}
+
+// ToRTS transitions RTR -> RTS.
+func (q *QP) ToRTS() error {
+	q.hca.mu.Lock()
+	defer q.hca.mu.Unlock()
+	if q.state != StateRTR {
+		return ErrBadState
+	}
+	q.state = StateRTS
+	q.clk.Advance(q.hca.f.model.QPTransition)
+	if q.typ == RC {
+		q.hca.stats.RCEstablished++
+		q.hca.stats.LiveRC++
+	}
+	return nil
+}
+
+// Destroy tears the QP down and releases its adapter resources.
+func (q *QP) Destroy() {
+	q.hca.mu.Lock()
+	defer q.hca.mu.Unlock()
+	if q.state == StateDestroyed {
+		return
+	}
+	if q.typ == RC && q.state == StateRTS {
+		q.hca.stats.LiveRC--
+	}
+	q.state = StateDestroyed
+	if int(q.qpn) <= len(q.hca.qps) {
+		q.hca.qps[q.qpn-1] = nil
+	}
+}
+
+// SendWR is a send-side work request.
+type SendWR struct {
+	// Op selects the operation.
+	Op Opcode
+	// WRID is echoed in the send completion.
+	WRID uint64
+	// Dest addresses the target for UD sends; RC uses the connected remote.
+	Dest Dest
+	// Data is the send payload or RDMA-write source.
+	Data []byte
+	// Imm is an immediate value delivered with OpSend.
+	Imm uint32
+	// RemoteAddr and RKey name remote memory for RDMA/atomic operations.
+	RemoteAddr uint64
+	RKey       uint32
+	// Len is the RDMA-read length.
+	Len int
+	// Add, Compare and Swap are the atomic operands.
+	Add     uint64
+	Compare uint64
+	Swap    uint64
+	// NoSendCompletion suppresses the send-side completion (unsignaled WR).
+	NoSendCompletion bool
+	// Clk, when non-nil, overrides the QP owner's clock for charging this
+	// work request. The conduit's connection-manager thread uses it so that
+	// protocol processing does not inflate the application thread's time
+	// (the paper's Figure 4 runs the handshake on a separate thread).
+	Clk *vclock.Clock
+}
+
+// PostSend validates and executes a work request. Local faults (bad state,
+// MTU) are returned synchronously; remote faults (bad rkey, bounds) are
+// reported asynchronously through the send CQ with an error status, matching
+// verbs semantics.
+func (q *QP) PostSend(wr SendWR) error {
+	q.hca.mu.Lock()
+	st := q.state
+	q.hca.mu.Unlock()
+	if st != StateRTS {
+		return ErrBadState
+	}
+	switch q.typ {
+	case UD:
+		if wr.Op != OpSend {
+			return ErrOpUnsupported
+		}
+		if len(wr.Data) > UDMTU {
+			return ErrMTUExceeded
+		}
+		if wr.Dest.LID == 0 {
+			return ErrBadLID
+		}
+		return q.hca.f.sendUD(q, wr)
+	case RC:
+		if q.remote.LID == 0 {
+			return ErrNotConnected
+		}
+		return q.hca.f.sendRC(q, wr)
+	}
+	return ErrOpUnsupported
+}

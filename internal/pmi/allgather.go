@@ -1,0 +1,129 @@
+package pmi
+
+import "sync"
+
+// AllgatherOp is an outstanding PMIX_Iallgather. The initiating call returns
+// immediately after charging only the launch cost; the exchange completes in
+// background virtual time, so a PE that performs enough independent work
+// (memory registration, segment setup, application compute) before calling
+// Wait observes no additional critical-path cost — the overlap effect the
+// paper exploits in section IV-D.
+type AllgatherOp struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	vals   []string
+	got    int
+	maxT   int64 // max contribution virtual time
+	bytes  int
+	cost   int64 // filled when complete
+	doneAt int64
+	done   bool
+}
+
+// IAllgather contributes this process's value to the job-wide allgather and
+// returns the operation handle without blocking. Successive calls by the
+// same set of processes form successive rounds; all processes must call the
+// same sequence of rounds.
+func (c *Client) IAllgather(value string) *AllgatherOp {
+	c.clk.Advance(c.s.model.PMINonBlockingLaunch)
+	c.s.mu.Lock()
+	seq := c.agSeq
+	c.agSeq++
+	op := c.s.ag[seq]
+	if op == nil {
+		op = &AllgatherOp{n: c.s.n, vals: make([]string, c.s.n)}
+		op.cond = sync.NewCond(&op.mu)
+		c.s.ag[seq] = op
+	}
+	c.s.mu.Unlock()
+
+	op.mu.Lock()
+	op.vals[c.rank] = value
+	op.got++
+	op.bytes += len(value)
+	if t := c.clk.Now(); t > op.maxT {
+		op.maxT = t
+	}
+	if op.got == op.n {
+		// The exchange "runs" from the last contribution; its background
+		// completion time models the PM's symmetric distribution.
+		perProc := op.bytes / op.n
+		op.doneAt = op.maxT + c.s.model.AllgatherCost(op.n, perProc)
+		op.done = true
+		op.cond.Broadcast()
+	}
+	op.mu.Unlock()
+	return op
+}
+
+// Wait blocks until the allgather has completed (PMIX_Wait), advances the
+// caller's clock to the completion time, and returns the gathered values
+// indexed by rank. Wait may be called by every participant.
+func (op *AllgatherOp) Wait(c *Client) []string {
+	op.mu.Lock()
+	for !op.done {
+		op.cond.Wait()
+	}
+	vals, doneAt := op.vals, op.doneAt
+	op.mu.Unlock()
+	c.clk.AdvanceTo(doneAt)
+	return vals
+}
+
+// Done reports (without blocking) whether the exchange has completed in
+// real execution; it does not advance the clock.
+func (op *AllgatherOp) Done() bool {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	return op.done
+}
+
+// ringOp collects the n ring contributions.
+type ringOp struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+	vals []string
+	got  int
+	maxT int64
+	done bool
+}
+
+// Ring performs the PMIX_Ring exchange: it blocks until all processes have
+// contributed and returns only the left and right neighbours' values
+// ((rank-1+n)%n and (rank+1)%n). Its cost is constant per process plus one
+// tree hop, independent of N — the scalable startup primitive from the
+// authors' EuroMPI'14 paper, included for completeness.
+func (c *Client) Ring(value string) (left, right string) {
+	c.s.mu.Lock()
+	seq := c.ringSeq
+	c.ringSeq++
+	op := c.s.ring[seq]
+	if op == nil {
+		op = &ringOp{n: c.s.n, vals: make([]string, c.s.n)}
+		op.cond = sync.NewCond(&op.mu)
+		c.s.ring[seq] = op
+	}
+	c.s.mu.Unlock()
+
+	op.mu.Lock()
+	op.vals[c.rank] = value
+	op.got++
+	if t := c.clk.Now(); t > op.maxT {
+		op.maxT = t
+	}
+	if op.got == op.n {
+		op.done = true
+		op.cond.Broadcast()
+	}
+	for !op.done {
+		op.cond.Wait()
+	}
+	l := op.vals[(c.rank-1+op.n)%op.n]
+	r := op.vals[(c.rank+1)%op.n]
+	release := op.maxT + c.s.model.PMIFenceHop + c.s.model.PMIPut
+	op.mu.Unlock()
+	c.clk.AdvanceTo(release)
+	return l, r
+}

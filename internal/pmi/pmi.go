@@ -1,0 +1,122 @@
+// Package pmi simulates the Process Management Interface: the out-of-band
+// (TCP, through the job launcher) channel HPC middlewares use to bootstrap
+// in-band communication. It provides the PMI2 core operations — a global
+// key-value store with Put/Get and a synchronizing Fence — plus the
+// extensions the paper builds on:
+//
+//   - PMIX_Iallgather: a non-blocking allgather that fuses the common
+//     Put-Fence-Get sequence into one symmetric exchange (Chakraborty et al.,
+//     EuroMPI'14 / CCGrid'15);
+//   - PMIX_Wait (AllgatherOp.Wait here): completion of outstanding
+//     non-blocking operations;
+//   - PMIX_Ring: exchanges values with the left/right neighbours only.
+//
+// The server is an in-process object; costs are charged in virtual time from
+// the shared CostModel, with the cost of blocking operations paid on the
+// calling PE's critical path while non-blocking operations complete in
+// background virtual time and can be overlapped with other work.
+package pmi
+
+import (
+	"fmt"
+	"sync"
+
+	"goshmem/internal/vclock"
+)
+
+// Server is the process manager's PMI endpoint for one job.
+type Server struct {
+	n     int
+	model *vclock.CostModel
+
+	mu    sync.Mutex
+	kvs   map[string]string
+	bytes int // total bytes Put since the last fence epoch; sizes fence cost
+
+	fence *vclock.VBarrier
+
+	ag     map[int]*AllgatherOp // allgather round -> op
+	ring   map[int]*ringOp
+	closed bool
+}
+
+// NewServer creates a PMI server for a job of n processes.
+func NewServer(n int, model *vclock.CostModel) *Server {
+	if model == nil {
+		model = vclock.Default()
+	}
+	return &Server{
+		n:     n,
+		model: model,
+		kvs:   make(map[string]string),
+		fence: vclock.NewVBarrier(n),
+		ag:    make(map[int]*AllgatherOp),
+		ring:  make(map[int]*ringOp),
+	}
+}
+
+// NProcs returns the job size.
+func (s *Server) NProcs() int { return s.n }
+
+// Client returns the PMI client handle for the given rank. clk is the PE's
+// virtual clock; all blocking PMI costs are charged to it.
+func (s *Server) Client(rank int, clk *vclock.Clock) *Client {
+	if rank < 0 || rank >= s.n {
+		panic(fmt.Sprintf("pmi: rank %d out of range [0,%d)", rank, s.n))
+	}
+	return &Client{s: s, rank: rank, clk: clk}
+}
+
+// Client is one process's connection to the PMI server.
+type Client struct {
+	s       *Server
+	rank    int
+	clk     *vclock.Clock
+	agSeq   int
+	ringSeq int
+}
+
+// Rank returns the client's process rank.
+func (c *Client) Rank() int { return c.rank }
+
+// Put publishes a key-value pair. Visibility to other processes is only
+// guaranteed after a Fence (PMI2 semantics).
+func (c *Client) Put(key, value string) {
+	c.clk.Advance(c.s.model.PMIPut)
+	c.s.mu.Lock()
+	c.s.kvs[key] = value
+	c.s.bytes += len(key) + len(value)
+	c.s.mu.Unlock()
+}
+
+// Get retrieves a value from the global KVS.
+func (c *Client) Get(key string) (string, bool) {
+	c.clk.Advance(c.s.model.PMIGet)
+	c.s.mu.Lock()
+	v, ok := c.s.kvs[key]
+	c.s.mu.Unlock()
+	return v, ok
+}
+
+// Fence is the blocking synchronizing collective: it blocks until every
+// process in the job has called it, and all Puts before the Fence are
+// visible to all Gets after it. Its virtual cost models the process
+// manager's tree-based all-to-all KVS distribution and grows with both the
+// job size and the amount of data published this epoch — the scalability
+// problem the paper's Figure 1 attributes to "PMI Exchange".
+func (c *Client) Fence() {
+	c.s.mu.Lock()
+	perProc := 0
+	if c.s.n > 0 {
+		perProc = c.s.bytes / c.s.n
+	}
+	c.s.mu.Unlock()
+	cost := c.s.model.FenceCost(c.s.n, perProc)
+	c.s.fence.Wait(c.clk, cost)
+	c.s.mu.Lock()
+	c.s.bytes = 0
+	c.s.mu.Unlock()
+}
+
+// KeyFor builds the conventional per-rank KVS key.
+func KeyFor(prefix string, rank int) string { return fmt.Sprintf("%s-%d", prefix, rank) }

@@ -1,0 +1,389 @@
+package shmem
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// collState sequences collective operations. OpenSHMEM requires the PEs of
+// an active set to call that set's collectives in the same order, so a
+// per-PE monotone sequence number *per set context* identifies the
+// operation (this mirrors the specification's per-collective pSync arrays:
+// disjoint active sets progress independently); (ctx, seq, round, src)
+// identifies one fragment.
+type collState struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	seqs  map[uint64]uint64
+	inbox map[collKey]collMsg
+}
+
+type collKey struct {
+	ctx   uint64
+	seq   uint64
+	round uint32
+	src   int32
+}
+
+// worldCtx is the context id of the whole-job active set.
+const worldCtx = 0
+
+// ctxID derives a context id from the active-set triple (job-unique since
+// start < 2^20, logstride < 2^6, size < 2^20 in any realistic job). The
+// world set {0,0,n} must not collide with worldCtx used by BarrierAll and
+// friends, so world-shaped sets map to worldCtx.
+func (as ActiveSet) ctxID(n int) uint64 {
+	if as.Start == 0 && as.LogStride == 0 && as.Size == n {
+		return worldCtx
+	}
+	return 1 + uint64(as.Start)<<26 | uint64(as.LogStride)<<20 | uint64(as.Size)
+}
+
+type collMsg struct {
+	data []byte
+	at   int64
+}
+
+func newCollState() *collState {
+	s := &collState{inbox: make(map[collKey]collMsg), seqs: make(map[uint64]uint64)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// handle is the amColl active-message handler.
+func (s *collState) handle(src int, args [4]uint64, payload []byte, at int64) {
+	s.mu.Lock()
+	s.inbox[collKey{ctx: args[0], seq: args[1], round: uint32(args[2]), src: int32(src)}] =
+		collMsg{data: append([]byte(nil), payload...), at: at}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *collState) next(ctx uint64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seqs[ctx]++
+	return s.seqs[ctx]
+}
+
+// recv blocks for one fragment and removes it from the inbox.
+func (s *collState) recv(ctx, seq uint64, round uint32, src int) collMsg {
+	k := collKey{ctx: ctx, seq: seq, round: round, src: int32(src)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if m, ok := s.inbox[k]; ok {
+			delete(s.inbox, k)
+			return m
+		}
+		s.cond.Wait()
+	}
+}
+
+func (c *Ctx) collSendCtx(ctx uint64, to int, seq uint64, round uint32, data []byte) {
+	if err := c.conduit.AMRequest(to, amColl, [4]uint64{ctx, seq, uint64(round)}, data); err != nil {
+		panic("shmem: collective send: " + err.Error())
+	}
+}
+
+func (c *Ctx) collRecvCtx(ctx uint64, seq uint64, round uint32, from int) []byte {
+	m := c.coll.recv(ctx, seq, round, from)
+	c.clk.AdvanceTo(m.at)
+	return m.data
+}
+
+// World-context conveniences used by the whole-job collectives.
+func (c *Ctx) collSend(to int, seq uint64, round uint32, data []byte) {
+	c.collSendCtx(worldCtx, to, seq, round, data)
+}
+
+func (c *Ctx) collRecv(seq uint64, round uint32, from int) []byte {
+	return c.collRecvCtx(worldCtx, seq, round, from)
+}
+
+// BarrierAll is shmem_barrier_all: it completes outstanding puts (quiet) and
+// synchronizes all PEs with a dissemination barrier (ceil(log2 N) rounds,
+// each PE talking to peers at distance 2^k — which is exactly why global
+// barriers during init force O(log P) connections, paper section IV-E).
+func (c *Ctx) BarrierAll() {
+	c.Quiet()
+	if c.n == 1 {
+		return
+	}
+	seq := c.coll.next(worldCtx)
+	for k, dist := uint32(0), 1; dist < c.n; k, dist = k+1, dist*2 {
+		to := (c.rank + dist) % c.n
+		from := (c.rank - dist%c.n + c.n) % c.n
+		c.collSend(to, seq, k, nil)
+		c.collRecv(seq, k, from)
+	}
+}
+
+// BroadcastBytes distributes root's data to all PEs over a binomial tree and
+// returns it (root's own buffer is returned on the root).
+func (c *Ctx) BroadcastBytes(root int, data []byte) []byte {
+	if c.n == 1 {
+		return data
+	}
+	seq := c.coll.next(worldCtx)
+	relative := (c.rank - root + c.n) % c.n
+	buf := data
+	mask := 1
+	for mask < c.n {
+		if relative&mask != 0 {
+			parent := (relative - mask + root) % c.n
+			buf = c.collRecv(seq, 0, parent)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if relative+mask < c.n {
+			dst := (relative + mask + root) % c.n
+			c.collSend(dst, seq, 0, buf)
+		}
+		mask >>= 1
+	}
+	return buf
+}
+
+// reduceBytes performs an allreduce on opaque fixed-size values: binomial
+// reduction to rank 0, then binomial broadcast — the "sparse" collective of
+// the paper's Figure 7(b): each PE exchanges with at most 2*ceil(log2 N)
+// distinct peers.
+func (c *Ctx) reduceBytes(local []byte, combine func(acc, in []byte)) []byte {
+	acc := append([]byte(nil), local...)
+	if c.n > 1 {
+		seq := c.coll.next(worldCtx)
+		for mask := 1; mask < c.n; mask <<= 1 {
+			if c.rank&mask == 0 {
+				src := c.rank | mask
+				if src < c.n {
+					in := c.collRecv(seq, uint32(0), src)
+					combine(acc, in)
+				}
+			} else {
+				dst := c.rank &^ mask
+				c.collSend(dst, seq, 0, acc)
+				break
+			}
+		}
+	}
+	return c.BroadcastBytes(0, acc)
+}
+
+// FCollectBytes is shmem_fcollect: every PE contributes the same number of
+// bytes; all PEs receive the concatenation ordered by rank. It uses Bruck's
+// allgather (ceil(log2 N) rounds, doubling blocks) — the "dense" collective
+// of the paper's Figure 7(a): total data gathered is N times the
+// contribution.
+func (c *Ctx) FCollectBytes(contrib []byte) []byte {
+	size := len(contrib)
+	out := make([]byte, c.n*size)
+	copy(out, contrib)
+	if c.n == 1 {
+		return out
+	}
+	seq := c.coll.next(worldCtx)
+	have := 1
+	round := uint32(0)
+	for have < c.n {
+		cnt := have
+		if c.n-have < cnt {
+			cnt = c.n - have
+		}
+		dst := (c.rank - have + c.n) % c.n
+		src := (c.rank + have) % c.n
+		c.collSend(dst, seq, round, out[:cnt*size])
+		in := c.collRecv(seq, round, src)
+		copy(out[have*size:], in)
+		have += cnt
+		round++
+	}
+	// Bruck leaves block j holding rank (rank+j)%N; rotate into rank order.
+	final := make([]byte, c.n*size)
+	for j := 0; j < c.n; j++ {
+		owner := (c.rank + j) % c.n
+		copy(final[owner*size:(owner+1)*size], out[j*size:(j+1)*size])
+	}
+	return final
+}
+
+// CollectBytes is shmem_collect: contributions may differ in length. Sizes
+// are allgathered first, then data is gathered to rank 0 and broadcast.
+func (c *Ctx) CollectBytes(contrib []byte) []byte {
+	sizes := c.FCollectInt64([]int64{int64(len(contrib))})
+	total := 0
+	myOff := 0
+	for r, s := range sizes {
+		if r < c.rank {
+			myOff += int(s)
+		}
+		total += int(s)
+	}
+	seq := c.coll.next(worldCtx)
+	// Binomial gather to rank 0 of (offset, data) fragments.
+	type frag struct {
+		off  int
+		data []byte
+	}
+	frags := []frag{{myOff, contrib}}
+	for mask := 1; mask < c.n; mask <<= 1 {
+		if c.rank&mask == 0 {
+			src := c.rank | mask
+			if src < c.n {
+				in := c.collRecv(seq, 0, src)
+				for len(in) > 0 {
+					off := int(binary.LittleEndian.Uint64(in))
+					n := int(binary.LittleEndian.Uint64(in[8:]))
+					frags = append(frags, frag{off, in[16 : 16+n]})
+					in = in[16+n:]
+				}
+			}
+		} else {
+			buf := make([]byte, 0, 16+len(contrib))
+			for _, f := range frags {
+				var hdr [16]byte
+				binary.LittleEndian.PutUint64(hdr[:], uint64(f.off))
+				binary.LittleEndian.PutUint64(hdr[8:], uint64(len(f.data)))
+				buf = append(buf, hdr[:]...)
+				buf = append(buf, f.data...)
+			}
+			c.collSend(c.rank&^mask, seq, 0, buf)
+			break
+		}
+	}
+	var out []byte
+	if c.rank == 0 {
+		out = make([]byte, total)
+		for _, f := range frags {
+			copy(out[f.off:], f.data)
+		}
+	}
+	return c.BroadcastBytes(0, out)
+}
+
+// ReduceOp names the reduction operators of shmem_*_to_all.
+type ReduceOp uint8
+
+const (
+	OpSum ReduceOp = iota
+	OpProd
+	OpMin
+	OpMax
+	OpAnd
+	OpOr
+	OpXor
+)
+
+// ReduceInt64 performs an element-wise allreduce over int64 vectors
+// (shmem_long_<op>_to_all with the result available on every PE).
+func (c *Ctx) ReduceInt64(op ReduceOp, local []int64) []int64 {
+	buf := make([]byte, 8*len(local))
+	for i, v := range local {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	res := c.reduceBytes(buf, func(acc, in []byte) {
+		for i := 0; i < len(acc); i += 8 {
+			a := int64(binary.LittleEndian.Uint64(acc[i:]))
+			b := int64(binary.LittleEndian.Uint64(in[i:]))
+			binary.LittleEndian.PutUint64(acc[i:], uint64(combineInt64(op, a, b)))
+		}
+	})
+	out := make([]int64, len(local))
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(res[8*i:]))
+	}
+	return out
+}
+
+// ReduceFloat64 performs an element-wise allreduce over float64 vectors.
+// Bitwise operators are invalid for floating point.
+func (c *Ctx) ReduceFloat64(op ReduceOp, local []float64) []float64 {
+	buf := make([]byte, 8*len(local))
+	for i, v := range local {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	res := c.reduceBytes(buf, func(acc, in []byte) {
+		for i := 0; i < len(acc); i += 8 {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(acc[i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(in[i:]))
+			binary.LittleEndian.PutUint64(acc[i:], math.Float64bits(combineFloat64(op, a, b)))
+		}
+	})
+	out := make([]float64, len(local))
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(res[8*i:]))
+	}
+	return out
+}
+
+// FCollectFloat64 allgathers equal-length float64 vectors, ordered by rank.
+func (c *Ctx) FCollectFloat64(contrib []float64) []float64 {
+	buf := make([]byte, 8*len(contrib))
+	for i, v := range contrib {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	res := c.FCollectBytes(buf)
+	out := make([]float64, c.n*len(contrib))
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(res[8*i:]))
+	}
+	return out
+}
+
+// FCollectInt64 allgathers equal-length int64 vectors, ordered by rank.
+func (c *Ctx) FCollectInt64(contrib []int64) []int64 {
+	buf := make([]byte, 8*len(contrib))
+	for i, v := range contrib {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	res := c.FCollectBytes(buf)
+	out := make([]int64, c.n*len(contrib))
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(res[8*i:]))
+	}
+	return out
+}
+
+func combineInt64(op ReduceOp, a, b int64) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	}
+	panic("shmem: unknown reduce op")
+}
+
+func combineFloat64(op ReduceOp, a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMin:
+		return math.Min(a, b)
+	case OpMax:
+		return math.Max(a, b)
+	}
+	panic("shmem: reduce op invalid for float64")
+}

@@ -1,0 +1,190 @@
+package shmem
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Generic typed layer. OpenSHMEM defines its RMA/collective surface per C
+// type (short, int, long, long long, float, double); Go generics express
+// the same families once. The element wire format is little-endian, matching
+// the simulated fabric's atomics.
+
+// Element is the constraint covering the OpenSHMEM element types.
+type Element interface {
+	~int32 | ~int64 | ~uint32 | ~uint64 | ~float32 | ~float64
+}
+
+func elemSize[T Element]() int {
+	var z T
+	switch any(z).(type) {
+	case int32, uint32, float32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+func encodeElem[T Element](b []byte, v T) {
+	switch x := any(v).(type) {
+	case int32:
+		binary.LittleEndian.PutUint32(b, uint32(x))
+	case uint32:
+		binary.LittleEndian.PutUint32(b, x)
+	case float32:
+		binary.LittleEndian.PutUint32(b, math.Float32bits(x))
+	case int64:
+		binary.LittleEndian.PutUint64(b, uint64(x))
+	case uint64:
+		binary.LittleEndian.PutUint64(b, x)
+	case float64:
+		binary.LittleEndian.PutUint64(b, math.Float64bits(x))
+	}
+}
+
+func decodeElem[T Element](b []byte) T {
+	var z T
+	switch any(z).(type) {
+	case int32:
+		return any(int32(binary.LittleEndian.Uint32(b))).(T)
+	case uint32:
+		return any(binary.LittleEndian.Uint32(b)).(T)
+	case float32:
+		return any(math.Float32frombits(binary.LittleEndian.Uint32(b))).(T)
+	case int64:
+		return any(int64(binary.LittleEndian.Uint64(b))).(T)
+	case uint64:
+		return any(binary.LittleEndian.Uint64(b)).(T)
+	default:
+		return any(math.Float64frombits(binary.LittleEndian.Uint64(b))).(T)
+	}
+}
+
+func encodeSlice[T Element](src []T) []byte {
+	sz := elemSize[T]()
+	b := make([]byte, sz*len(src))
+	for i, v := range src {
+		encodeElem(b[sz*i:], v)
+	}
+	return b
+}
+
+func decodeSlice[T Element](b []byte, n int) []T {
+	sz := elemSize[T]()
+	out := make([]T, n)
+	for i := range out {
+		out[i] = decodeElem[T](b[sz*i:])
+	}
+	return out
+}
+
+// Put writes a typed vector into dest at pe (the shmem_TYPE_put family).
+func Put[T Element](c *Ctx, dest SymAddr, src []T, pe int) {
+	c.PutMem(dest, encodeSlice(src), pe)
+}
+
+// Get reads n typed elements from src at pe (the shmem_TYPE_get family).
+func Get[T Element](c *Ctx, src SymAddr, n, pe int) []T {
+	buf := make([]byte, elemSize[T]()*n)
+	c.GetMem(buf, src, pe)
+	return decodeSlice[T](buf, n)
+}
+
+// P writes one element (shmem_TYPE_p).
+func P[T Element](c *Ctx, dest SymAddr, v T, pe int) {
+	Put(c, dest, []T{v}, pe)
+}
+
+// G reads one element (shmem_TYPE_g).
+func G[T Element](c *Ctx, src SymAddr, pe int) T {
+	return Get[T](c, src, 1, pe)[0]
+}
+
+// Reduce performs a typed allreduce (the shmem_TYPE_OP_to_all family).
+// Bitwise operators are rejected for floating-point element types, like the
+// specification.
+func Reduce[T Element](c *Ctx, op ReduceOp, local []T) []T {
+	isFloat := false
+	var z T
+	switch any(z).(type) {
+	case float32, float64:
+		isFloat = true
+	}
+	if isFloat && (op == OpAnd || op == OpOr || op == OpXor) {
+		panic("shmem: bitwise reduction invalid for floating-point types")
+	}
+	sz := elemSize[T]()
+	res := c.reduceBytes(encodeSlice(local), func(acc, in []byte) {
+		for i := 0; i+sz <= len(acc); i += sz {
+			a := decodeElem[T](acc[i:])
+			b := decodeElem[T](in[i:])
+			encodeElem(acc[i:], combineElem(op, a, b))
+		}
+	})
+	return decodeSlice[T](res, len(local))
+}
+
+// FCollect gathers equal-length typed vectors from all PEs, rank-ordered
+// (the shmem_fcollect family).
+func FCollect[T Element](c *Ctx, contrib []T) []T {
+	res := c.FCollectBytes(encodeSlice(contrib))
+	return decodeSlice[T](res, c.n*len(contrib))
+}
+
+// Broadcast distributes root's typed vector to all PEs (shmem_broadcast).
+func Broadcast[T Element](c *Ctx, root int, data []T) []T {
+	var buf []byte
+	if c.rank == root {
+		buf = encodeSlice(data)
+	}
+	out := c.BroadcastBytes(root, buf)
+	return decodeSlice[T](out, len(out)/elemSize[T]())
+}
+
+func combineElem[T Element](op ReduceOp, a, b T) T {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpProd:
+		return a * b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	}
+	// Bitwise ops: only integer instantiations reach here.
+	return bitwiseGeneric(op, a, b)
+}
+
+// bitwiseGeneric dispatches the integer bitwise operators.
+func bitwiseGeneric[T Element](op ReduceOp, a, b T) T {
+	switch x := any(a).(type) {
+	case int32:
+		return any(int32(bitwiseInt64(op, int64(x), int64(any(b).(int32))))).(T)
+	case uint32:
+		return any(uint32(bitwiseInt64(op, int64(x), int64(any(b).(uint32))))).(T)
+	case int64:
+		return any(bitwiseInt64(op, x, any(b).(int64))).(T)
+	case uint64:
+		return any(uint64(bitwiseInt64(op, int64(x), int64(any(b).(uint64))))).(T)
+	}
+	panic("shmem: bitwise reduction on non-integer type")
+}
+
+func bitwiseInt64(op ReduceOp, a, b int64) int64 {
+	switch op {
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	}
+	panic("shmem: unknown reduce op")
+}

@@ -1,0 +1,144 @@
+package shmem_test
+
+import (
+	"math"
+	"testing"
+
+	"goshmem/internal/cluster"
+	"goshmem/internal/gasnet"
+	"goshmem/internal/shmem"
+)
+
+func TestGenericPutGetAllTypes(t *testing.T) {
+	run(t, cluster.Config{NP: 2, Mode: gasnet.OnDemand}, func(c *shmem.Ctx) {
+		a := c.Malloc(256)
+		if c.Me() == 0 {
+			shmem.Put(c, a, []int32{-7, 1 << 30}, 1)
+			shmem.Put(c, a+16, []uint32{0xDEADBEEF}, 1)
+			shmem.Put(c, a+24, []int64{-1 << 60}, 1)
+			shmem.Put(c, a+32, []uint64{1 << 63}, 1)
+			shmem.Put(c, a+40, []float32{3.5}, 1)
+			shmem.Put(c, a+48, []float64{-2.25e100}, 1)
+			c.Quiet()
+		}
+		c.BarrierAll()
+		if c.Me() == 0 {
+			if got := shmem.Get[int32](c, a, 2, 1); got[0] != -7 || got[1] != 1<<30 {
+				t.Errorf("int32 = %v", got)
+			}
+			if got := shmem.G[uint32](c, a+16, 1); got != 0xDEADBEEF {
+				t.Errorf("uint32 = %x", got)
+			}
+			if got := shmem.G[int64](c, a+24, 1); got != -1<<60 {
+				t.Errorf("int64 = %v", got)
+			}
+			if got := shmem.G[uint64](c, a+32, 1); got != 1<<63 {
+				t.Errorf("uint64 = %v", got)
+			}
+			if got := shmem.G[float32](c, a+40, 1); got != 3.5 {
+				t.Errorf("float32 = %v", got)
+			}
+			if got := shmem.G[float64](c, a+48, 1); got != -2.25e100 {
+				t.Errorf("float64 = %v", got)
+			}
+		}
+		c.BarrierAll()
+	})
+}
+
+func TestGenericReduceInt32(t *testing.T) {
+	const n = 6
+	run(t, cluster.Config{NP: n, Mode: gasnet.OnDemand}, func(c *shmem.Ctx) {
+		r := int32(c.Me())
+		sum := shmem.Reduce(c, shmem.OpSum, []int32{r, 1})
+		if sum[0] != n*(n-1)/2 || sum[1] != n {
+			t.Errorf("sum = %v", sum)
+		}
+		anded := shmem.Reduce(c, shmem.OpAnd, []int32{^r})
+		want := int32(-1)
+		for i := int32(0); i < n; i++ {
+			want &= ^i
+		}
+		if anded[0] != want {
+			t.Errorf("and = %v, want %v", anded[0], want)
+		}
+		ored := shmem.Reduce(c, shmem.OpOr, []int32{1 << r})
+		if ored[0] != (1<<n)-1 {
+			t.Errorf("or = %v", ored[0])
+		}
+	})
+}
+
+func TestGenericReduceFloat32(t *testing.T) {
+	const n = 4
+	run(t, cluster.Config{NP: n, Mode: gasnet.OnDemand}, func(c *shmem.Ctx) {
+		v := float32(c.Me()) + 0.25
+		max := shmem.Reduce(c, shmem.OpMax, []float32{v})
+		if max[0] != float32(n-1)+0.25 {
+			t.Errorf("max = %v", max[0])
+		}
+		prod := shmem.Reduce(c, shmem.OpProd, []float32{2})
+		if prod[0] != float32(math.Pow(2, n)) {
+			t.Errorf("prod = %v", prod[0])
+		}
+	})
+}
+
+func TestGenericReduceRejectsBitwiseFloat(t *testing.T) {
+	run(t, cluster.Config{NP: 1, PPN: 1, Mode: gasnet.OnDemand}, func(c *shmem.Ctx) {
+		defer func() {
+			if recover() == nil {
+				t.Error("bitwise float reduce should panic")
+			}
+		}()
+		shmem.Reduce(c, shmem.OpXor, []float64{1})
+	})
+}
+
+func TestGenericFCollectUint64(t *testing.T) {
+	const n = 5
+	run(t, cluster.Config{NP: n, Mode: gasnet.OnDemand}, func(c *shmem.Ctx) {
+		got := shmem.FCollect(c, []uint64{uint64(c.Me()) << 32})
+		for r := 0; r < n; r++ {
+			if got[r] != uint64(r)<<32 {
+				t.Errorf("got[%d] = %x", r, got[r])
+			}
+		}
+	})
+}
+
+func TestGenericBroadcastFloat64(t *testing.T) {
+	const n = 7
+	run(t, cluster.Config{NP: n, Mode: gasnet.OnDemand}, func(c *shmem.Ctx) {
+		var in []float64
+		if c.Me() == 3 {
+			in = []float64{1.5, -2.5, 1e300}
+		}
+		got := shmem.Broadcast(c, 3, in)
+		if len(got) != 3 || got[0] != 1.5 || got[1] != -2.5 || got[2] != 1e300 {
+			t.Errorf("broadcast = %v", got)
+		}
+	})
+}
+
+func TestGenericInt32VectorRoundtrip(t *testing.T) {
+	const n = 3
+	run(t, cluster.Config{NP: n, Mode: gasnet.OnDemand}, func(c *shmem.Ctx) {
+		a := c.Malloc(4 * 64)
+		vals := make([]int32, 64)
+		for i := range vals {
+			vals[i] = int32(c.Me()*1000 + i)
+		}
+		shmem.Put(c, a, vals, (c.Me()+1)%n)
+		c.BarrierAll()
+		left := (c.Me() - 1 + n) % n
+		got := shmem.Get[int32](c, a, 64, c.Me())
+		for i := range got {
+			if got[i] != int32(left*1000+i) {
+				t.Errorf("elem %d = %d", i, got[i])
+				return
+			}
+		}
+		c.BarrierAll()
+	})
+}

@@ -1,0 +1,97 @@
+package shmem
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SymAddr is a symmetric address: a byte offset into the symmetric heap.
+// Because every PE performs the same allocation sequence (OpenSHMEM requires
+// symmetric allocation to be collective), the same SymAddr names the
+// corresponding object on every PE.
+type SymAddr uint64
+
+// heap is the symmetric-heap allocator: deterministic first-fit with
+// coalescing free list, 8-byte alignment. Determinism is what makes the
+// "same offset on every PE" property hold, so the allocator takes no input
+// other than the call sequence.
+type heap struct {
+	mu   sync.Mutex
+	size uint64
+	free []span // sorted by offset, non-adjacent
+	used map[uint64]uint64
+}
+
+type span struct{ off, len uint64 }
+
+const heapAlign = 8
+
+func newHeap(size int) *heap {
+	h := &heap{size: uint64(size), used: make(map[uint64]uint64)}
+	h.free = []span{{0, uint64(size)}}
+	return h
+}
+
+// alloc reserves n bytes and returns the symmetric offset.
+func (h *heap) alloc(n int) (SymAddr, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("shmem: allocation size %d must be positive", n)
+	}
+	need := (uint64(n) + heapAlign - 1) &^ uint64(heapAlign-1)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, s := range h.free {
+		if s.len >= need {
+			off := s.off
+			if s.len == need {
+				h.free = append(h.free[:i], h.free[i+1:]...)
+			} else {
+				h.free[i] = span{s.off + need, s.len - need}
+			}
+			h.used[off] = need
+			return SymAddr(off), nil
+		}
+	}
+	return 0, fmt.Errorf("shmem: symmetric heap exhausted allocating %d bytes", n)
+}
+
+// dealloc releases a previously allocated block, coalescing neighbours.
+func (h *heap) dealloc(a SymAddr) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n, ok := h.used[uint64(a)]
+	if !ok {
+		return fmt.Errorf("shmem: free of unallocated symmetric address %#x", uint64(a))
+	}
+	delete(h.used, uint64(a))
+	s := span{uint64(a), n}
+	i := sort.Search(len(h.free), func(i int) bool { return h.free[i].off > s.off })
+	h.free = append(h.free, span{})
+	copy(h.free[i+1:], h.free[i:])
+	h.free[i] = s
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(h.free) && h.free[i].off+h.free[i].len == h.free[i+1].off {
+		h.free[i].len += h.free[i+1].len
+		h.free = append(h.free[:i+1], h.free[i+2:]...)
+	}
+	if i > 0 && h.free[i-1].off+h.free[i-1].len == h.free[i].off {
+		h.free[i-1].len += h.free[i].len
+		h.free = append(h.free[:i], h.free[i+1:]...)
+	}
+	return nil
+}
+
+// inUse reports the number of live allocations.
+func (h *heap) inUse() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.used)
+}
+
+// blockLen returns the allocated length at a, or 0.
+func (h *heap) blockLen(a SymAddr) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.used[uint64(a)]
+}

@@ -1,0 +1,122 @@
+package shmem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHeapAllocAligned(t *testing.T) {
+	h := newHeap(1024)
+	a, err := h.alloc(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.alloc(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(a)%heapAlign != 0 || uint64(b)%heapAlign != 0 {
+		t.Fatalf("unaligned: %d %d", a, b)
+	}
+	if a == b {
+		t.Fatal("overlapping allocations")
+	}
+}
+
+func TestHeapExhaustion(t *testing.T) {
+	h := newHeap(64)
+	if _, err := h.alloc(65); err == nil {
+		t.Fatal("oversized alloc should fail")
+	}
+	if _, err := h.alloc(0); err == nil {
+		t.Fatal("zero alloc should fail")
+	}
+	a, _ := h.alloc(64)
+	if _, err := h.alloc(8); err == nil {
+		t.Fatal("full heap should fail")
+	}
+	if err := h.dealloc(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.alloc(64); err != nil {
+		t.Fatalf("free should return space: %v", err)
+	}
+}
+
+func TestHeapDoubleFree(t *testing.T) {
+	h := newHeap(128)
+	a, _ := h.alloc(16)
+	if err := h.dealloc(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.dealloc(a); err == nil {
+		t.Fatal("double free should fail")
+	}
+	if err := h.dealloc(SymAddr(9999)); err == nil {
+		t.Fatal("bogus free should fail")
+	}
+}
+
+func TestHeapCoalescing(t *testing.T) {
+	h := newHeap(96)
+	a, _ := h.alloc(32)
+	b, _ := h.alloc(32)
+	c, _ := h.alloc(32)
+	// Free in an order that requires coalescing both directions.
+	h.dealloc(a)
+	h.dealloc(c)
+	h.dealloc(b)
+	if _, err := h.alloc(96); err != nil {
+		t.Fatalf("heap did not coalesce: %v", err)
+	}
+}
+
+// Property: two heaps given the same operation sequence return identical
+// addresses (the symmetry invariant), and live blocks never overlap.
+func TestHeapDeterministicAndNonOverlapping(t *testing.T) {
+	const size = 1 << 16
+	h1, h2 := newHeap(size), newHeap(size)
+	rng := rand.New(rand.NewSource(42))
+	type blk struct {
+		a SymAddr
+		n int
+	}
+	var live []blk
+	for i := 0; i < 3000; i++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			k := rng.Intn(len(live))
+			if err := h1.dealloc(live[k].a); err != nil {
+				t.Fatal(err)
+			}
+			if err := h2.dealloc(live[k].a); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:k], live[k+1:]...)
+			continue
+		}
+		n := 1 + rng.Intn(512)
+		a1, e1 := h1.alloc(n)
+		a2, e2 := h2.alloc(n)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("divergent failure at op %d", i)
+		}
+		if e1 != nil {
+			continue
+		}
+		if a1 != a2 {
+			t.Fatalf("heaps diverged: %d vs %d at op %d", a1, a2, i)
+		}
+		// Overlap check against all live blocks.
+		for _, b := range live {
+			lo, hi := uint64(a1), uint64(a1)+uint64(n)
+			blo, bhi := uint64(b.a), uint64(b.a)+uint64(b.n)
+			if lo < bhi && blo < hi {
+				t.Fatalf("overlap: [%d,%d) with [%d,%d)", lo, hi, blo, bhi)
+			}
+		}
+		live = append(live, blk{a1, n})
+	}
+	if h1.inUse() != len(live) {
+		t.Fatalf("inUse = %d, want %d", h1.inUse(), len(live))
+	}
+}

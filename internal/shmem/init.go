@@ -1,0 +1,180 @@
+package shmem
+
+import (
+	"sync"
+
+	"goshmem/internal/gasnet"
+	"goshmem/internal/ib"
+	"goshmem/internal/pmi"
+	"goshmem/internal/vclock"
+)
+
+// Env is the per-PE environment the cluster launcher provides.
+type Env struct {
+	Rank   int
+	NProcs int
+	Node   int
+	PPN    int
+
+	HCA         *ib.HCA
+	PMI         *pmi.Client
+	Clock       *vclock.Clock
+	NodeBarrier *vclock.VBarrier
+
+	// OnConnEvent, if set, receives the conduit's connection-lifecycle
+	// trace events (see gasnet.Config.OnEvent).
+	OnConnEvent func(kind string, peer int, vt int64)
+}
+
+// Attach is start_pes: it initializes the OpenSHMEM runtime for one PE and
+// records the per-phase time breakdown. The phase structure follows the
+// paper:
+//
+//	static   : UD endpoint; Put+Fence (blocking PMI); register heap; shared
+//	           memory; eager all-to-all connect; segment broadcast; global
+//	           barriers.
+//	on-demand: UD endpoint; PMIX_Iallgather (launch only); register heap
+//	           (overlapped with the allgather); shared memory; intra-node
+//	           barrier. Connections and segment exchange are deferred.
+func Attach(env Env, opts Options) *Ctx {
+	if opts.HeapSize <= 0 {
+		opts.HeapSize = 1 << 20
+	}
+	if opts.DeclaredHeapSize < opts.HeapSize {
+		opts.DeclaredHeapSize = opts.HeapSize
+	}
+	if opts.SegEx == SegAuto {
+		if opts.Mode == gasnet.Static {
+			opts.SegEx = SegBroadcast
+		} else {
+			opts.SegEx = SegPiggyback
+		}
+	}
+
+	c := &Ctx{
+		rank:  env.Rank,
+		n:     env.NProcs,
+		opts:  opts,
+		pmiC:  env.PMI,
+		clk:   env.Clock,
+		model: env.HCA.Fabric().Model(),
+		segs:  make([]segInfo, env.NProcs),
+	}
+	c.segCond = sync.NewCond(&c.segMu)
+	c.watchCond = sync.NewCond(&c.watchMu)
+	c.coll = newCollState()
+	c.startVT = c.clk.Now()
+	last := c.startVT
+	mark := func(bucket *int64) {
+		now := c.clk.Now()
+		*bucket += now - last
+		last = now
+	}
+
+	cfg := gasnet.Config{
+		Rank: env.Rank, NProcs: env.NProcs, Node: env.Node, PPN: env.PPN,
+		HCA: env.HCA, PMI: env.PMI, Clock: env.Clock,
+		Mode: opts.Mode, BlockingPMI: opts.BlockingPMI,
+		NodeBarrier: env.NodeBarrier,
+		OnEvent:     env.OnConnEvent,
+	}
+	if opts.SegEx == SegPiggyback {
+		cfg.ConnectPayload = func() []byte { return c.encodeOwnSeg() }
+		cfg.OnConnectPayload = func(peer int, b []byte, at int64) { c.storeSeg(peer, b, at) }
+	}
+	c.conduit = gasnet.New(cfg)
+	c.conduit.RegisterHandler(amColl, c.coll.handle)
+	c.conduit.RegisterHandler(amSegInfo, func(src int, args [4]uint64, payload []byte, at int64) {
+		c.storeSeg(src, payload, at)
+	})
+	c.conduit.RegisterHandler(amSegReq, func(src int, args [4]uint64, payload []byte, at int64) {
+		// Explicit segment-info request (SegAMOnDemand ablation): reply.
+		_ = c.conduit.AMRequest(src, amSegInfo, [4]uint64{}, c.encodeOwnSeg())
+	})
+	mark(&c.breakdown.Other)
+
+	// --- PMI exchange of UD endpoint info ---
+	c.conduit.ExchangeEndpoints()
+	mark(&c.breakdown.PMIExchange)
+
+	// --- Symmetric heap allocation and registration ---
+	c.heapBuf = make([]byte, opts.HeapSize)
+	c.heap = newHeap(opts.HeapSize)
+	c.mr = env.HCA.RegisterMR(c.heapBuf, c.clk)
+	if extra := c.model.MemRegTime(opts.DeclaredHeapSize) - c.model.MemRegTime(opts.HeapSize); extra > 0 {
+		c.clk.Advance(extra) // model the declared (paper-scale) heap size
+	}
+	c.mr.SetOnWrite(func(off, n int, vt int64) {
+		c.watchMu.Lock()
+		if vt > c.lastWrite {
+			c.lastWrite = vt
+		}
+		c.watchMu.Unlock()
+		c.watchCond.Broadcast()
+	})
+	c.setOwnSeg()
+	mark(&c.breakdown.MemoryReg)
+
+	// --- Shared-memory (intra-node) setup ---
+	c.clk.Advance(c.model.SharedMemSetup)
+	c.conduit.IntraNodeBarrier()
+	mark(&c.breakdown.SharedMemSetup)
+
+	c.conduit.SetReady()
+
+	// --- Connection setup & segment exchange ---
+	if opts.Mode == gasnet.Static {
+		if err := c.conduit.ConnectAll(); err != nil {
+			panic("shmem: static connect: " + err.Error())
+		}
+		c.broadcastSegs()
+		c.BarrierAll() // the current design's global synchronization
+	} else if opts.SegEx == SegBroadcast {
+		// Unusual combination (ablation): broadcast still forces all-to-all.
+		c.broadcastSegs()
+		c.BarrierAll()
+	} else if opts.GlobalInitBarriers {
+		// Section IV-E ablation: a global barrier during on-demand init
+		// forces O(log P) connections right here.
+		c.BarrierAll()
+	}
+	mark(&c.breakdown.ConnectionSetup)
+
+	// --- Remaining constant setup ---
+	c.clk.Advance(c.model.InitOther)
+	if opts.Mode == gasnet.Static || opts.GlobalInitBarriers {
+		c.BarrierAll()
+	} else {
+		c.conduit.IntraNodeBarrier() // paper section IV-E replacement
+	}
+	mark(&c.breakdown.Other)
+
+	c.breakdown.Total = c.clk.Now() - c.startVT
+	return c
+}
+
+// InitTime returns the virtual duration of start_pes.
+func (c *Ctx) InitTime() int64 { return c.breakdown.Total }
+
+// Finalize synchronizes all PEs for teardown. Even the on-demand design
+// needs a true global barrier here (the paper notes Hello World still pays
+// for completing the PMI exchange and a few connections at finalize).
+func (c *Ctx) Finalize() {
+	if c.finalized {
+		return
+	}
+	c.finalized = true
+	c.BarrierAll()
+	c.conduit.Close()
+}
+
+// Stats returns the conduit's resource/traffic counters for this PE.
+func (c *Ctx) Stats() gasnet.Stats { return c.conduit.Stats() }
+
+// CommunicatingPeers returns how many distinct peers (excluding self) this
+// PE has sent traffic to — the paper's Table I metric.
+func (c *Ctx) CommunicatingPeers() int {
+	set := c.conduit.PeerSet()
+	delete(set, c.rank)
+	return len(set)
+}

@@ -1,0 +1,67 @@
+package shmem
+
+// Distributed locking (shmem_set_lock / shmem_test_lock / shmem_clear_lock),
+// implemented as an MCS-style queue lock over network atomics, the standard
+// OpenSHMEM technique: the lock word lives on PE 0 of the lock's home and
+// holds (last-waiter-rank + 1); each waiter swaps itself in and spins on a
+// local flag its predecessor writes — so contention generates no remote
+// polling traffic.
+
+// Lock is a distributed lock. Create it collectively with NewLock; the same
+// call sequence on every PE yields the same lock.
+type Lock struct {
+	word SymAddr // on home PE: (last tail rank + 1), 0 = free
+	next SymAddr // on waiter: successor rank + 1
+	flag SymAddr // on waiter: predecessor writes 1 to hand off
+	home int
+}
+
+// NewLock collectively allocates a lock (all PEs must call it).
+func (c *Ctx) NewLock() *Lock {
+	l := &Lock{home: 0}
+	l.word = c.Malloc(8)
+	l.next = c.Malloc(8)
+	l.flag = c.Malloc(8)
+	return l
+}
+
+// SetLock acquires the lock, blocking until granted (shmem_set_lock).
+func (c *Ctx) SetLock(l *Lock) {
+	c.StoreInt64(l.next, 0, 0)
+	c.StoreInt64(l.flag, 0, 0)
+	// Swap myself in as the tail.
+	prev := c.SwapInt64(l.word, int64(c.rank)+1, l.home)
+	if prev == 0 {
+		return // uncontended
+	}
+	// Tell the predecessor who we are, then wait for the hand-off.
+	c.P64(l.next, int64(c.rank)+1, int(prev-1))
+	c.Quiet()
+	c.WaitUntilInt64(l.flag, CmpNE, 0)
+	c.StoreInt64(l.flag, 0, 0)
+}
+
+// TestLock tries to acquire the lock without blocking; it returns true if
+// the lock was acquired (shmem_test_lock returns 0 on success).
+func (c *Ctx) TestLock(l *Lock) bool {
+	c.StoreInt64(l.next, 0, 0)
+	c.StoreInt64(l.flag, 0, 0)
+	return c.CompareSwapInt64(l.word, 0, int64(c.rank)+1, l.home) == 0
+}
+
+// ClearLock releases the lock (shmem_clear_lock).
+func (c *Ctx) ClearLock(l *Lock) {
+	// Fast path: no successor announced and we are still the tail.
+	if c.LoadInt64(l.next, 0) == 0 {
+		if c.CompareSwapInt64(l.word, int64(c.rank)+1, 0, l.home) == int64(c.rank)+1 {
+			return
+		}
+		// A successor is in the middle of enqueueing; wait for it to
+		// announce itself.
+		c.WaitUntilInt64(l.next, CmpNE, 0)
+	}
+	succ := int(c.LoadInt64(l.next, 0) - 1)
+	c.P64(l.flag, 1, succ)
+	c.Quiet()
+	c.StoreInt64(l.next, 0, 0)
+}

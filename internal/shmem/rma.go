@@ -1,0 +1,161 @@
+package shmem
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Malloc allocates n bytes on the symmetric heap of every PE and returns the
+// symmetric address. Like shmem_malloc it is collective: all PEs must call
+// it with the same size, and it synchronizes before returning.
+func (c *Ctx) Malloc(n int) SymAddr {
+	a, err := c.heap.alloc(n)
+	if err != nil {
+		panic(err.Error())
+	}
+	c.BarrierAll()
+	return a
+}
+
+// Free releases a symmetric allocation on all PEs (collective, like
+// shmem_free).
+func (c *Ctx) Free(a SymAddr) {
+	if err := c.heap.dealloc(a); err != nil {
+		panic(err.Error())
+	}
+	c.BarrierAll()
+}
+
+// mallocLocal allocates without the collective barrier; the runtime uses it
+// during initialization when all PEs are known to allocate in lockstep.
+func (c *Ctx) mallocLocal(n int) SymAddr {
+	a, err := c.heap.alloc(n)
+	if err != nil {
+		panic(err.Error())
+	}
+	return a
+}
+
+// PutMem copies len(src) bytes into dest on the target PE (shmem_putmem).
+// It returns when the source buffer is reusable; remote completion requires
+// Quiet or a barrier.
+func (c *Ctx) PutMem(dest SymAddr, src []byte, pe int) {
+	if len(src) == 0 {
+		return
+	}
+	addr, rkey, err := c.remoteAddr(pe, dest, len(src))
+	if err != nil {
+		panic(err.Error())
+	}
+	if err := c.conduit.Put(pe, addr, rkey, src); err != nil {
+		panic(err.Error())
+	}
+}
+
+// GetMem copies len(dest) bytes from src on the target PE (shmem_getmem).
+// It blocks until the data has arrived.
+func (c *Ctx) GetMem(dest []byte, src SymAddr, pe int) {
+	if len(dest) == 0 {
+		return
+	}
+	addr, rkey, err := c.remoteAddr(pe, src, len(dest))
+	if err != nil {
+		panic(err.Error())
+	}
+	if err := c.conduit.Get(pe, addr, rkey, dest); err != nil {
+		panic(err.Error())
+	}
+}
+
+// PutInt64 writes a vector of int64 to the target PE (shmem_long_put).
+func (c *Ctx) PutInt64(dest SymAddr, src []int64, pe int) {
+	buf := make([]byte, 8*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	c.PutMem(dest, buf, pe)
+}
+
+// GetInt64 reads a vector of int64 from the target PE (shmem_long_get).
+func (c *Ctx) GetInt64(dest []int64, src SymAddr, pe int) {
+	buf := make([]byte, 8*len(dest))
+	c.GetMem(buf, src, pe)
+	for i := range dest {
+		dest[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+}
+
+// PutFloat64 writes a vector of float64 to the target PE (shmem_double_put).
+func (c *Ctx) PutFloat64(dest SymAddr, src []float64, pe int) {
+	buf := make([]byte, 8*len(src))
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	c.PutMem(dest, buf, pe)
+}
+
+// GetFloat64 reads a vector of float64 from the target PE (shmem_double_get).
+func (c *Ctx) GetFloat64(dest []float64, src SymAddr, pe int) {
+	buf := make([]byte, 8*len(dest))
+	c.GetMem(buf, src, pe)
+	for i := range dest {
+		dest[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+}
+
+// P64 writes a single int64 (shmem_long_p).
+func (c *Ctx) P64(dest SymAddr, v int64, pe int) { c.PutInt64(dest, []int64{v}, pe) }
+
+// G64 reads a single int64 (shmem_long_g).
+func (c *Ctx) G64(src SymAddr, pe int) int64 {
+	var out [1]int64
+	c.GetInt64(out[:], src, pe)
+	return out[0]
+}
+
+// LocalInt64 views a symmetric int64 vector in this PE's own partition.
+// Reads and writes through the view race with concurrent remote atomics;
+// use LoadInt64 for values that remote PEs update atomically.
+func (c *Ctx) LocalInt64(addr SymAddr, n int) []int64 {
+	b := c.Local(addr, 8*n)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// StoreLocalInt64 writes v into this PE's own partition at addr+8*i.
+func (c *Ctx) StoreLocalInt64(addr SymAddr, i int, v int64) {
+	b := c.Local(addr+SymAddr(8*i), 8)
+	binary.LittleEndian.PutUint64(b, uint64(v))
+}
+
+// LoadInt64 atomically (with respect to remote atomics) loads the local
+// int64 at addr+8*i.
+func (c *Ctx) LoadInt64(addr SymAddr, i int) int64 {
+	off := int(addr) + 8*i
+	return int64(c.mr.LoadUint64(off))
+}
+
+// StoreInt64 atomically stores the local int64 at addr+8*i.
+func (c *Ctx) StoreInt64(addr SymAddr, i int, v int64) {
+	off := int(addr) + 8*i
+	c.mr.StoreUint64(off, uint64(v))
+}
+
+// LocalFloat64 views a symmetric float64 vector in this PE's own partition.
+func (c *Ctx) LocalFloat64(addr SymAddr, n int) []float64 {
+	b := c.Local(addr, 8*n)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// StoreLocalFloat64 writes v into this PE's own partition at addr+8*i.
+func (c *Ctx) StoreLocalFloat64(addr SymAddr, i int, v float64) {
+	b := c.Local(addr+SymAddr(8*i), 8)
+	binary.LittleEndian.PutUint64(b, math.Float64bits(v))
+}

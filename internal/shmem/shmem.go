@@ -1,0 +1,191 @@
+// Package shmem implements the OpenSHMEM runtime under study — the paper's
+// primary contribution lives here and in the conduit it drives
+// (internal/gasnet). It provides the symmetric heap, one-sided put/get,
+// fetching atomics, collectives, synchronization, and — the subject of the
+// paper — a start_pes initialization path with two designs:
+//
+//   - Current design (static): blocking PMI endpoint exchange, eager
+//     all-to-all connection establishment, an explicit broadcast of the
+//     symmetric-segment <address,size,rkey> triplets to every peer, and
+//     global barriers between initialization phases.
+//
+//   - Proposed design (on-demand): non-blocking PMIX_Iallgather endpoint
+//     exchange overlapped with memory registration, no connections at init
+//     (they are established on first communication, with segment triplets
+//     piggybacked on the connect handshake), and intra-node barriers in
+//     place of the global ones.
+//
+// Ctx records a per-phase breakdown of start_pes so the paper's Figures 1
+// and 5(b) can be regenerated.
+package shmem
+
+import (
+	"fmt"
+	"sync"
+
+	"goshmem/internal/gasnet"
+	"goshmem/internal/ib"
+	"goshmem/internal/pmi"
+	"goshmem/internal/vclock"
+)
+
+// SegExchange selects how symmetric-segment RDMA keys reach the peers.
+type SegExchange uint8
+
+const (
+	// SegAuto picks SegBroadcast for static mode and SegPiggyback for
+	// on-demand mode (the designs the paper compares).
+	SegAuto SegExchange = iota
+	// SegBroadcast sends the triplets to every peer over active messages at
+	// init — the current design, which forces all-to-all connectivity.
+	SegBroadcast
+	// SegPiggyback rides the triplets on the connect REQ/REP messages — the
+	// proposed design (paper section IV-C).
+	SegPiggyback
+	// SegAMOnDemand fetches the triplets with an explicit request/reply
+	// round-trip after the connection is up — the ablation that isolates the
+	// benefit of piggybacking.
+	SegAMOnDemand
+)
+
+// Options configures one PE's runtime.
+type Options struct {
+	// Mode selects static or on-demand connection management.
+	Mode gasnet.Mode
+	// BlockingPMI forces the blocking Put-Fence-Get endpoint exchange even
+	// in on-demand mode (ablation for section IV-D).
+	BlockingPMI bool
+	// SegEx selects the segment-key exchange strategy.
+	SegEx SegExchange
+	// HeapSize is the symmetric heap size in bytes (default 1 MiB).
+	HeapSize int
+	// DeclaredHeapSize, when nonzero, is the heap size used for the
+	// memory-registration cost model; it lets large-scale startup sweeps
+	// model realistic multi-GiB heaps without allocating them.
+	DeclaredHeapSize int
+	// GlobalInitBarriers makes even the on-demand design use global
+	// barriers during initialization — the ablation for the paper's
+	// section IV-E (intra-node barrier substitution).
+	GlobalInitBarriers bool
+}
+
+// InitBreakdown is the per-phase virtual time spent in start_pes, matching
+// the buckets of the paper's Figure 1 / Figure 5(b).
+type InitBreakdown struct {
+	PMIExchange     int64
+	MemoryReg       int64
+	SharedMemSetup  int64
+	ConnectionSetup int64
+	Other           int64
+	Total           int64
+}
+
+// segInfo is the <address, size, rkey> triplet for one peer's symmetric heap.
+type segInfo struct {
+	base uint64
+	size uint64
+	rkey uint32
+	have bool
+}
+
+// AM handler identifiers used by the runtime (the mini-MPI built on the same
+// conduit uses 32+).
+const (
+	amColl    uint8 = 1 // collective fragments
+	amSegInfo uint8 = 2 // segment-info broadcast / reply
+	amSegReq  uint8 = 3 // segment-info request (SegAMOnDemand)
+)
+
+// Ctx is one PE's OpenSHMEM context (the handle start_pes returns).
+type Ctx struct {
+	rank int
+	n    int
+	opts Options
+
+	conduit *gasnet.Conduit
+	pmiC    *pmi.Client
+	clk     *vclock.Clock
+	model   *vclock.CostModel
+
+	heapBuf []byte
+	heap    *heap
+	mr      *ib.MR
+
+	segMu   sync.Mutex
+	segCond *sync.Cond
+	segs    []segInfo
+
+	coll *collState
+
+	watchMu   sync.Mutex
+	watchCond *sync.Cond
+	lastWrite int64
+
+	breakdown InitBreakdown
+	startVT   int64
+	finalized bool
+}
+
+// Me returns the PE's rank (shmem_my_pe).
+func (c *Ctx) Me() int { return c.rank }
+
+// NPEs returns the job size (shmem_n_pes).
+func (c *Ctx) NPEs() int { return c.n }
+
+// Clock returns the PE's virtual clock.
+func (c *Ctx) Clock() *vclock.Clock { return c.clk }
+
+// Conduit exposes the underlying conduit (shared with the mini-MPI in
+// hybrid programs — the unified-runtime model of MVAPICH2-X).
+func (c *Ctx) Conduit() *gasnet.Conduit { return c.conduit }
+
+// Breakdown returns the start_pes phase breakdown.
+func (c *Ctx) Breakdown() InitBreakdown { return c.breakdown }
+
+// HeapBase returns the local symmetric heap's registered base address.
+func (c *Ctx) HeapBase() uint64 { return c.mr.Base() }
+
+// local returns the local bytes backing [addr, addr+n).
+func (c *Ctx) local(addr SymAddr, n int) ([]byte, error) {
+	if uint64(addr)+uint64(n) > uint64(len(c.heapBuf)) {
+		return nil, fmt.Errorf("shmem: symmetric address %#x+%d outside heap of %d bytes",
+			uint64(addr), n, len(c.heapBuf))
+	}
+	return c.heapBuf[addr : uint64(addr)+uint64(n)], nil
+}
+
+// Local returns the local backing bytes for a symmetric allocation, for
+// direct computation on one's own partition of the global address space.
+func (c *Ctx) Local(addr SymAddr, n int) []byte {
+	b, err := c.local(addr, n)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// remoteAddr translates a symmetric address at a peer into (addr, rkey),
+// obtaining the peer's segment triplet if this PE does not hold it yet: via
+// the piggybacked connect payload, the init-time broadcast, or an explicit
+// AM round-trip, depending on the configured strategy.
+func (c *Ctx) remoteAddr(pe int, addr SymAddr, n int) (uint64, uint32, error) {
+	if pe < 0 || pe >= c.n {
+		return 0, 0, fmt.Errorf("shmem: pe %d out of range [0,%d)", pe, c.n)
+	}
+	c.segMu.Lock()
+	s := c.segs[pe]
+	c.segMu.Unlock()
+	if !s.have {
+		if err := c.fetchSeg(pe); err != nil {
+			return 0, 0, err
+		}
+		c.segMu.Lock()
+		s = c.segs[pe]
+		c.segMu.Unlock()
+	}
+	if uint64(addr)+uint64(n) > s.size {
+		return 0, 0, fmt.Errorf("shmem: symmetric address %#x+%d outside pe %d's segment of %d bytes",
+			uint64(addr), n, pe, s.size)
+	}
+	return s.base + uint64(addr), s.rkey, nil
+}

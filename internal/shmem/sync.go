@@ -1,0 +1,71 @@
+package shmem
+
+// Cmp is the comparison operator for WaitUntil (SHMEM_CMP_*).
+type Cmp uint8
+
+const (
+	CmpEQ Cmp = iota
+	CmpNE
+	CmpGT
+	CmpGE
+	CmpLT
+	CmpLE
+)
+
+func (op Cmp) eval(a, b int64) bool {
+	switch op {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpGT:
+		return a > b
+	case CmpGE:
+		return a >= b
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	}
+	panic("shmem: unknown comparison")
+}
+
+// Quiet completes all outstanding puts issued by this PE (shmem_quiet).
+func (c *Ctx) Quiet() { c.conduit.Quiet() }
+
+// Compute charges the virtual cost of flops floating-point operations to
+// this PE's clock. Application kernels use it so that execution-time
+// experiments retain realistic compute/communication/startup proportions
+// even when the kernels run scaled-down problem sizes.
+func (c *Ctx) Compute(flops float64) { c.clk.Advance(c.model.ComputeTime(flops)) }
+
+// Fence orders puts per destination (shmem_fence). The simulated RC
+// transport delivers in order, so fence is a local no-op beyond its own
+// (tiny) cost, like fence on a single-rail IB runtime.
+func (c *Ctx) Fence() { c.clk.Advance(c.model.SendPostOverhead) }
+
+// WaitUntilInt64 blocks until the local symmetric int64 at addr satisfies
+// cmp against value (shmem_long_wait_until). The value is observed with the
+// same atomicity as remote network atomics, and the PE's clock advances to
+// the virtual arrival time of the write that satisfied the condition.
+func (c *Ctx) WaitUntilInt64(addr SymAddr, cmp Cmp, value int64) int64 {
+	off := int(addr)
+	if off%8 != 0 {
+		panic("shmem: WaitUntilInt64 requires 8-byte alignment")
+	}
+	c.watchMu.Lock()
+	for {
+		v := int64(c.mr.LoadUint64(off))
+		if cmp.eval(v, value) {
+			at := c.lastWrite
+			c.watchMu.Unlock()
+			c.clk.AdvanceTo(at)
+			return v
+		}
+		c.watchCond.Wait()
+	}
+}
+
+// IntraNodeBarrier synchronizes only the PEs sharing this node — the
+// paper's section IV-E replacement for init-time global barriers.
+func (c *Ctx) IntraNodeBarrier() { c.conduit.IntraNodeBarrier() }

@@ -1,0 +1,64 @@
+package vclock
+
+import "sync"
+
+// VBarrier is a reusable virtual-time barrier across a fixed number of
+// participants. Each participant arrives with its own clock; when the last
+// one arrives, everyone is released at
+//
+//	max(arrival virtual times) + extra
+//
+// where extra is the modeled cost of the synchronization itself (the last
+// arriver's extra value is used). VBarrier is the building block for PMI
+// Fence and for the conduit's intra-node barrier.
+type VBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	count   int
+	gen     int
+	maxT    int64
+	release [2]int64 // indexed by generation parity
+}
+
+// NewVBarrier returns a barrier for n participants.
+func NewVBarrier(n int) *VBarrier {
+	b := &VBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// N returns the number of participants.
+func (b *VBarrier) N() int { return b.n }
+
+// Wait blocks until all n participants have arrived, then advances clk to the
+// common release time max(arrivals)+extra and returns that time.
+//
+// A participant of generation g cannot re-enter generation g+2 before every
+// waiter of generation g has returned (it is itself one of the n), so the
+// two-slot release buffer is race-free.
+func (b *VBarrier) Wait(clk *Clock, extra int64) int64 {
+	b.mu.Lock()
+	gen := b.gen
+	if b.count == 0 || clk.Now() > b.maxT {
+		b.maxT = clk.Now()
+	}
+	b.count++
+	if b.count == b.n {
+		r := b.maxT + extra
+		b.release[gen&1] = r
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		clk.AdvanceTo(r)
+		return r
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	r := b.release[gen&1]
+	b.mu.Unlock()
+	clk.AdvanceTo(r)
+	return r
+}

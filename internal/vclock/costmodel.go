@@ -1,0 +1,221 @@
+package vclock
+
+import "math"
+
+// CostModel holds the calibrated virtual-time charges for every simulated
+// hardware and middleware action. The defaults are tuned (see EXPERIMENTS.md)
+// so that the reproduction exhibits the shapes reported in the paper on its
+// two clusters (QDR/FDR InfiniBand, 8-16 processes per node): connection
+// setup and PMI exchange dominate static-mode startup and grow with the
+// process count, while on-demand startup stays near constant.
+//
+// All durations are virtual nanoseconds.
+type CostModel struct {
+	// --- InfiniBand verbs ---
+
+	// UDQPCreate is the cost of creating an Unreliable Datagram QP.
+	UDQPCreate int64
+	// RCQPCreate is the cost of creating a Reliable Connected QP
+	// (allocating the QP and its associated structures).
+	RCQPCreate int64
+	// QPTransition is the cost of one ModifyQP state transition
+	// (Reset->Init, Init->RTR, RTR->RTS).
+	QPTransition int64
+	// MemRegPerMB is the memory-registration (pinning) cost per MiB.
+	MemRegPerMB int64
+	// MemRegBase is the fixed per-MR registration cost.
+	MemRegBase int64
+
+	// SendPostOverhead is the CPU cost of posting one work request.
+	SendPostOverhead int64
+	// UDSendLatency is the one-way latency of a UD datagram (short message).
+	UDSendLatency int64
+	// RCSendLatency is the one-way latency of an RC send/RDMA-write header.
+	RCSendLatency int64
+	// RCAckLatency is the additional time until the sender-side completion
+	// of a reliable operation (hardware ack).
+	RCAckLatency int64
+	// AtomicLatency is the additional target-side execution time of a
+	// fetching network atomic.
+	AtomicLatency int64
+	// BytesPerUS is the wire bandwidth in bytes per virtual microsecond
+	// (e.g. 4000 == 4 GB/s).
+	BytesPerUS int64
+	// IntraNodeLatency is the one-way latency for communication between two
+	// PEs on the same node (shared memory / HCA loopback).
+	IntraNodeLatency int64
+	// IntraNodeBytesPerUS is the intra-node copy bandwidth.
+	IntraNodeBytesPerUS int64
+
+	// HCACacheQPs is the number of endpoint contexts the HCA can cache
+	// on-chip. When the number of live RC QPs on an HCA exceeds this, every
+	// message through that HCA pays HCACacheMissPenalty (ICM cache thrash,
+	// paper section I, item 3).
+	HCACacheQPs int
+	// HCACacheMissPenalty is the extra per-message latency when the
+	// endpoint cache is oversubscribed.
+	HCACacheMissPenalty int64
+	// AMProcess is the software cost of dispatching one active message at
+	// the receiver.
+	AMProcess int64
+	// ConnReqProcess is the software cost of handling one connection
+	// request or reply message in the connection-manager thread.
+	ConnReqProcess int64
+	// ConnRetransmitTimeout is the virtual retransmission timeout for the
+	// UD-based connection handshake.
+	ConnRetransmitTimeout int64
+
+	// --- PMI (out-of-band, TCP through the process manager) ---
+
+	// PMIPut and PMIGet are the local KVS commit/lookup costs.
+	PMIPut int64
+	PMIGet int64
+	// PMIFenceBase is the fixed cost of a Fence (tree setup).
+	PMIFenceBase int64
+	// PMIFencePerProc is the per-process cost of the process manager's KVS
+	// commit/distribution work during a Fence — the term that makes PMI
+	// exchange grow linearly with job size (paper section I). Total cost:
+	//   PMIFenceBase + ceil(log2 N)*PMIFenceHop
+	//     + N*(PMIFencePerProc + bytes*PMIFencePerProcByte).
+	PMIFencePerProc int64
+	// PMIFencePerProcByte is the per-process-per-byte data term.
+	PMIFencePerProcByte int64
+	// PMIFenceHop is the per-tree-level latency.
+	PMIFenceHop int64
+	// PMIAllgatherPerProc and PMIAllgatherPerProcByte are the background
+	// completion terms of PMIX_Iallgather (symmetric pattern, cheaper than
+	// Put-Fence-Get, and overlappable).
+	PMIAllgatherPerProc     int64
+	PMIAllgatherPerProcByte int64
+	// PMINonBlockingLaunch is the cost of initiating a non-blocking PMI
+	// operation (the part that cannot be overlapped).
+	PMINonBlockingLaunch int64
+
+	// FlopsPerUS is the effective local compute throughput used to charge
+	// application kernels' arithmetic in virtual time (flops per virtual
+	// microsecond; ~2.5 GF/s matches one 2012-era Xeon core).
+	FlopsPerUS int64
+
+	// --- Job launch & init phases ---
+
+	// LaunchBase, LaunchPerNode and LaunchPerProc model the process
+	// manager's fork/exec fan-out before main() runs.
+	LaunchBase    int64
+	LaunchPerNode int64
+	LaunchPerProc int64
+	// TeardownBase models job teardown after finalize.
+	TeardownBase int64
+	// SharedMemSetup is the per-PE cost of creating/attaching the
+	// intra-node shared-memory segment.
+	SharedMemSetup int64
+	// InitOther lumps the remaining constant per-PE initialization work
+	// ("Other" in the paper's Figure 1 breakdown).
+	InitOther int64
+}
+
+// Default returns the calibrated cost model used by all experiments unless a
+// test overrides individual fields. See EXPERIMENTS.md section "Calibration".
+func Default() *CostModel {
+	return &CostModel{
+		UDQPCreate:   15 * Microsecond,
+		RCQPCreate:   100 * Microsecond,
+		QPTransition: 25 * Microsecond,
+		MemRegPerMB:  180 * Microsecond,
+		MemRegBase:   40 * Microsecond,
+
+		SendPostOverhead:    300,
+		UDSendLatency:       2 * Microsecond,
+		RCSendLatency:       1500, // 1.5 us
+		RCAckLatency:        800,
+		AtomicLatency:       900,
+		BytesPerUS:          3500, // 3.5 GB/s
+		IntraNodeLatency:    400,  // 0.4 us
+		IntraNodeBytesPerUS: 8000,
+
+		HCACacheQPs:           4096,
+		HCACacheMissPenalty:   600,
+		AMProcess:             1 * Microsecond,
+		ConnReqProcess:        12 * Microsecond,
+		ConnRetransmitTimeout: 2 * Millisecond,
+
+		PMIPut:                  3 * Microsecond,
+		PMIGet:                  12 * Microsecond,
+		PMIFenceBase:            900 * Microsecond,
+		PMIFencePerProc:         420 * Microsecond,
+		PMIFencePerProcByte:     9,
+		PMIFenceHop:             150 * Microsecond,
+		PMIAllgatherPerProc:     60 * Microsecond,
+		PMIAllgatherPerProcByte: 5,
+		PMINonBlockingLaunch:    25 * Microsecond,
+
+		FlopsPerUS: 2500,
+
+		LaunchBase:     120 * Millisecond,
+		LaunchPerNode:  220 * Microsecond,
+		LaunchPerProc:  35 * Microsecond,
+		TeardownBase:   60 * Millisecond,
+		SharedMemSetup: 9 * Millisecond,
+		InitOther:      26 * Millisecond,
+	}
+}
+
+// XferTime returns the serialization time of n bytes on the inter-node wire.
+func (m *CostModel) XferTime(n int) int64 {
+	if n <= 0 || m.BytesPerUS <= 0 {
+		return 0
+	}
+	return int64(math.Ceil(float64(n) / float64(m.BytesPerUS) * 1000))
+}
+
+// IntraXferTime returns the copy time of n bytes between PEs on one node.
+func (m *CostModel) IntraXferTime(n int) int64 {
+	if n <= 0 || m.IntraNodeBytesPerUS <= 0 {
+		return 0
+	}
+	return int64(math.Ceil(float64(n) / float64(m.IntraNodeBytesPerUS) * 1000))
+}
+
+// MemRegTime returns the cost of registering (pinning) n bytes.
+func (m *CostModel) MemRegTime(n int) int64 {
+	return m.MemRegBase + int64(float64(m.MemRegPerMB)*float64(n)/float64(1<<20))
+}
+
+// FenceCost returns the cost of a blocking PMI Fence across n processes where
+// each process has contributed about bytes of KVS data.
+func (m *CostModel) FenceCost(n, bytes int) int64 {
+	return m.PMIFenceBase + int64(log2ceil(n))*m.PMIFenceHop +
+		int64(n)*(m.PMIFencePerProc+int64(bytes)*m.PMIFencePerProcByte)
+}
+
+// AllgatherCost returns the background completion cost of PMIX_Iallgather
+// across n processes with about bytes contributed per process.
+func (m *CostModel) AllgatherCost(n, bytes int) int64 {
+	return m.PMIFenceBase/2 + int64(log2ceil(n))*m.PMIFenceHop/2 +
+		int64(n)*(m.PMIAllgatherPerProc+int64(bytes)*m.PMIAllgatherPerProcByte)
+}
+
+// ComputeTime returns the virtual duration of the given number of floating
+// point operations.
+func (m *CostModel) ComputeTime(flops float64) int64 {
+	if flops <= 0 || m.FlopsPerUS <= 0 {
+		return 0
+	}
+	return int64(flops / float64(m.FlopsPerUS) * 1000)
+}
+
+// LaunchCost returns the modeled process-manager fan-out time for a job of
+// nprocs processes over nnodes nodes. All PEs start their clocks at this time.
+func (m *CostModel) LaunchCost(nprocs, nnodes int) int64 {
+	return m.LaunchBase + int64(nnodes)*m.LaunchPerNode + int64(nprocs)*m.LaunchPerProc
+}
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	k := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,65 @@
+// Package vclock provides the virtual-time engine used by the simulated
+// cluster. Every processing element (PE) owns a Clock; local actions advance
+// it by charges taken from a CostModel, and every simulated network or PMI
+// message carries the sender's virtual timestamp plus a modeled latency. A
+// receiver advances its clock to max(local, arrival), so blocking operations
+// propagate the critical path exactly like a max-plus discrete-event
+// simulation while the protocols themselves run as ordinary concurrent Go
+// code with real data movement.
+//
+// All times and durations are int64 nanoseconds of virtual time.
+package vclock
+
+import "sync/atomic"
+
+// Clock is a per-PE monotone virtual clock. The owning goroutine advances it;
+// other goroutines may read it (Now) or push it forward (AdvanceTo) when they
+// deliver work whose completion time is known, so all methods are safe for
+// concurrent use.
+type Clock struct {
+	now atomic.Int64
+}
+
+// NewClock returns a clock starting at the given virtual time.
+func NewClock(start int64) *Clock {
+	c := &Clock{}
+	c.now.Store(start)
+	return c
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (c *Clock) Now() int64 { return c.now.Load() }
+
+// Advance adds d nanoseconds of virtual time. Negative charges are ignored so
+// cost-model arithmetic can never move a clock backwards.
+func (c *Clock) Advance(d int64) int64 {
+	if d <= 0 {
+		return c.now.Load()
+	}
+	return c.now.Add(d)
+}
+
+// AdvanceTo moves the clock forward to t if t is later than the current
+// virtual time (max-plus merge). It returns the resulting time.
+func (c *Clock) AdvanceTo(t int64) int64 {
+	for {
+		cur := c.now.Load()
+		if t <= cur {
+			return cur
+		}
+		if c.now.CompareAndSwap(cur, t) {
+			return t
+		}
+	}
+}
+
+// Convenience duration units in virtual nanoseconds.
+const (
+	Nanosecond  int64 = 1
+	Microsecond int64 = 1000
+	Millisecond int64 = 1000 * 1000
+	Second      int64 = 1000 * 1000 * 1000
+)
+
+// Seconds converts a virtual-time duration to float seconds for reporting.
+func Seconds(ns int64) float64 { return float64(ns) / 1e9 }
