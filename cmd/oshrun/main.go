@@ -31,6 +31,7 @@ func main() {
 	class := flag.String("class", "S", "NAS class: S | A | B")
 	blockingPMI := flag.Bool("blocking-pmi", false, "use blocking Put-Fence-Get instead of PMIX_Iallgather")
 	trace := flag.Int("trace", 0, "print the first N connection-lifecycle events (virtual-time ordered)")
+	qpCap := flag.Int("qp-cap", 0, "cap live RC queue pairs per HCA; idle connections are LRU-evicted (0 = unbounded; on-demand mode only)")
 	flag.Parse()
 
 	mode := gasnet.OnDemand
@@ -104,7 +105,7 @@ func main() {
 
 	res, err := cluster.Run(cluster.Config{
 		NP: *np, PPN: *ppn, Mode: mode, BlockingPMI: *blockingPMI,
-		HeapSize: 8 << 20, Trace: *trace > 0,
+		HeapSize: 8 << 20, Trace: *trace > 0, MaxLiveRC: *qpCap,
 	}, body)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oshrun:", err)
@@ -129,4 +130,7 @@ func main() {
 	fmt.Printf("job time (virtual): %8.3fs\n", vclock.Seconds(res.JobVT))
 	fmt.Printf("avg RC endpoints/PE: %7.1f   avg peers/PE: %.1f   (simulated in %v real)\n",
 		res.AvgEndpoints(), res.AvgPeers(), res.Wall.Round(1e6))
+	if lf, rc, ev, rt := res.TotalLinkFaults(), res.TotalReconnects(), res.TotalEvictions(), res.TotalRetransmits(); lf+rc+ev+rt > 0 {
+		fmt.Printf("resilience:          %d link faults, %d reconnects, %d evictions, %d retransmits\n", lf, rc, ev, rt)
+	}
 }

@@ -44,9 +44,19 @@ type Config struct {
 	HeapSize         int
 	DeclaredHeapSize int
 
-	// Model overrides the cost model; Faults injects UD faults.
+	// Model overrides the cost model; Faults injects UD and RC faults
+	// (drops, duplicates, bounded reordering, link flaps, PE slowdowns).
 	Model  *vclock.CostModel
 	Faults *ib.FaultInjector
+
+	// MaxLiveRC caps the live RC queue pairs per HCA: each PE evicts its
+	// least-recently-used idle connection before exceeding the cap, and the
+	// evicted peer reconnects on demand. Zero means unbounded; on-demand
+	// mode only (the fully connected baseline ignores it).
+	MaxLiveRC int
+	// Retrans overrides the conduit's real-time retransmission timing
+	// (zero fields keep defaults); fault soaks compress it.
+	Retrans gasnet.RetransConfig
 
 	// SkipLaunchCost starts clocks at zero instead of the modeled
 	// fork/exec fan-out (useful for latency microbenchmarks).
@@ -132,6 +142,44 @@ func (r *Result) AvgConns() float64 {
 		sum += p.Stats.ConnsEstablished
 	}
 	return float64(sum) / float64(len(r.PEs))
+}
+
+// TotalLinkFaults sums the broken-connection detections across PEs.
+func (r *Result) TotalLinkFaults() int {
+	sum := 0
+	for _, p := range r.PEs {
+		sum += p.Stats.LinkFaults
+	}
+	return sum
+}
+
+// TotalReconnects sums the connections re-established after a fault or
+// eviction across PEs.
+func (r *Result) TotalReconnects() int {
+	sum := 0
+	for _, p := range r.PEs {
+		sum += p.Stats.Reconnects
+	}
+	return sum
+}
+
+// TotalEvictions sums the idle connections evicted to honor the live-QP cap
+// across PEs.
+func (r *Result) TotalEvictions() int {
+	sum := 0
+	for _, p := range r.PEs {
+		sum += p.Stats.Evictions
+	}
+	return sum
+}
+
+// TotalRetransmits sums the UD handshake retransmissions across PEs.
+func (r *Result) TotalRetransmits() int {
+	sum := 0
+	for _, p := range r.PEs {
+		sum += p.Stats.Retransmits
+	}
+	return sum
 }
 
 // RunEnvs launches a job but hands each PE its raw substrate environment
@@ -276,6 +324,8 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 				Mode: cfg.Mode, BlockingPMI: cfg.BlockingPMI, SegEx: cfg.SegEx,
 				HeapSize: cfg.HeapSize, DeclaredHeapSize: cfg.DeclaredHeapSize,
 				GlobalInitBarriers: cfg.GlobalInitBarriers,
+				MaxLiveRC:          cfg.MaxLiveRC,
+				Retrans:            cfg.Retrans,
 			})
 			app(ctx)
 			// Snapshot resource counters before finalize so Table I / Fig. 9

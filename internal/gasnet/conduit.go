@@ -88,6 +88,20 @@ type Config struct {
 	// before any pending traffic to or from that peer is released.
 	ConnectPayload   func() []byte
 	OnConnectPayload func(peer int, payload []byte, at int64)
+
+	// MaxLiveRC, when positive, caps the live RC queue pairs on this PE's
+	// HCA (shared by the node's PEs, like the HCA endpoint cache it models).
+	// When a new connection would exceed the cap, this PE evicts its own
+	// least-recently-used idle connection; the evicted peer reconnects on
+	// demand through the normal handshake. Zero means unbounded. On-demand
+	// mode only: the static baseline is fully connected by definition and
+	// has no reconnect path, so it ignores the cap.
+	MaxLiveRC int
+
+	// Retrans overrides the real-time retransmission timing (zero fields
+	// keep the defaults). Slow CI runs and fault-injection harnesses tune
+	// it; fault-free runs never arm the timer at all.
+	Retrans RetransConfig
 }
 
 // Stats counts the per-PE resource usage and traffic that feed the paper's
@@ -104,6 +118,11 @@ type Stats struct {
 	BytesPut         int64
 	BytesGot         int64
 	PeersContacted   int // distinct peers this PE sent anything to
+
+	// Resilience counters (connection-lifecycle fault recovery).
+	LinkFaults int // broken RC connections this PE detected and tore down
+	Reconnects int // connections re-established after a fault or eviction
+	Evictions  int // idle connections evicted to honor the live-QP cap
 }
 
 type connState uint8
@@ -126,12 +145,17 @@ type conn struct {
 	loopbk  *ib.QP // second endpoint of a self-connection
 	peerUD  ib.Dest
 	seq     uint32
+	seqHi   uint32 // highest attempt ever used on this slot (never reused)
 	attempt int
 	firstTx int64     // virtual time of first REQ/REP transmission
 	lastTx  time.Time // real time of last transmission (retransmit backoff)
 	pending []pendingWR
 	readyVT int64
 	gotPay  bool // upper-layer payload already consumed
+
+	epoch     uint64 // teardown generation, so racing fault reports are applied once
+	everReady bool   // has reached ready at least once (re-ready counts as a reconnect)
+	lastUse   uint64 // LRU stamp for idle-connection eviction
 }
 
 // Conduit is one PE's endpoint on the fabric.
@@ -152,10 +176,12 @@ type Conduit struct {
 	connSlice   []*conn // static mode: dense table
 	connMap     map[int]*conn
 	nReady      int
-	lastReadyVT int64 // max virtual time any connection became ready
+	lastReadyVT int64  // max virtual time any connection became ready
+	useSeq      uint64 // LRU counter for eviction (guarded by connMu)
 	heldReqs    []connMsg
 	timerOn     bool
 	timer       *time.Timer
+	retrans     RetransConfig // resolved retransmission timing
 
 	waiterMu    sync.Mutex
 	waiters     map[uint64]chan ib.Completion
@@ -198,6 +224,7 @@ func New(cfg Config) *Conduit {
 		waiters: make(map[uint64]chan ib.Completion),
 		peers:   make(map[int]struct{}),
 		closeCh: make(chan struct{}),
+		retrans: cfg.Retrans.withDefaults(),
 	}
 	c.connCond = sync.NewCond(&c.connMu)
 	c.outCond = sync.NewCond(&c.outMu)

@@ -1,6 +1,7 @@
 package gasnet
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -8,25 +9,66 @@ import (
 	"goshmem/internal/vclock"
 )
 
-// retransInterval is the real-time retransmission scan period, and
-// retransBaseRTO the initial per-connection retransmission timeout with
-// exponential backoff. Backoff matters even without fault injection: a large
-// static ConnectAll keeps thousands of handshakes legitimately in flight for
-// (real) seconds, and resending all of them every scan would flood the
-// completion queues. Virtual-time charges for retransmissions use
+// Default real-time retransmission timing: the scan period and the initial
+// per-connection retransmission timeout with exponential backoff. Backoff
+// matters even without fault injection: a large static ConnectAll keeps
+// thousands of handshakes legitimately in flight for (real) seconds, and
+// resending all of them every scan would flood the completion queues.
+// Virtual-time charges for retransmissions use
 // CostModel.ConnRetransmitTimeout.
 const (
-	retransInterval = 10 * time.Millisecond
-	retransBaseRTO  = 25 * time.Millisecond
-	retransMaxShift = 6
+	defaultRetransInterval = 10 * time.Millisecond
+	defaultRetransBaseRTO  = 25 * time.Millisecond
+	defaultRetransMaxShift = 6
+
+	// recycleAttempts is the last-resort convergence bound: a handshake
+	// still not complete after this many retransmissions is torn down and,
+	// if traffic is queued behind it, restarted with a fresh attempt number.
+	// A fresh attempt supersedes any stale state the peer may hold, so this
+	// guarantees eventual convergence even for fault interleavings the
+	// message-level guards do not recognize.
+	recycleAttempts = 25
 )
 
-// rtoFor returns the real-time retransmission timeout for the given attempt.
-func rtoFor(attempt int) time.Duration {
-	if attempt > retransMaxShift {
-		attempt = retransMaxShift
+// RetransConfig tunes the connection manager's real-time retransmission
+// machinery. Interval is the scan period, BaseRTO the first per-connection
+// timeout, and MaxShift caps the exponential backoff (RTO = BaseRTO <<
+// min(attempt, MaxShift)). Zero fields take the defaults, so the zero value
+// keeps the historical 10ms/25ms/6 behaviour. Slow -race CI runs raise the
+// timeouts; fault-injection soaks lower them to compress recovery time.
+type RetransConfig struct {
+	Interval time.Duration
+	BaseRTO  time.Duration
+	MaxShift int
+}
+
+// withDefaults fills zero fields with the default timing.
+func (rc RetransConfig) withDefaults() RetransConfig {
+	if rc.Interval <= 0 {
+		rc.Interval = defaultRetransInterval
 	}
-	return retransBaseRTO << attempt
+	if rc.BaseRTO <= 0 {
+		rc.BaseRTO = defaultRetransBaseRTO
+	}
+	if rc.MaxShift <= 0 {
+		rc.MaxShift = defaultRetransMaxShift
+	}
+	return rc
+}
+
+// rtoFor returns the real-time retransmission timeout for the given attempt.
+func (c *Conduit) rtoFor(attempt int) time.Duration {
+	if attempt > c.retrans.MaxShift {
+		attempt = c.retrans.MaxShift
+	}
+	return c.retrans.BaseRTO << attempt
+}
+
+// isLinkFault reports whether a post failed because the RC connection died
+// underneath it (link flap, peer teardown, or local eviction) — the errors
+// the connection manager recovers from by re-running the handshake.
+func isLinkFault(err error) bool {
+	return errors.Is(err, ib.ErrLinkDown) || errors.Is(err, ib.ErrBadState)
 }
 
 // connFor returns (creating if necessary) the connection slot for peer.
@@ -71,6 +113,140 @@ func (c *Conduit) NumConnected() int {
 	return c.nReady
 }
 
+// teardownLocked destroys a connection's queue pairs and resets the slot to
+// connNone so a later use re-runs the handshake. Queued traffic and the
+// payload-consumed flag survive: pending sends flush over the replacement
+// connection exactly once, and the upper layer's segment info is never
+// re-consumed. Caller holds connMu and emits the trace event/stat itself.
+func (c *Conduit) teardownLocked(cn *conn) {
+	if cn.qp != nil {
+		cn.qp.Destroy()
+		cn.qp = nil
+	}
+	if cn.loopbk != nil {
+		cn.loopbk.Destroy()
+		cn.loopbk = nil
+	}
+	if cn.state == connReady {
+		c.nReady--
+	}
+	cn.state = connNone
+	cn.epoch++
+}
+
+// noteLinkFault tears down the connection to peer if it is still the same
+// generation the caller observed failing; concurrent posters race to report
+// the same dead QP and only the first wins. Returns true if this call did
+// the teardown.
+func (c *Conduit) noteLinkFault(peer int, epoch uint64) bool {
+	c.connMu.Lock()
+	cn := c.peekConn(peer)
+	if cn == nil || cn.epoch != epoch || cn.state != connReady {
+		c.connMu.Unlock()
+		return false
+	}
+	c.teardownLocked(cn)
+	c.connMu.Unlock()
+	c.statMu.Lock()
+	c.stats.LinkFaults++
+	c.statMu.Unlock()
+	c.event("conn-link-fault", peer, c.clk.Now())
+	return true
+}
+
+// connHealthyLocked reports whether both halves of a ready connection are
+// still alive: our QP is RTS and the remote QP it is bound to still exists
+// and is usable. This is the simulator's stand-in for the zero-byte liveness
+// probe a real conduit would post; it lets the server distinguish a genuine
+// reconnect request (the client always destroys its old QP first) from a
+// delayed duplicate of an abandoned attempt. Caller holds connMu.
+func (c *Conduit) connHealthyLocked(cn *conn) bool {
+	if cn.qp == nil || cn.qp.State() != ib.StateRTS {
+		return false
+	}
+	r := cn.qp.Remote()
+	rh := c.cfg.HCA.Fabric().HCA(r.LID)
+	if rh == nil {
+		return false
+	}
+	rq := rh.QP(r.QPN)
+	if rq == nil {
+		return false
+	}
+	st := rq.State()
+	return st == ib.StateRTR || st == ib.StateRTS
+}
+
+// remoteQPAlive reports whether the queue pair a handshake message advertises
+// still exists and has not failed. A client abandons an attempt only by
+// destroying its QP (collision loss, teardown), so a request advertising a
+// dead endpoint is a delayed duplicate of an abandoned attempt: binding to it
+// could never complete the handshake, and accepting it over connNone would
+// wedge this side in accepted forever. Real conduits learn the same thing
+// from the CM's address resolution or the first retransmission timeout.
+func (c *Conduit) remoteQPAlive(d ib.Dest) bool {
+	h := c.cfg.HCA.Fabric().HCA(d.LID)
+	if h == nil {
+		return false
+	}
+	q := h.QP(d.QPN) // nil once destroyed
+	return q != nil && q.State() != ib.StateError
+}
+
+// maybeEvictLocked enforces the per-HCA live-QP cap before a new RC
+// connection is created: while the adapter is at or above the cap, the
+// least-recently-used idle connection (ready, nothing queued, not the slot
+// being established) is torn down. The evicted peer reconnects on demand;
+// eviction is best-effort, so a node whose connections are all busy simply
+// exceeds the cap. Caller holds connMu.
+func (c *Conduit) maybeEvictLocked(excludePeer int, vt int64) {
+	limit := c.cfg.MaxLiveRC
+	if limit <= 0 || c.cfg.Mode == Static {
+		// The static baseline is fully connected by definition and has no
+		// reconnect path: evicting one of its connections would be permanent.
+		return
+	}
+	for c.cfg.HCA.LiveRC() >= int64(limit) {
+		victim, peer := c.pickVictimLocked(excludePeer)
+		if victim == nil {
+			return
+		}
+		c.teardownLocked(victim)
+		c.statMu.Lock()
+		c.stats.Evictions++
+		c.statMu.Unlock()
+		c.event("conn-evict", peer, vt)
+	}
+}
+
+// pickVictimLocked returns the least-recently-used evictable connection:
+// ready, no queued traffic, not the excluded peer, not the self-loopback.
+func (c *Conduit) pickVictimLocked(excludePeer int) (*conn, int) {
+	var victim *conn
+	vpeer := -1
+	consider := func(peer int, cn *conn) {
+		if cn == nil || cn.state != connReady || len(cn.pending) > 0 {
+			return
+		}
+		if peer == excludePeer || peer == c.cfg.Rank {
+			return
+		}
+		if victim == nil || cn.lastUse < victim.lastUse {
+			victim, vpeer = cn, peer
+		}
+	}
+	if c.connSlice != nil {
+		for peer, cn := range c.connSlice {
+			consider(peer, cn)
+		}
+	} else {
+		for peer, cn := range c.connMap {
+			consider(peer, cn)
+		}
+	}
+	return victim, vpeer
+}
+
 // payload returns the upper layer's connect payload, or nil.
 func (c *Conduit) payload() []byte {
 	if c.cfg.ConnectPayload == nil {
@@ -99,6 +275,11 @@ func (c *Conduit) consumePayloadLocked(cn *conn, peer int, payload []byte, at in
 // flushed, in order, the moment the connection is ready. clonePending makes
 // a private copy of wr.Data when queueing (callers that hand over ownership
 // of the buffer, such as AMRequest, pass false).
+//
+// A post that fails because the connection died underneath it (link flap,
+// peer eviction) tears the connection down and loops: the work request is
+// queued behind a fresh handshake and delivered exactly once — the fabric
+// fails faulted operations before any byte moves.
 func (c *Conduit) post(peer int, wr ib.SendWR, clonePending bool) error {
 	if peer < 0 || peer >= c.cfg.NProcs {
 		return fmt.Errorf("gasnet: peer %d out of range [0,%d)", peer, c.cfg.NProcs)
@@ -109,9 +290,18 @@ func (c *Conduit) post(peer int, wr ib.SendWR, clonePending bool) error {
 		switch cn.state {
 		case connReady:
 			qp := cn.qp
+			epoch := cn.epoch
+			c.useSeq++
+			cn.lastUse = c.useSeq
 			c.connMu.Unlock()
 			wr.Clk = c.clk
-			return qp.PostSend(wr)
+			err := qp.PostSend(wr)
+			if err == nil || !isLinkFault(err) {
+				return err
+			}
+			c.noteLinkFault(peer, epoch)
+			// Loop: the slot is connNone now (or another poster already
+			// restarted the handshake); re-queue this request behind it.
 		case connConnecting, connAccepted:
 			if clonePending && wr.Data != nil {
 				wr.Data = append([]byte(nil), wr.Data...)
@@ -141,6 +331,8 @@ func (c *Conduit) EnsureConnected(peer int) error {
 		switch cn.state {
 		case connReady:
 			ready := cn.readyVT
+			c.useSeq++
+			cn.lastUse = c.useSeq
 			c.connMu.Unlock()
 			// The caller blocked until the handshake finished; its time
 			// advances to the connection-ready instant.
@@ -173,7 +365,14 @@ func (c *Conduit) initiate(peer int) error {
 		return c.connectSelfLocked(cn) // unlocks
 	}
 	cn.state = connConnecting
+	// Attempt numbers are never reused, even across abandoned attempts
+	// (collision losses, adopted lower-seq accepts): a delayed duplicate of
+	// an old REQ must always compare below any live attempt.
+	if cn.seqHi > cn.seq {
+		cn.seq = cn.seqHi
+	}
 	cn.seq++
+	cn.seqHi = cn.seq
 	seq := cn.seq
 	c.connMu.Unlock()
 
@@ -193,6 +392,7 @@ func (c *Conduit) initiate(peer int) error {
 		c.connMu.Unlock()
 		return err
 	}
+	c.maybeEvictLocked(peer, c.clk.Now())
 	qp := c.cfg.HCA.CreateQP(ib.RC, c.clk, c.cq, c.cq)
 	c.countQP(ib.RC)
 	if e := qp.ToInit(); e != nil {
@@ -216,6 +416,7 @@ func (c *Conduit) initiate(peer int) error {
 // (OpenSHMEM semantics allow communication with one's own rank; the fully
 // connected baseline counts it too). Called with connMu held; unlocks.
 func (c *Conduit) connectSelfLocked(cn *conn) error {
+	c.maybeEvictLocked(c.cfg.Rank, c.clk.Now())
 	a := c.cfg.HCA.CreateQP(ib.RC, c.clk, c.cq, c.cq)
 	b := c.cfg.HCA.CreateQP(ib.RC, c.clk, c.cq, c.cq)
 	c.countQP(ib.RC)
@@ -243,12 +444,17 @@ func (c *Conduit) connectSelfLocked(cn *conn) error {
 	c.consumePayloadLocked(cn, c.cfg.Rank, c.payload(), cn.readyVT)
 	cn.state = connReady
 	c.nReady++
+	recon := cn.everReady
+	cn.everReady = true
 	if cn.readyVT > c.lastReadyVT {
 		c.lastReadyVT = cn.readyVT
 	}
 	c.connMu.Unlock()
 	c.statMu.Lock()
 	c.stats.ConnsEstablished++
+	if recon {
+		c.stats.Reconnects++
+	}
 	c.statMu.Unlock()
 	c.connCond.Broadcast()
 	return nil
@@ -302,18 +508,41 @@ func (c *Conduit) handleReq(m connMsg) {
 	}
 	c.connMu.Lock()
 	cn := c.connFor(peer)
+	if !c.remoteQPAlive(m.RC) {
+		c.connMu.Unlock()
+		c.event("conn-stale-req", peer, c.mgrClk.Now())
+		return
+	}
 	switch cn.state {
 	case connReady, connAccepted:
-		// Duplicate request: resend the reply with the existing endpoint.
-		// (If we are already fully connected the client must have processed
-		// the original reply to send RTU, but a stale duplicate is still
-		// answered; the client ignores replies when ready.)
-		rep := connMsg{Kind: msgConnRep, SrcRank: int32(c.cfg.Rank), Seq: cn.seq,
-			RC: cn.qp.Addr(), UD: c.udQP.Addr(), Payload: c.payload()}
-		ud := cn.peerUD
-		c.connMu.Unlock()
-		c.sendControl(ud, rep, c.mgrClk)
-		return
+		if m.Seq <= cn.seq {
+			// Duplicate request: resend the reply with the existing endpoint.
+			// (If we are already fully connected the client must have
+			// processed the original reply to send RTU, but a stale duplicate
+			// is still answered; the client ignores replies when ready.)
+			rep := connMsg{Kind: msgConnRep, SrcRank: int32(c.cfg.Rank), Seq: cn.seq,
+				RC: cn.qp.Addr(), UD: c.udQP.Addr(), Payload: c.payload()}
+			ud := cn.peerUD
+			c.connMu.Unlock()
+			c.sendControl(ud, rep, c.mgrClk)
+			return
+		}
+		// Higher sequence than anything we served: normally the peer tore
+		// the old connection down (link fault on its side, or it evicted us)
+		// and is re-running the handshake. But a delayed duplicate of a REQ
+		// the peer has since abandoned (collision loss under reordering)
+		// looks identical — and honoring it would kill a healthy connection
+		// and bind to a destroyed endpoint. A genuine reconnect always
+		// destroys the client's old QP before the new REQ is sent, so if
+		// both halves of the current connection are still alive the REQ is
+		// stale: ignore it (it is never retransmitted).
+		if cn.state == connReady && c.connHealthyLocked(cn) {
+			c.connMu.Unlock()
+			c.event("conn-stale-req", peer, c.mgrClk.Now())
+			return
+		}
+		c.teardownLocked(cn)
+		c.event("conn-reconnect-req", peer, c.mgrClk.Now())
 	case connConnecting:
 		if c.cfg.Rank < peer {
 			// Collision, and we are the winner: ignore the peer's request;
@@ -330,8 +559,19 @@ func (c *Conduit) handleReq(m connMsg) {
 			cn.qp = nil
 		}
 	case connNone:
+		if m.Seq <= cn.seq {
+			// Duplicate of an attempt this slot already served and has since
+			// torn down (eviction): the client is not waiting on this
+			// handshake — accepting would bind a second server QP to a
+			// connection the client believes is complete. A genuine new
+			// attempt always carries a higher number.
+			c.connMu.Unlock()
+			c.event("conn-stale-req", peer, c.mgrClk.Now())
+			return
+		}
 	}
 
+	c.maybeEvictLocked(peer, c.mgrClk.Now())
 	qp := c.cfg.HCA.CreateQP(ib.RC, c.mgrClk, c.cq, c.cq)
 	c.countQP(ib.RC)
 	if qp.ToInit() != nil || qp.ToRTR(m.RC) != nil || qp.ToRTS() != nil {
@@ -341,6 +581,9 @@ func (c *Conduit) handleReq(m connMsg) {
 	cn.qp = qp
 	cn.peerUD = m.UD
 	cn.seq = m.Seq
+	if m.Seq > cn.seqHi {
+		cn.seqHi = m.Seq
+	}
 	cn.firstTx = c.mgrClk.Now()
 	cn.lastTx = timeNow()
 	cn.attempt = 0
@@ -370,17 +613,51 @@ func (c *Conduit) handleRep(m connMsg) {
 	}
 	switch cn.state {
 	case connReady:
-		// Duplicate reply (our RTU was lost): re-acknowledge.
-		rtu := connMsg{Kind: msgConnRTU, SrcRank: int32(c.cfg.Rank), Seq: m.Seq,
-			UD: c.udQP.Addr()}
-		ud := cn.peerUD
+		if m.Seq == cn.seq {
+			if cn.qp != nil && m.RC == cn.qp.Remote() {
+				// Duplicate reply (our RTU was lost): re-acknowledge.
+				rtu := connMsg{Kind: msgConnRTU, SrcRank: int32(c.cfg.Rank), Seq: m.Seq,
+					UD: c.udQP.Addr()}
+				ud := cn.peerUD
+				c.connMu.Unlock()
+				c.sendControl(ud, rtu, c.mgrClk)
+				return
+			}
+			// Same attempt number but a different server endpoint: the
+			// server tore our connection down (eviction) and re-accepted on
+			// a fresh QP, so the half we hold is dead. Fall through to the
+			// divergence recovery below.
+		}
+		if m.Seq < cn.seq {
+			c.connMu.Unlock()
+			return // reply for an attempt we have since superseded
+		}
+		// The server replied for an attempt newer than our established
+		// connection: it accepted a stale REQ of ours while our half looked
+		// fine. The two sides have diverged — our connection is dead on the
+		// server. Tear down and re-run the handshake so both sides converge
+		// on a single connection; queued traffic survives the teardown.
+		c.teardownLocked(cn)
 		c.connMu.Unlock()
-		c.sendControl(ud, rtu, c.mgrClk)
+		c.statMu.Lock()
+		c.stats.LinkFaults++
+		c.statMu.Unlock()
+		c.event("conn-stale-rep", peer, c.mgrClk.Now())
+		go c.initiate(peer)
 		return
 	case connConnecting:
-		if m.Seq != cn.seq || cn.qp == nil {
+		if m.Seq < cn.seq || cn.qp == nil {
 			c.connMu.Unlock()
 			return // stale attempt or reply raced our setup
+		}
+		// m.Seq == cn.seq is the normal case. m.Seq > cn.seq means the
+		// server served a newer attempt than the one we are waiting on
+		// (possible only through stale duplicates); its endpoint in the
+		// reply is live either way, so adopt the server's number and bind —
+		// any dead half on the server side recovers through the fault path.
+		cn.seq = m.Seq
+		if m.Seq > cn.seqHi {
+			cn.seqHi = m.Seq
 		}
 		cn.qp.SetClock(c.mgrClk) // paper Fig. 4: the manager thread drives RTR/RTS
 		if cn.qp.ToRTR(m.RC) != nil || cn.qp.ToRTS() != nil {
@@ -392,20 +669,61 @@ func (c *Conduit) handleRep(m connMsg) {
 		c.consumePayloadLocked(cn, peer, m.Payload, cn.readyVT)
 		cn.state = connReady
 		c.nReady++
+		recon := cn.everReady
+		cn.everReady = true
 		if cn.readyVT > c.lastReadyVT {
 			c.lastReadyVT = cn.readyVT
 		}
-		c.flushLocked(cn)
+		flushed := c.flushLocked(cn, peer)
 		rtu := connMsg{Kind: msgConnRTU, SrcRank: int32(c.cfg.Rank), Seq: m.Seq,
 			UD: c.udQP.Addr()}
 		ud := cn.peerUD
 		c.connMu.Unlock()
 		c.statMu.Lock()
 		c.stats.ConnsEstablished++
+		if recon {
+			c.stats.Reconnects++
+		}
 		c.statMu.Unlock()
 		c.event("conn-ready-client", peer, c.mgrClk.Now())
-		c.sendControl(ud, rtu, c.mgrClk)
+		if flushed {
+			// Only acknowledge a connection that survived its flush; a flush
+			// that hit a link fault already tore it down for re-handshaking.
+			c.sendControl(ud, rtu, c.mgrClk)
+		}
 		c.connCond.Broadcast()
+		return
+	case connAccepted:
+		if m.Seq < cn.seq {
+			c.connMu.Unlock()
+			return // stale reply from an attempt both sides have moved past
+		}
+		// Mutual-server deadlock: we are serving one of the peer's abandoned
+		// attempts while the peer is serving one of ours — both halves are
+		// bound to destroyed client QPs, both retransmit REPs, and neither
+		// ever sees an RTU. Restart as a client with a fresh attempt number;
+		// the peer's accept (or the collision rule, if it restarts too) takes
+		// it from there. Queued traffic survives the teardown.
+		c.teardownLocked(cn)
+		c.connMu.Unlock()
+		c.event("conn-mutual-accept", peer, c.mgrClk.Now())
+		go c.initiate(peer)
+		return
+	case connNone:
+		if m.Seq < cn.seqHi {
+			c.connMu.Unlock()
+			return // long-delayed reply from an attempt we tore down; ignore
+		}
+		// The server is answering our latest attempt, but we no longer have
+		// one: we went ready, our RTU was lost, and the connection was then
+		// torn down locally (eviction) before the server's retransmitted
+		// reply arrived. The server sits in accepted — possibly with queued
+		// traffic — retransmitting a reply nobody is waiting for, bound to a
+		// QP we destroyed. Re-run the handshake: our higher-numbered request
+		// supersedes the wedged accept and flushes its queue.
+		c.connMu.Unlock()
+		c.event("conn-rescue-accept", peer, c.mgrClk.Now())
+		go c.initiate(peer)
 		return
 	default:
 		c.connMu.Unlock()
@@ -428,13 +746,18 @@ func (c *Conduit) handleRTU(m connMsg) {
 	cn.state = connReady
 	cn.readyVT = c.mgrClk.Now()
 	c.nReady++
+	recon := cn.everReady
+	cn.everReady = true
 	if cn.readyVT > c.lastReadyVT {
 		c.lastReadyVT = cn.readyVT
 	}
-	c.flushLocked(cn)
+	c.flushLocked(cn, peer)
 	c.connMu.Unlock()
 	c.statMu.Lock()
 	c.stats.ConnsEstablished++
+	if recon {
+		c.stats.Reconnects++
+	}
 	c.statMu.Unlock()
 	c.event("conn-ready-server", peer, c.mgrClk.Now())
 	c.connCond.Broadcast()
@@ -443,21 +766,40 @@ func (c *Conduit) handleRTU(m connMsg) {
 // flushLocked posts the traffic queued behind the handshake, in order. Each
 // queued request departs at max(its enqueue time, the connection-ready
 // time), accumulating post overheads on a dedicated flush clock.
-func (c *Conduit) flushLocked(cn *conn) {
+//
+// If the connection dies mid-flush (a link flap can hit the very first
+// post), the unflushed remainder is kept queued, the connection is torn down
+// and a fresh client handshake is kicked off, so every queued request is
+// still delivered exactly once. Returns false in that case.
+func (c *Conduit) flushLocked(cn *conn, peer int) bool {
 	if len(cn.pending) == 0 {
-		return
+		return true
 	}
 	fc := vclock.NewClock(cn.readyVT)
-	for _, p := range cn.pending {
+	for i, p := range cn.pending {
 		fc.AdvanceTo(p.enq)
 		wr := p.wr
 		wr.Clk = fc
 		if err := cn.qp.PostSend(wr); err != nil {
-			// The queue pair failed underneath us; nothing more to flush.
-			break
+			if !isLinkFault(err) {
+				// Non-recoverable local fault (e.g. MTU): drop the request as
+				// a direct post would, keep flushing the rest.
+				continue
+			}
+			// The queue pair failed underneath us; keep the remainder queued
+			// behind a replacement connection.
+			cn.pending = cn.pending[i:]
+			c.teardownLocked(cn)
+			c.statMu.Lock()
+			c.stats.LinkFaults++
+			c.statMu.Unlock()
+			c.event("conn-link-fault", peer, c.mgrClk.Now())
+			go c.initiate(peer)
+			return false
 		}
 	}
 	cn.pending = nil
+	return true
 }
 
 // armTimerLocked schedules a retransmission scan if one is not pending.
@@ -467,7 +809,7 @@ func (c *Conduit) armTimerLocked() {
 		return
 	}
 	c.timerOn = true
-	c.timer = time.AfterFunc(retransInterval, c.retransScan)
+	c.timer = time.AfterFunc(c.retrans.Interval, c.retransScan)
 }
 
 // retransScan resends REQ (client, awaiting REP) and REP (server, awaiting
@@ -484,6 +826,8 @@ func (c *Conduit) retransScan() {
 		m    connMsg
 	}
 	var resend []tx
+	var reinit []int
+	recycled := false
 	c.connMu.Lock()
 	c.timerOn = false
 	now := timeNow()
@@ -497,12 +841,28 @@ func (c *Conduit) retransScan() {
 		if cn.state == connConnecting && cn.qp == nil {
 			return // still resolving the UD endpoint
 		}
-		if now.Sub(cn.lastTx) < rtoFor(cn.attempt) {
+		deadAccept := cn.state == connAccepted && cn.qp != nil && !c.remoteQPAlive(cn.qp.Remote())
+		if deadAccept || cn.attempt >= recycleAttempts {
+			// Recycle a handshake that can no longer (dead client endpoint:
+			// the client abandoned the attempt, no RTU can ever arrive) or
+			// evidently will not (attempt bound exceeded) complete. The slot
+			// is torn down; with queued traffic we become the client of a
+			// fresh attempt, without it the slot goes idle until someone
+			// needs it. This is the convergence backstop for fault
+			// interleavings the message-level guards don't cover.
+			c.teardownLocked(cn)
+			recycled = true
+			if len(cn.pending) > 0 {
+				reinit = append(reinit, peer)
+			}
+			c.event("conn-recycle", peer, c.mgrClk.Now())
+			return
+		}
+		if now.Sub(cn.lastTx) < c.rtoFor(cn.attempt) {
 			return // not yet stale; avoid duplicate floods during bulk setup
 		}
 		cn.attempt++
 		cn.lastTx = now
-		c.stats.Retransmits++
 		c.mgrClk.AdvanceTo(cn.firstTx + int64(cn.attempt)*c.model.ConnRetransmitTimeout)
 		kind := msgConnReq
 		if cn.state == connAccepted {
@@ -524,7 +884,19 @@ func (c *Conduit) retransScan() {
 	if c.hasPendingLocked() {
 		c.armTimerLocked()
 	}
+	if recycled {
+		// A drain (Close) may be waiting for the recycled slots to settle.
+		c.connCond.Broadcast()
+	}
 	c.connMu.Unlock()
+	for _, peer := range reinit {
+		c.initiate(peer)
+	}
+	if len(resend) > 0 {
+		c.statMu.Lock()
+		c.stats.Retransmits += len(resend)
+		c.statMu.Unlock()
+	}
 	for _, t := range resend {
 		c.event("conn-retransmit", t.peer, c.mgrClk.Now())
 		c.sendControl(t.ud, t.m, c.mgrClk)

@@ -30,6 +30,13 @@ type jobOpts struct {
 	faults      *ib.FaultInjector
 	payloads    bool
 	model       *vclock.CostModel
+	maxLiveRC   int           // per-HCA live RC cap (0 = unbounded)
+	retrans     RetransConfig // retransmission timing override
+
+	// onEvent, when set, receives every connection-lifecycle trace event
+	// from every PE (rank is the observing PE). Used by fault-plane tests
+	// to assert on and debug handshake recovery schedules.
+	onEvent func(rank int, kind string, peer int, vt int64)
 }
 
 // startJob builds a fabric, a PMI server and n conduits, exchanges endpoints
@@ -65,6 +72,13 @@ func startJob(t *testing.T, o jobOpts) ([]*pe, func(body func(p *pe))) {
 			HCA: p.HCA, PMI: srv.Client(r, p.Clk), Clock: p.Clk,
 			Mode: o.mode, BlockingPMI: o.blockingPMI,
 			NodeBarrier: bars[r/o.ppn],
+			MaxLiveRC:   o.maxLiveRC,
+			Retrans:     o.retrans,
+		}
+		if o.onEvent != nil {
+			rank := r
+			ev := o.onEvent
+			cfg.OnEvent = func(kind string, peer int, vt int64) { ev(rank, kind, peer, vt) }
 		}
 		if o.payloads {
 			rank := r

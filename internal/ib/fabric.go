@@ -91,17 +91,30 @@ func (f *Fabric) occupancy(src, dst *HCA, n int) int64 {
 }
 
 // sendUD delivers an unreliable datagram. Unknown targets and datagrams that
-// the fault injector drops vanish silently, exactly like UD.
+// the fault injector drops vanish silently, exactly like UD. Datagrams the
+// injector holds for reordering are delivered once enough later traffic has
+// overtaken them; each send also flushes any held datagram whose bounded
+// reorder window has expired.
 func (f *Fabric) sendUD(q *QP, wr SendWR) error {
 	clk := q.clk
 	if wr.Clk != nil {
 		clk = wr.Clk
 	}
+	if extra := f.faults.slowdown(); extra > 0 {
+		clk.Advance(extra)
+	}
 	depart := clk.Advance(f.model.SendPostOverhead)
 	if q.sendCQ != nil && !wr.NoSendCompletion {
 		q.sendCQ.Push(Completion{WRID: wr.WRID, QPN: q.qpn, Op: OpSend, Status: StatusOK, VTime: depart})
 	}
-	drop, dup := f.faults.udFate()
+	// Age the reorder window before deciding this datagram's fate so held
+	// datagrams flush even on a stream of drops.
+	defer func() {
+		for _, deliver := range f.faults.dueDeliveries() {
+			deliver()
+		}
+	}()
+	drop, dup, hold := f.faults.udFate(wr.Data)
 	if drop {
 		return nil
 	}
@@ -122,11 +135,19 @@ func (f *Fabric) sendUD(q *QP, wr SendWR) error {
 	arrival := depart + f.latencyOnly(q.hca, dh, f.model.UDSendLatency)
 	data := append([]byte(nil), wr.Data...)
 	src := q.Addr()
-	dh.countDelivery(len(data))
-	recvCQ.Push(Completion{QPN: wr.Dest.QPN, Src: src, Op: OpSend, Recv: true,
-		Data: data, Imm: wr.Imm, Status: StatusOK, VTime: arrival})
+	deliver := func() {
+		dh.countDelivery(len(data))
+		recvCQ.Push(Completion{QPN: wr.Dest.QPN, Src: src, Op: OpSend, Recv: true,
+			Data: data, Imm: wr.Imm, Status: StatusOK, VTime: arrival})
+	}
+	if hold {
+		f.faults.holdDelivery(deliver)
+		return nil
+	}
+	deliver()
 	if dup {
 		dupData := append([]byte(nil), wr.Data...)
+		dh.countDelivery(len(dupData))
 		recvCQ.Push(Completion{QPN: wr.Dest.QPN, Src: src, Op: OpSend, Recv: true,
 			Data: dupData, Imm: wr.Imm, Status: StatusOK, VTime: arrival + f.model.UDSendLatency})
 	}
@@ -134,15 +155,43 @@ func (f *Fabric) sendUD(q *QP, wr SendWR) error {
 }
 
 // sendRC executes a reliable-connected operation against the connected peer.
+// A dead remote queue pair — destroyed, evicted or flapped into the Error
+// state — fails the operation synchronously with ErrLinkDown before any data
+// moves, transitioning the local QP to Error too (real RC reports retry
+// exhaustion the same way: both halves of the connection die). The sender's
+// connection manager recovers by tearing down and re-running the handshake.
 func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 	clk := q.clk
 	if wr.Clk != nil {
 		clk = wr.Clk
 	}
+	if extra := f.faults.slowdown(); extra > 0 {
+		clk.Advance(extra)
+	}
 	depart := clk.Advance(f.model.SendPostOverhead)
 	dh := f.HCA(q.remote.LID)
 	if dh == nil {
 		return ErrBadLID
+	}
+	if f.faults.rcFlap() {
+		// Injected link fault: both queue pairs error out mid-stream, before
+		// this operation's payload moves, so no byte is delivered twice.
+		dh.mu.Lock()
+		dq := dh.qpLocked(q.remote.QPN)
+		dh.mu.Unlock()
+		q.ToError()
+		if dq != nil && dq.typ == RC {
+			dq.ToError()
+		}
+		return ErrLinkDown
+	}
+	dh.mu.Lock()
+	rdq := dh.qpLocked(q.remote.QPN)
+	remoteLive := rdq != nil && rdq.typ == RC && (rdq.state == StateRTR || rdq.state == StateRTS)
+	dh.mu.Unlock()
+	if !remoteLive {
+		q.ToError()
+		return ErrLinkDown
 	}
 
 	completeSend := func(c Completion) {
@@ -165,9 +214,10 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 		dh.mu.Lock()
 		dq := dh.qpLocked(q.remote.QPN)
 		if dq == nil || dq.typ != RC || (dq.state != StateRTR && dq.state != StateRTS) || dq.recvCQ == nil {
+			// The remote died between the liveness check and delivery.
 			dh.mu.Unlock()
-			completeSend(Completion{Status: StatusFlushed, VTime: depart})
-			return ErrNotConnected
+			q.ToError()
+			return ErrLinkDown
 		}
 		arrival := depart + lat
 		// RC delivery is in-order: clamp arrival monotone per target QP.

@@ -5,10 +5,28 @@ import (
 	"sync"
 )
 
-// FaultInjector perturbs the unreliable-datagram transport: drops, duplicates
-// and (bounded) reordering. RC traffic is never perturbed — reliability is
-// exactly what the RC hardware guarantees. A nil *FaultInjector injects
-// nothing and is the default.
+// UDVerdict is the decision a UDFilter returns for one datagram.
+type UDVerdict uint8
+
+const (
+	// VerdictDefault applies the injector's probabilistic fate.
+	VerdictDefault UDVerdict = iota
+	// VerdictDrop drops the datagram unconditionally.
+	VerdictDrop
+	// VerdictDeliver delivers the datagram, bypassing drop/dup/reorder.
+	VerdictDeliver
+)
+
+// FaultInjector is the fabric's fault plane. It perturbs the
+// unreliable-datagram transport — drops, duplicates and bounded reordering —
+// and, separately, injects the reliable-transport faults a real fabric
+// suffers: RC link faults (a queue pair transitions to the Error state
+// mid-stream, so in-flight work fails back to the sender) and PE slowdowns
+// (extra virtual time charged to the caller, modeling OS jitter or a
+// descheduled process). UD loss/duplication is what the UD hardware permits;
+// RC link faults model cable pulls, retry exhaustion and endpoint-cache
+// evictions that upper layers must recover from. A nil *FaultInjector
+// injects nothing and is the default.
 //
 // The injector is deterministic for a given seed and call sequence, which
 // keeps connection-manager fault tests reproducible.
@@ -28,8 +46,45 @@ type FaultInjector struct {
 	// probability — handy for forcing the retransmission path.
 	DropFirstN int
 
-	drops int
-	seen  int
+	// ReorderProb is the probability a UD datagram is held back and
+	// delivered late: its delivery is deferred until up to ReorderWindow
+	// subsequent datagrams have been sent, so the receiver observes it out
+	// of order. MaxReorders caps the number of held datagrams (0 =
+	// unlimited).
+	ReorderProb   float64
+	ReorderWindow int // max datagrams that may overtake a held one (default 4)
+	MaxReorders   int
+
+	// FlapProb is the probability an RC operation triggers a link fault:
+	// both queue pairs of the connection transition to the Error state
+	// before any data moves, and the sender sees a synchronous ErrLinkDown.
+	// MaxFlaps caps the number of injected faults (0 = unlimited).
+	FlapProb float64
+	MaxFlaps int
+
+	// SlowProb is the probability an operation charges SlowTime extra
+	// virtual nanoseconds to the calling PE's clock (PE slowdown injection).
+	SlowProb float64
+	SlowTime int64
+
+	// UDFilter, if non-nil, inspects each UD datagram payload and may force
+	// its fate, overriding the probabilistic knobs. Tests use it to lose one
+	// specific protocol leg (e.g. exactly the first ConnRep).
+	UDFilter func(payload []byte) UDVerdict
+
+	drops     int
+	seen      int
+	reorders  int
+	flaps     int
+	slowdowns int
+	held      []heldDelivery
+}
+
+// heldDelivery is a datagram delivery deferred for reordering. ttl is the
+// number of subsequent datagrams that may still overtake it.
+type heldDelivery struct {
+	deliver func()
+	ttl     int
 }
 
 // NewFaultInjector returns a deterministic injector.
@@ -47,25 +102,157 @@ func (fi *FaultInjector) Drops() int {
 	return fi.drops
 }
 
-// udFate decides the fate of one UD datagram.
-func (fi *FaultInjector) udFate() (drop, dup bool) {
+// Reorders reports how many datagrams have been held for late delivery.
+func (fi *FaultInjector) Reorders() int {
 	if fi == nil {
-		return false, false
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.reorders
+}
+
+// Flaps reports how many RC link faults have been injected.
+func (fi *FaultInjector) Flaps() int {
+	if fi == nil {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.flaps
+}
+
+// Slowdowns reports how many PE slowdowns have been injected.
+func (fi *FaultInjector) Slowdowns() int {
+	if fi == nil {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.slowdowns
+}
+
+// udFate decides the fate of one UD datagram. hold means the delivery must
+// be deferred via holdDelivery so later datagrams overtake it.
+func (fi *FaultInjector) udFate(payload []byte) (drop, dup, hold bool) {
+	if fi == nil {
+		return false, false, false
 	}
 	fi.mu.Lock()
 	defer fi.mu.Unlock()
 	fi.seen++
+	if fi.UDFilter != nil {
+		switch fi.UDFilter(payload) {
+		case VerdictDrop:
+			fi.drops++
+			return true, false, false
+		case VerdictDeliver:
+			return false, false, false
+		}
+	}
 	if fi.seen <= fi.DropFirstN {
 		fi.drops++
-		return true, false
+		return true, false, false
 	}
 	if fi.DropProb > 0 && (fi.MaxDrops == 0 || fi.drops < fi.MaxDrops) &&
 		fi.rng.Float64() < fi.DropProb {
 		fi.drops++
-		return true, false
+		return true, false, false
+	}
+	if fi.ReorderProb > 0 && (fi.MaxReorders == 0 || fi.reorders < fi.MaxReorders) &&
+		fi.rng.Float64() < fi.ReorderProb {
+		fi.reorders++
+		return false, false, true
 	}
 	if fi.DupProb > 0 && fi.rng.Float64() < fi.DupProb {
-		return false, true
+		return false, true, false
 	}
-	return false, false
+	return false, false, false
+}
+
+// holdDelivery parks a datagram delivery chosen for reordering. It is
+// released after a bounded number of subsequent datagrams (drawn from
+// [1, ReorderWindow]) have been sent, or by ReleaseHeld.
+func (fi *FaultInjector) holdDelivery(deliver func()) {
+	fi.mu.Lock()
+	w := fi.ReorderWindow
+	if w <= 0 {
+		w = 4
+	}
+	// +1 compensates for the aging pass the holding send itself performs on
+	// return, so the effective delay is 1..ReorderWindow subsequent sends.
+	fi.held = append(fi.held, heldDelivery{deliver: deliver, ttl: 2 + fi.rng.Intn(w)})
+	fi.mu.Unlock()
+}
+
+// dueDeliveries ages every held datagram by one send and returns the
+// deliveries whose reorder window expired. The caller invokes them outside
+// the injector lock.
+func (fi *FaultInjector) dueDeliveries() []func() {
+	if fi == nil {
+		return nil
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if len(fi.held) == 0 {
+		return nil
+	}
+	var due []func()
+	kept := fi.held[:0]
+	for _, h := range fi.held {
+		h.ttl--
+		if h.ttl <= 0 {
+			due = append(due, h.deliver)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	fi.held = kept
+	return due
+}
+
+// ReleaseHeld immediately delivers every datagram still parked for
+// reordering. Tests and teardown paths use it to flush the window.
+func (fi *FaultInjector) ReleaseHeld() {
+	if fi == nil {
+		return
+	}
+	fi.mu.Lock()
+	held := fi.held
+	fi.held = nil
+	fi.mu.Unlock()
+	for _, h := range held {
+		h.deliver()
+	}
+}
+
+// rcFlap reports whether this RC operation suffers an injected link fault.
+func (fi *FaultInjector) rcFlap() bool {
+	if fi == nil || fi.FlapProb <= 0 {
+		return false
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.MaxFlaps > 0 && fi.flaps >= fi.MaxFlaps {
+		return false
+	}
+	if fi.rng.Float64() < fi.FlapProb {
+		fi.flaps++
+		return true
+	}
+	return false
+}
+
+// slowdown returns the extra virtual time to charge the caller, usually 0.
+func (fi *FaultInjector) slowdown() int64 {
+	if fi == nil || fi.SlowProb <= 0 || fi.SlowTime <= 0 {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.rng.Float64() < fi.SlowProb {
+		fi.slowdowns++
+		return fi.SlowTime
+	}
+	return 0
 }

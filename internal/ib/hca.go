@@ -52,6 +52,15 @@ func (h *HCA) Stats() HCAStats {
 	return h.stats
 }
 
+// LiveRC returns the number of RC queue pairs currently in RTS on this
+// adapter. Connection managers consult it to enforce a live-QP cap (the
+// endpoint-cache pressure the paper's section I describes).
+func (h *HCA) LiveRC() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats.LiveRC
+}
+
 // CreateQP creates a queue pair in the RESET state, charging the owner's
 // clock. sendCQ may be nil if the owner does not consume send completions
 // (e.g. a UD QP used only for datagram receive/transmit of control traffic);

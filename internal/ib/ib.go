@@ -137,6 +137,7 @@ var (
 	ErrOutOfBounds   = errors.New("ib: remote access out of memory-region bounds")
 	ErrMTUExceeded   = errors.New("ib: UD payload exceeds MTU")
 	ErrNotConnected  = errors.New("ib: RC queue pair has no remote")
+	ErrLinkDown      = errors.New("ib: RC link fault (queue pair in Error state)")
 	ErrUnaligned     = errors.New("ib: atomic address not 8-byte aligned")
 	ErrOpUnsupported = errors.New("ib: operation not supported on this transport")
 )

@@ -2,6 +2,7 @@ package ib
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -593,11 +594,17 @@ func TestDestroyedTargetSendFails(t *testing.T) {
 	r := newRig(t, nil)
 	q1, q2 := r.connectRC(t)
 	q2.Destroy()
-	if err := q1.PostSend(SendWR{Op: OpSend, Data: []byte("x")}); err != ErrNotConnected {
-		t.Fatalf("send to destroyed QP: %v", err)
+	if err := q1.PostSend(SendWR{Op: OpSend, Data: []byte("x")}); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("send to destroyed QP: %v, want ErrLinkDown", err)
 	}
-	c, _ := r.cq1.Wait()
-	if c.Status != StatusFlushed {
-		t.Fatalf("status = %v, want FLUSHED", c.Status)
+	// The failure is synchronous and both-sided: the local QP errors out and
+	// no completion (not even a flush) is generated, so a connection manager
+	// can requeue the work request behind a fresh handshake without risking
+	// duplicate delivery.
+	if st := q1.State(); st != StateError {
+		t.Fatalf("local QP state after link fault = %v, want Error", st)
+	}
+	if n := r.cq1.Len(); n != 0 {
+		t.Fatalf("completions after synchronous link fault = %d, want 0", n)
 	}
 }

@@ -97,6 +97,23 @@ func (q *QP) ToRTS() error {
 	return nil
 }
 
+// ToError forces the QP into the Error state, as a link fault, retry
+// exhaustion or a peer teardown would on real hardware. Subsequent posts
+// fail with ErrBadState until the owner destroys the QP and establishes a
+// replacement; the connection manager treats that as a link fault and
+// re-runs the handshake.
+func (q *QP) ToError() {
+	q.hca.mu.Lock()
+	defer q.hca.mu.Unlock()
+	if q.state == StateError || q.state == StateDestroyed {
+		return
+	}
+	if q.typ == RC && q.state == StateRTS {
+		q.hca.stats.LiveRC--
+	}
+	q.state = StateError
+}
+
 // Destroy tears the QP down and releases its adapter resources.
 func (q *QP) Destroy() {
 	q.hca.mu.Lock()

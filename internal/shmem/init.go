@@ -77,6 +77,8 @@ func Attach(env Env, opts Options) *Ctx {
 		Mode: opts.Mode, BlockingPMI: opts.BlockingPMI,
 		NodeBarrier: env.NodeBarrier,
 		OnEvent:     env.OnConnEvent,
+		MaxLiveRC:   opts.MaxLiveRC,
+		Retrans:     opts.Retrans,
 	}
 	if opts.SegEx == SegPiggyback {
 		cfg.ConnectPayload = func() []byte { return c.encodeOwnSeg() }

@@ -67,6 +67,14 @@ type Options struct {
 	// barriers during initialization — the ablation for the paper's
 	// section IV-E (intra-node barrier substitution).
 	GlobalInitBarriers bool
+	// MaxLiveRC caps the live RC queue pairs on the PE's HCA; when a new
+	// connection would exceed it, the conduit evicts its least-recently-used
+	// idle connection (the evicted peer reconnects on demand). Zero means
+	// unbounded; on-demand mode only. See gasnet.Config.MaxLiveRC.
+	MaxLiveRC int
+	// Retrans overrides the conduit's real-time retransmission timing
+	// (zero fields keep the defaults).
+	Retrans gasnet.RetransConfig
 }
 
 // InitBreakdown is the per-phase virtual time spent in start_pes, matching
