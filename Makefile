@@ -29,7 +29,7 @@ race:
 	$(GO) test -race -count=1 ./internal/gasnet ./internal/ib
 
 soak:
-	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -count=1 -run 'TestChaosSoak|TestChaosRun' ./internal/gasnet ./internal/cluster
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -count=1 -run 'TestChaosSoak|TestChaosRun|TestChaosPEFailureSoak' ./internal/gasnet ./internal/cluster
 
 clean:
 	$(GO) clean ./...

@@ -5,23 +5,53 @@
 //
 // Applications: hello, heat2d, ep, mg, bt, sp, graph500.
 // It reports the start_pes breakdown, total job time (virtual), and the
-// resource usage counters the paper studies.
+// resource usage counters the paper studies. The fault plane is exposed for
+// resilience experiments: -drop/-dup/-flap/-slow inject fabric faults,
+// -kill-pe/-wedge-pe schedule PE failures, and -deadline arms the hung-job
+// watchdog.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"goshmem/internal/apps/graph500"
 	"goshmem/internal/apps/heat2d"
 	"goshmem/internal/apps/nas"
 	"goshmem/internal/cluster"
 	"goshmem/internal/gasnet"
+	"goshmem/internal/ib"
 	"goshmem/internal/mpi"
 	"goshmem/internal/shmem"
 	"goshmem/internal/vclock"
 )
+
+// parsePEFaults parses a comma-separated list of "rank@seconds" schedules
+// (virtual seconds) into PE fault entries.
+func parsePEFaults(flagName, s string) []cluster.PEFault {
+	if s == "" {
+		return nil
+	}
+	var out []cluster.PEFault
+	for _, item := range strings.Split(s, ",") {
+		rankStr, atStr, ok := strings.Cut(strings.TrimSpace(item), "@")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "oshrun: -%s wants rank@seconds, got %q\n", flagName, item)
+			os.Exit(2)
+		}
+		rank, err1 := strconv.Atoi(rankStr)
+		at, err2 := strconv.ParseFloat(atStr, 64)
+		if err1 != nil || err2 != nil || at < 0 {
+			fmt.Fprintf(os.Stderr, "oshrun: -%s wants rank@seconds, got %q\n", flagName, item)
+			os.Exit(2)
+		}
+		out = append(out, cluster.PEFault{Rank: rank, At: int64(at * float64(vclock.Second))})
+	}
+	return out
+}
 
 func main() {
 	np := flag.Int("np", 16, "number of PEs")
@@ -32,6 +62,16 @@ func main() {
 	blockingPMI := flag.Bool("blocking-pmi", false, "use blocking Put-Fence-Get instead of PMIX_Iallgather")
 	trace := flag.Int("trace", 0, "print the first N connection-lifecycle events (virtual-time ordered)")
 	qpCap := flag.Int("qp-cap", 0, "cap live RC queue pairs per HCA; idle connections are LRU-evicted (0 = unbounded; on-demand mode only)")
+
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injector RNG seed (deterministic per seed)")
+	drop := flag.Float64("drop", 0, "probability a UD datagram is dropped")
+	dup := flag.Float64("dup", 0, "probability a UD datagram is duplicated")
+	flap := flag.Float64("flap", 0, "probability an RC operation suffers a link fault")
+	slow := flag.Float64("slow", 0, "probability an operation charges extra virtual time (PE slowdown)")
+	slowTime := flag.Float64("slow-time", 100, "slowdown charge in virtual microseconds")
+	killPE := flag.String("kill-pe", "", "crash PEs at virtual times: rank@seconds[,rank@seconds...]")
+	wedgePE := flag.String("wedge-pe", "", "wedge PEs (stop progress, keep fabric ACKs) at virtual times: rank@seconds[,...]")
+	deadline := flag.Float64("deadline", 0, "virtual-time job deadline in seconds; the watchdog aborts the job past it (0 = none)")
 	flag.Parse()
 
 	mode := gasnet.OnDemand
@@ -103,10 +143,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := cluster.Run(cluster.Config{
+	var faults *ib.FaultInjector
+	if *drop > 0 || *dup > 0 || *flap > 0 || *slow > 0 {
+		faults = ib.NewFaultInjector(*faultSeed)
+		faults.DropProb = *drop
+		faults.DupProb = *dup
+		faults.FlapProb = *flap
+		faults.SlowProb = *slow
+		faults.SlowTime = int64(*slowTime * float64(vclock.Microsecond))
+	}
+
+	cfg := cluster.Config{
 		NP: *np, PPN: *ppn, Mode: mode, BlockingPMI: *blockingPMI,
 		HeapSize: 8 << 20, Trace: *trace > 0, MaxLiveRC: *qpCap,
-	}, body)
+		Faults:   faults,
+		KillPEs:  parsePEFaults("kill-pe", *killPE),
+		WedgePEs: parsePEFaults("wedge-pe", *wedgePE),
+		Deadline: int64(*deadline * float64(vclock.Second)),
+	}
+	res, err := cluster.Run(cfg, body)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oshrun:", err)
 		os.Exit(1)
@@ -130,7 +185,30 @@ func main() {
 	fmt.Printf("job time (virtual): %8.3fs\n", vclock.Seconds(res.JobVT))
 	fmt.Printf("avg RC endpoints/PE: %7.1f   avg peers/PE: %.1f   (simulated in %v real)\n",
 		res.AvgEndpoints(), res.AvgPeers(), res.Wall.Round(1e6))
-	if lf, rc, ev, rt := res.TotalLinkFaults(), res.TotalReconnects(), res.TotalEvictions(), res.TotalRetransmits(); lf+rc+ev+rt > 0 {
-		fmt.Printf("resilience:          %d link faults, %d reconnects, %d evictions, %d retransmits\n", lf, rc, ev, rt)
+
+	// One unified failure/resilience table: link-level recovery and
+	// PE-failure counters side by side.
+	if c := res.Counters(); c != (cluster.Counters{}) {
+		fmt.Printf("\n--- resilience counters (all PEs) ---\n")
+		fmt.Printf("%-16s %8d    %-16s %8d\n", "link faults", c.LinkFaults, "pe failures", c.PEFailures)
+		fmt.Printf("%-16s %8d    %-16s %8d\n", "reconnects", c.Reconnects, "heartbeats sent", c.HeartbeatsSent)
+		fmt.Printf("%-16s %8d    %-16s %8d\n", "evictions", c.Evictions, "false suspicions", c.FalseSuspicions)
+		fmt.Printf("%-16s %8d    %-16s %8d\n", "retransmits", c.Retransmits, "aborts propagated", c.AbortsPropagated)
+	}
+
+	if res.Aborted {
+		fmt.Printf("\n--- job aborted ---\n%s\n", res.AbortReason)
+		if res.Dump != "" {
+			fmt.Printf("\n--- watchdog state dump ---\n%s", res.Dump)
+		}
+		maxCode := 1
+		fmt.Printf("per-PE exit codes:\n")
+		for _, p := range res.PEs {
+			fmt.Printf("  pe %4d: exit %d\n", p.Rank, p.ExitCode)
+			if p.ExitCode > maxCode {
+				maxCode = p.ExitCode
+			}
+		}
+		os.Exit(maxCode)
 	}
 }

@@ -94,4 +94,11 @@ func TestChaosRunByteIdenticalResults(t *testing.T) {
 	if n := cleanRes.TotalRetransmits(); n != 0 {
 		t.Errorf("fault-free run recorded %d retransmissions", n)
 	}
+	if c := cleanRes.Counters(); c.PEFailures != 0 || c.HeartbeatsSent != 0 ||
+		c.FalseSuspicions != 0 || c.AbortsPropagated != 0 {
+		t.Errorf("fault-free run shows failure-detector activity: %+v", c)
+	}
+	if cleanRes.Aborted {
+		t.Errorf("fault-free run reported Aborted: %s", cleanRes.AbortReason)
+	}
 }

@@ -58,6 +58,25 @@ type Config struct {
 	// (zero fields keep defaults); fault soaks compress it.
 	Retrans gasnet.RetransConfig
 
+	// KillPEs and WedgePEs schedule PE-level faults: a killed PE crashes
+	// (fail-stop) at the given virtual time; a wedged PE stops making
+	// software progress while its HCA still ACKs at the fabric level.
+	KillPEs  []PEFault
+	WedgePEs []PEFault
+	// Heartbeat configures the conduit's UD failure detector (zero value:
+	// armed automatically only when PE faults are scheduled).
+	Heartbeat gasnet.HeartbeatConfig
+
+	// Deadline, when positive, is the job's virtual-time budget; the
+	// watchdog terminates the job with exit code 124 when any PE's clock
+	// exceeds it. StallTimeout, when positive, terminates the job when no
+	// PE makes progress (virtual clocks and fabric deliveries frozen) for
+	// that much real time. WatchdogPoll is the check interval (default
+	// 20ms real time).
+	Deadline     int64
+	StallTimeout time.Duration
+	WatchdogPoll time.Duration
+
 	// SkipLaunchCost starts clocks at zero instead of the modeled
 	// fork/exec fan-out (useful for latency microbenchmarks).
 	SkipLaunchCost bool
@@ -83,6 +102,11 @@ type PEResult struct {
 	FinalVT   int64 // clock when the PE finished Finalize
 	Stats     gasnet.Stats
 	Peers     int // distinct communicating peers, excluding self
+
+	// ExitCode is the PE's simulated process exit status: 0 on success,
+	// 137 crashed, 134 wedged (killed by the launcher), 124 watchdog,
+	// otherwise the job-abort code.
+	ExitCode int
 }
 
 // Result aggregates a job run.
@@ -105,6 +129,13 @@ type Result struct {
 	InitMax int64
 
 	HCA []ib.HCAStats
+
+	// Aborted is set when the job terminated abnormally (PE failure,
+	// global exit, or watchdog); AbortReason describes why and Dump holds
+	// the watchdog's diagnostic state dump when it fired.
+	Aborted     bool
+	AbortReason string
+	Dump        string
 }
 
 // AvgPeers returns the mean communicating-peer count (Table I metric).
@@ -259,6 +290,7 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 	if model == nil {
 		model = vclock.Default()
 	}
+	applyPEFaults(&cfg)
 
 	fab := ib.NewFabric(model, cfg.Faults)
 	srv := pmi.NewServer(cfg.NP, model)
@@ -281,6 +313,11 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 
 	res := &Result{Cfg: cfg, PEs: make([]PEResult, cfg.NP)}
 	var traceMu sync.Mutex
+	clks := make([]*vclock.Clock, cfg.NP)
+	for r := 0; r < cfg.NP; r++ {
+		clks[r] = vclock.NewClock(launchVT)
+	}
+	wd := newWatchdog(cfg, clks, fab, srv, bars)
 	start := time.Now()
 	var wg sync.WaitGroup
 	errs := make(chan error, cfg.NP)
@@ -288,10 +325,23 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			clk := clks[rank]
 			var ctx *shmem.Ctx
 			defer func() {
 				if p := recover(); p != nil {
-					errs <- fmt.Errorf("cluster: PE %d panicked: %v\n%s", rank, p, debug.Stack())
+					if code, ok := exitCodeForPanic(p); ok {
+						// Controlled job abort: record the PE's exit status
+						// instead of treating it as a launcher bug.
+						pr := PEResult{Rank: rank, ExitCode: code, FinalVT: clk.Now()}
+						if ctx != nil {
+							pr.Breakdown = ctx.Breakdown()
+							pr.InitVT = ctx.InitTime()
+							pr.Stats = ctx.Stats()
+						}
+						res.PEs[rank] = pr
+					} else {
+						errs <- fmt.Errorf("cluster: PE %d panicked: %v\n%s", rank, p, debug.Stack())
+					}
 					if ctx != nil {
 						// Best-effort finalize so surviving PEs are not
 						// stranded in the teardown barrier. A panic inside a
@@ -306,7 +356,6 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 				}
 			}()
 			node := rank / cfg.PPN
-			clk := vclock.NewClock(launchVT)
 			var onEvent func(kind string, peer int, vt int64)
 			if cfg.Trace {
 				onEvent = func(kind string, peer int, vt int64) {
@@ -326,13 +375,26 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 				GlobalInitBarriers: cfg.GlobalInitBarriers,
 				MaxLiveRC:          cfg.MaxLiveRC,
 				Retrans:            cfg.Retrans,
+				Heartbeat:          cfg.Heartbeat,
 			})
+			wd.register(rank, ctx.Conduit())
 			app(ctx)
 			// Snapshot resource counters before finalize so Table I / Fig. 9
 			// metrics reflect the application, not the teardown barrier.
 			stats := ctx.Stats()
 			peers := ctx.CommunicatingPeers()
 			ctx.Finalize()
+			exit := 0
+			if err := ctx.Err(); err != nil {
+				// The job aborted but this PE was never blocked on the dead
+				// peer; it still exits nonzero, like a process killed by the
+				// launcher during teardown.
+				if code, ok := exitCodeForErr(err); ok {
+					exit = code
+				} else {
+					exit = 1
+				}
+			}
 			res.PEs[rank] = PEResult{
 				Rank:      rank,
 				Breakdown: ctx.Breakdown(),
@@ -340,15 +402,32 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 				FinalVT:   clk.Now(),
 				Stats:     stats,
 				Peers:     peers,
+				ExitCode:  exit,
 			}
 		}(r)
 	}
 	wg.Wait()
+	wd.stop()
 	res.Wall = time.Since(start)
 	select {
 	case err := <-errs:
 		return nil, err
 	default:
+	}
+
+	if n, ok := srv.Aborted(); ok {
+		res.Aborted = true
+		res.AbortReason = n.Reason
+	}
+	if fired, reason, dump := wd.result(); fired {
+		res.Aborted = true
+		res.AbortReason = reason
+		res.Dump = dump
+	}
+	for _, p := range res.PEs {
+		if p.ExitCode != 0 {
+			res.Aborted = true
+		}
 	}
 
 	var initSum, initMax, finalMax int64

@@ -1,0 +1,342 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"goshmem/internal/gasnet"
+	"goshmem/internal/ib"
+	"goshmem/internal/pmi"
+	"goshmem/internal/vclock"
+)
+
+// PEFault schedules a PE-level fault: the PE crashes (KillPEs) or wedges
+// (WedgePEs) the first time its virtual clock reaches At nanoseconds.
+type PEFault struct {
+	Rank int
+	At   int64 // virtual time (ns)
+}
+
+// Exit codes the launcher assigns to PEs of an aborted job, following the
+// conventions of POSIX job launchers: 128+SIGKILL for a crashed process,
+// 128+SIGABRT for a wedged one killed by the launcher, 124 (the timeout(1)
+// convention) for a watchdog termination, and the abort code otherwise.
+const (
+	ExitKilled   = 137 // 128 + SIGKILL: PE crashed (fail-stop)
+	ExitWedged   = 134 // 128 + SIGABRT: PE wedged, killed by the launcher
+	ExitWatchdog = 124 // hung-job watchdog deadline/stall termination
+)
+
+// exitCodeForErr classifies a liveness error into a per-PE exit code.
+// Returns ok=false when err is not part of the failure plane.
+func exitCodeForErr(err error) (int, bool) {
+	if err == nil {
+		return 0, false
+	}
+	var ce *gasnet.CrashError
+	if errors.As(err, &ce) {
+		return ExitKilled, true
+	}
+	var we *gasnet.WedgeError
+	if errors.As(err, &we) {
+		return ExitWedged, true
+	}
+	var ae *gasnet.AbortError
+	if errors.As(err, &ae) {
+		if ae.Code == 0 {
+			return 1, true
+		}
+		return ae.Code, true
+	}
+	if errors.Is(err, gasnet.ErrPeerDead) {
+		return 1, true
+	}
+	return 0, false
+}
+
+// exitCodeForPanic classifies a recovered panic value; the runtime layers
+// panic with wrapped liveness errors on controlled job aborts.
+func exitCodeForPanic(p any) (int, bool) {
+	err, ok := p.(error)
+	if !ok {
+		return 0, false
+	}
+	return exitCodeForErr(err)
+}
+
+// Counters is the unified failure/resilience counter block aggregated across
+// all PEs — one table for the oshrun report instead of ad-hoc blocks.
+type Counters struct {
+	LinkFaults       int // broken connections detected
+	Reconnects       int // connections re-established after fault/eviction
+	Evictions        int // idle connections evicted under the QP cap
+	Retransmits      int // UD handshake retransmissions
+	PEFailures       int // peers confirmed dead by the failure detector
+	HeartbeatsSent   int // explicit liveness probes sent
+	FalseSuspicions  int // suspicions cleared by later traffic
+	AbortsPropagated int // abort datagrams fanned out to peers
+}
+
+// Counters sums the per-PE failure/resilience counters.
+func (r *Result) Counters() Counters {
+	var c Counters
+	for _, p := range r.PEs {
+		c.LinkFaults += p.Stats.LinkFaults
+		c.Reconnects += p.Stats.Reconnects
+		c.Evictions += p.Stats.Evictions
+		c.Retransmits += p.Stats.Retransmits
+		c.PEFailures += p.Stats.PEFailures
+		c.HeartbeatsSent += p.Stats.HeartbeatsSent
+		c.FalseSuspicions += p.Stats.FalseSuspicions
+		c.AbortsPropagated += p.Stats.AbortsPropagated
+	}
+	return c
+}
+
+// applyPEFaults installs the kill/wedge schedules into the fault injector,
+// creating one if the config has none.
+func applyPEFaults(cfg *Config) {
+	if len(cfg.KillPEs)+len(cfg.WedgePEs) == 0 {
+		return
+	}
+	if cfg.Faults == nil {
+		cfg.Faults = ib.NewFaultInjector(1)
+	}
+	for _, f := range cfg.KillPEs {
+		cfg.Faults.KillPE(f.Rank, f.At)
+	}
+	for _, f := range cfg.WedgePEs {
+		cfg.Faults.WedgePE(f.Rank, f.At)
+	}
+}
+
+// watchdog is the hung-job detector: it fires when the job's virtual time
+// exceeds a deadline or when no PE makes progress (virtual clocks and fabric
+// deliveries frozen) for a stretch of real time, then dumps diagnostic state
+// and terminates every PE with the watchdog exit code.
+type watchdog struct {
+	deadline int64         // virtual-time budget (0 = none)
+	stall    time.Duration // real-time progress timeout (0 = none)
+	poll     time.Duration
+
+	clks []*vclock.Clock
+	fab  *ib.Fabric
+	srv  *pmi.Server
+	bars []*vclock.VBarrier
+
+	mu       sync.Mutex
+	conduits map[int]*gasnet.Conduit
+	fired    bool
+	reason   string
+	dump     string
+
+	done chan struct{}
+}
+
+func newWatchdog(cfg Config, clks []*vclock.Clock, fab *ib.Fabric, srv *pmi.Server, bars []*vclock.VBarrier) *watchdog {
+	if cfg.Deadline <= 0 && cfg.StallTimeout <= 0 {
+		return nil
+	}
+	poll := cfg.WatchdogPoll
+	if poll <= 0 {
+		poll = 20 * time.Millisecond
+	}
+	w := &watchdog{
+		deadline: cfg.Deadline, stall: cfg.StallTimeout, poll: poll,
+		clks: clks, fab: fab, srv: srv, bars: bars,
+		conduits: make(map[int]*gasnet.Conduit),
+		done:     make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+// register hands the watchdog one PE's conduit once it exists. If the
+// watchdog already fired, the late arrival is aborted immediately.
+func (w *watchdog) register(rank int, c *gasnet.Conduit) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.conduits[rank] = c
+	fired, reason := w.fired, w.reason
+	w.mu.Unlock()
+	if fired {
+		c.AbortLocal(&gasnet.AbortError{Origin: -1, Dead: -1, Code: ExitWatchdog, Reason: reason})
+	}
+}
+
+func (w *watchdog) stop() {
+	if w == nil {
+		return
+	}
+	close(w.done)
+}
+
+// Fired reports whether the watchdog terminated the job, and why.
+func (w *watchdog) result() (fired bool, reason, dump string) {
+	if w == nil {
+		return false, "", ""
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fired, w.reason, w.dump
+}
+
+func (w *watchdog) maxVT() int64 {
+	var m int64
+	for _, clk := range w.clks {
+		if t := clk.Now(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// progress is a monotone signature of job activity: total virtual time plus
+// total fabric deliveries. A wedged or deadlocked job freezes it.
+func (w *watchdog) progress() int64 {
+	var sig int64
+	for _, clk := range w.clks {
+		sig += clk.Now()
+	}
+	for _, h := range w.fab.HCAs() {
+		sig += h.Stats().MsgsDelivered
+	}
+	return sig
+}
+
+func (w *watchdog) run() {
+	ticker := time.NewTicker(w.poll)
+	defer ticker.Stop()
+	lastSig := w.progress()
+	lastChange := time.Now()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-ticker.C:
+		}
+		w.mu.Lock()
+		fired := w.fired
+		w.mu.Unlock()
+		if fired {
+			// Keep sweeping so conduits registered after the firing (PEs
+			// still inside Attach) are aborted too.
+			w.abortAll()
+			continue
+		}
+		if w.deadline > 0 {
+			if vt := w.maxVT(); vt > w.deadline {
+				w.fire(fmt.Sprintf("watchdog: job exceeded virtual-time deadline (%.3fs > %.3fs)",
+					vclock.Seconds(vt), vclock.Seconds(w.deadline)))
+				continue
+			}
+		}
+		if w.stall > 0 {
+			if sig := w.progress(); sig != lastSig {
+				lastSig = sig
+				lastChange = time.Now()
+			} else if time.Since(lastChange) >= w.stall {
+				w.fire(fmt.Sprintf("watchdog: no progress (virtual clocks and fabric deliveries frozen) for %v", w.stall))
+			}
+		}
+	}
+}
+
+func (w *watchdog) fire(reason string) {
+	w.mu.Lock()
+	if w.fired {
+		w.mu.Unlock()
+		return
+	}
+	w.fired = true
+	w.reason = reason
+	w.mu.Unlock()
+
+	// Capture diagnostics before tearing anything down.
+	dump := w.buildDump(reason)
+	w.mu.Lock()
+	w.dump = dump
+	w.mu.Unlock()
+
+	w.srv.RaiseAbort(pmi.AbortNotice{Origin: -1, Dead: -1, Code: ExitWatchdog, Reason: reason})
+	for _, b := range w.bars {
+		b.Abort()
+	}
+	w.abortAll()
+}
+
+func (w *watchdog) abortAll() {
+	w.mu.Lock()
+	reason := w.reason
+	cs := make([]*gasnet.Conduit, 0, len(w.conduits))
+	for _, c := range w.conduits {
+		cs = append(cs, c)
+	}
+	w.mu.Unlock()
+	for _, c := range cs {
+		c.AbortLocal(&gasnet.AbortError{Origin: -1, Dead: -1, Code: ExitWatchdog, Reason: reason})
+	}
+}
+
+// buildDump renders the per-PE diagnostic state dump: QP/connection states,
+// in-flight handshakes, queue depths, detector state, clock skew.
+func (w *watchdog) buildDump(reason string) string {
+	w.mu.Lock()
+	ranks := make([]int, 0, len(w.conduits))
+	for r := range w.conduits {
+		ranks = append(ranks, r)
+	}
+	snaps := make(map[int]gasnet.HealthSnapshot, len(w.conduits))
+	for r, c := range w.conduits {
+		snaps[r] = c.HealthSnapshot()
+	}
+	w.mu.Unlock()
+	sort.Ints(ranks)
+
+	var minVT, maxVT int64 = -1, 0
+	for _, clk := range w.clks {
+		t := clk.Now()
+		if minVT < 0 || t < minVT {
+			minVT = t
+		}
+		if t > maxVT {
+			maxVT = t
+		}
+	}
+	if minVT < 0 {
+		minVT = 0
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", reason)
+	fmt.Fprintf(&b, "vclock skew: min=%.6fs max=%.6fs spread=%.6fs\n",
+		vclock.Seconds(minVT), vclock.Seconds(maxVT), vclock.Seconds(maxVT-minVT))
+	fmt.Fprintf(&b, "%-5s %-12s %-12s %-6s %-8s %-8s %-7s %-5s %-8s %-12s %s\n",
+		"pe", "clockVT", "mgrVT", "ready", "connect", "accept", "pending", "held", "outst", "lastReadyVT", "detector")
+	for _, r := range ranks {
+		s := snaps[r]
+		state := "alive"
+		if s.Killed {
+			state = "killed"
+		} else if s.Wedged {
+			state = "wedged"
+		}
+		if len(s.Suspects) > 0 {
+			state += fmt.Sprintf(" suspects=%v", s.Suspects)
+		}
+		if len(s.Dead) > 0 {
+			state += fmt.Sprintf(" dead=%v", s.Dead)
+		}
+		fmt.Fprintf(&b, "%-5d %-12.6f %-12.6f %-6d %-8d %-8d %-7d %-5d %-8d %-12.6f %s\n",
+			r, vclock.Seconds(s.ClockVT), vclock.Seconds(s.MgrVT),
+			s.Ready, s.Connecting, s.Accepted, s.PendingWRs, s.HeldReqs,
+			s.Outstanding, vclock.Seconds(s.LastReadyVT), state)
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"goshmem/internal/gasnet"
+	"goshmem/internal/shmem"
+	"goshmem/internal/vclock"
+)
+
+// runBounded runs the job in a goroutine and fails the test if it does not
+// terminate within the bound — the acceptance criterion is that an injected
+// PE failure never hangs the launcher.
+func runBounded(t *testing.T, cfg Config, app func(c *shmem.Ctx)) *Result {
+	t.Helper()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := Run(cfg, app)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatalf("Run: %v", o.err)
+		}
+		return o.res
+	case <-time.After(30 * time.Second):
+		t.Fatal("job hung: Run did not terminate within 30s despite injected PE failure")
+		return nil
+	}
+}
+
+// computeBarrierLoop is the canonical victim workload: alternating compute
+// phases and global barriers, so every PE regularly passes through the
+// conduit (where fate schedules and liveness errors are observed).
+func computeBarrierLoop(iters int, flops float64) func(c *shmem.Ctx) {
+	return func(c *shmem.Ctx) {
+		for i := 0; i < iters; i++ {
+			c.Compute(flops)
+			c.BarrierAll()
+		}
+	}
+}
+
+// TestKillPETerminatesJobWithExitCodes injects a fail-stop crash mid-job and
+// verifies the whole job terminates in bounded time with launcher-style exit
+// codes: 137 for the crashed PE, nonzero for every stranded survivor.
+func TestKillPETerminatesJobWithExitCodes(t *testing.T) {
+	const np, victim = 8, 5
+	cfg := Config{
+		NP: np, PPN: 4, Mode: gasnet.OnDemand, HeapSize: 1 << 20,
+		KillPEs: []PEFault{{Rank: victim, At: 1 * vclock.Second}},
+		Heartbeat: gasnet.HeartbeatConfig{
+			Interval: time.Millisecond, SuspectAfter: 2, ConfirmAfter: 2,
+		},
+		Retrans: gasnet.RetransConfig{
+			Interval: time.Millisecond, BaseRTO: 2 * time.Millisecond, MaxShift: 3,
+		},
+	}
+	// 300 x 10ms virtual = 3s of virtual work; the victim crashes at 1s.
+	res := runBounded(t, cfg, computeBarrierLoop(300, 2.5e7))
+
+	if !res.Aborted {
+		t.Fatal("job with a killed PE did not report Aborted")
+	}
+	if res.AbortReason == "" {
+		t.Error("aborted job has empty AbortReason")
+	}
+	if got := res.PEs[victim].ExitCode; got != ExitKilled {
+		t.Errorf("killed PE exit code = %d, want %d", got, ExitKilled)
+	}
+	for _, p := range res.PEs {
+		if p.ExitCode == 0 {
+			t.Errorf("pe %d exited 0 from an aborted job", p.Rank)
+		}
+	}
+	c := res.Counters()
+	if c.PEFailures < 1 {
+		t.Errorf("PEFailures = %d, want >= 1", c.PEFailures)
+	}
+	if c.HeartbeatsSent == 0 {
+		t.Error("no heartbeats sent while confirming a dead PE")
+	}
+	if c.AbortsPropagated == 0 {
+		t.Error("no abort propagation recorded")
+	}
+}
+
+// TestWatchdogStallFiresOnWedgedJob disables the failure detector so a
+// wedged PE genuinely hangs the job, then verifies the stalled-progress
+// watchdog terminates it: exit code 124 for stranded survivors, 134 for the
+// wedged PE (killed by the launcher), and a non-empty diagnostic dump.
+func TestWatchdogStallFiresOnWedgedJob(t *testing.T) {
+	const np, victim = 8, 2
+	cfg := Config{
+		NP: np, PPN: 4, Mode: gasnet.OnDemand, HeapSize: 1 << 20,
+		WedgePEs:     []PEFault{{Rank: victim, At: 1 * vclock.Second}},
+		Heartbeat:    gasnet.HeartbeatConfig{Disable: true},
+		StallTimeout: 250 * time.Millisecond,
+		WatchdogPoll: 10 * time.Millisecond,
+	}
+	res := runBounded(t, cfg, computeBarrierLoop(300, 2.5e7))
+
+	if !res.Aborted {
+		t.Fatal("wedged job did not report Aborted")
+	}
+	if !strings.Contains(res.AbortReason, "watchdog") {
+		t.Errorf("abort reason %q does not mention the watchdog", res.AbortReason)
+	}
+	if res.Dump == "" {
+		t.Error("watchdog fired without a diagnostic state dump")
+	}
+	if !strings.Contains(res.Dump, "wedged") {
+		t.Errorf("state dump does not identify the wedged PE:\n%s", res.Dump)
+	}
+	if got := res.PEs[victim].ExitCode; got != ExitWedged && got != ExitWatchdog {
+		t.Errorf("wedged PE exit code = %d, want %d or %d", got, ExitWedged, ExitWatchdog)
+	}
+	for _, p := range res.PEs {
+		if p.Rank == victim {
+			continue
+		}
+		if p.ExitCode != ExitWatchdog {
+			t.Errorf("pe %d exit code = %d, want %d (watchdog)", p.Rank, p.ExitCode, ExitWatchdog)
+		}
+	}
+}
+
+// TestWatchdogDeadlineFires arms only the virtual-time deadline: a job whose
+// compute loop runs past the budget is terminated even though it is making
+// progress, and PEs that notice the abort via Err() exit 124.
+func TestWatchdogDeadlineFires(t *testing.T) {
+	cfg := Config{
+		NP: 4, PPN: 4, Mode: gasnet.OnDemand, HeapSize: 1 << 20,
+		Deadline:     500 * vclock.Millisecond,
+		WatchdogPoll: 5 * time.Millisecond,
+	}
+	res := runBounded(t, cfg, func(c *shmem.Ctx) {
+		// 10s of virtual compute against a 0.5s deadline; poll Err so the
+		// abort is observed between phases, as a cooperative app would. The
+		// real-time sleep paces the loop so the watchdog's poller can see
+		// the virtual clock cross the deadline while the job still runs.
+		for i := 0; i < 1000 && c.Err() == nil; i++ {
+			c.Compute(2.5e7)
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if !res.Aborted {
+		t.Fatal("job past its deadline did not report Aborted")
+	}
+	if !strings.Contains(res.AbortReason, "deadline") {
+		t.Errorf("abort reason %q does not mention the deadline", res.AbortReason)
+	}
+	for _, p := range res.PEs {
+		if p.ExitCode != ExitWatchdog {
+			t.Errorf("pe %d exit code = %d, want %d", p.Rank, p.ExitCode, ExitWatchdog)
+		}
+	}
+}
+
+// TestFaultFreeJobHasZeroFailureCounters is the cluster-level happy-path
+// guard: a clean run must show no detector or abort activity and all-zero
+// exit codes.
+func TestFaultFreeJobHasZeroFailureCounters(t *testing.T) {
+	cfg := Config{NP: 8, PPN: 4, Mode: gasnet.OnDemand, HeapSize: 1 << 20}
+	res := runBounded(t, cfg, computeBarrierLoop(20, 2.5e7))
+	if res.Aborted {
+		t.Fatalf("fault-free job reported Aborted: %s", res.AbortReason)
+	}
+	c := res.Counters()
+	if c.PEFailures != 0 || c.HeartbeatsSent != 0 || c.FalseSuspicions != 0 || c.AbortsPropagated != 0 {
+		t.Errorf("fault-free run shows failure-detector activity: %+v", c)
+	}
+	for _, p := range res.PEs {
+		if p.ExitCode != 0 {
+			t.Errorf("pe %d exit code = %d on a clean run", p.Rank, p.ExitCode)
+		}
+	}
+}

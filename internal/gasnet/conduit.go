@@ -102,6 +102,12 @@ type Config struct {
 	// keep the defaults). Slow CI runs and fault-injection harnesses tune
 	// it; fault-free runs never arm the timer at all.
 	Retrans RetransConfig
+
+	// Heartbeat tunes the UD-heartbeat failure detector (failure.go). The
+	// detector arms itself only when the fabric has PE-failure injections
+	// scheduled, or when Heartbeat.Enable is set; fault-free runs never
+	// probe and record zero detector activity.
+	Heartbeat HeartbeatConfig
 }
 
 // Stats counts the per-PE resource usage and traffic that feed the paper's
@@ -123,6 +129,12 @@ type Stats struct {
 	LinkFaults int // broken RC connections this PE detected and tore down
 	Reconnects int // connections re-established after a fault or eviction
 	Evictions  int // idle connections evicted to honor the live-QP cap
+
+	// Failure-plane counters (PE-failure detection and job abort).
+	PEFailures       int // peers this PE's detector confirmed dead
+	HeartbeatsSent   int // explicit heartbeat probes sent
+	FalseSuspicions  int // suspicions cleared by a late sign of life
+	AbortsPropagated int // abort notices this PE broadcast to peers
 }
 
 type connState uint8
@@ -203,6 +215,19 @@ type Conduit struct {
 	stats  Stats
 	peers  map[int]struct{}
 
+	// Failure detector and abort plane (failure.go).
+	hb        HeartbeatConfig // resolved heartbeat timing
+	hbArmed   bool
+	hbMu      sync.Mutex
+	hbTimer   *time.Timer
+	health    map[int]*peerHealth // guarded by hbMu
+	deadPeers map[int]bool        // guarded by connMu
+	selfState atomic.Int32        // selfAlive/selfKilled/selfWedged
+	abortMu   sync.Mutex
+	abortErr  error
+	abortCh   chan struct{}
+	onAbort   []func(error)
+
 	closed    atomic.Bool
 	closeOnce sync.Once
 	closeCh   chan struct{}
@@ -238,6 +263,7 @@ func New(cfg Config) *Conduit {
 	mustQP(c.udQP.ToInit())
 	mustQP(c.udQP.ToRTR(ib.Dest{}))
 	mustQP(c.udQP.ToRTS())
+	c.hbInit()
 	c.wg.Add(1)
 	go c.progress()
 	return c
@@ -311,7 +337,15 @@ func (c *Conduit) resolveUD(peer int) (ib.Dest, error) {
 		return decodeDest(s)
 	}
 	if c.udVals == nil {
-		c.udVals = c.udOp.Wait(c.cfg.PMI)
+		vals := c.udOp.Wait(c.cfg.PMI)
+		if vals == nil {
+			// The exchange was aborted out from under us (job abort).
+			if err := c.Err(); err != nil {
+				return ib.Dest{}, err
+			}
+			return ib.Dest{}, fmt.Errorf("gasnet: endpoint exchange aborted")
+		}
+		c.udVals = vals
 	}
 	return decodeDest(c.udVals[peer])
 }
@@ -343,6 +377,9 @@ func (c *Conduit) RegisterHandler(id uint8, h Handler) {
 // connection to the peer exists yet it is queued behind the on-demand
 // handshake.
 func (c *Conduit) AMRequest(peer int, handler uint8, args [4]uint64, payload []byte) error {
+	if err := c.checkAlive(); err != nil {
+		return err
+	}
 	c.notePeer(peer)
 	c.statMu.Lock()
 	c.stats.AMsSent++
@@ -355,6 +392,9 @@ func (c *Conduit) AMRequest(peer int, handler uint8, args [4]uint64, payload []b
 // returns once the source buffer is reusable; remote completion is deferred
 // to Quiet.
 func (c *Conduit) Put(peer int, raddr uint64, rkey uint32, data []byte) error {
+	if err := c.checkAlive(); err != nil {
+		return err
+	}
 	c.notePeer(peer)
 	c.statMu.Lock()
 	c.stats.PutsIssued++
@@ -377,6 +417,9 @@ func (c *Conduit) Put(peer int, raddr uint64, rkey uint32, data []byte) error {
 // and buf is guaranteed filled once Quiet returns (shmem_getmem_nbi
 // semantics).
 func (c *Conduit) GetNBI(peer int, raddr uint64, rkey uint32, buf []byte) error {
+	if err := c.checkAlive(); err != nil {
+		return err
+	}
 	c.notePeer(peer)
 	c.statMu.Lock()
 	c.stats.GetsIssued++
@@ -407,6 +450,9 @@ func (c *Conduit) GetNBI(peer int, raddr uint64, rkey uint32, buf []byte) error 
 // Get issues a blocking RDMA read of len(buf) bytes from (raddr, rkey) at
 // peer into buf.
 func (c *Conduit) Get(peer int, raddr uint64, rkey uint32, buf []byte) error {
+	if err := c.checkAlive(); err != nil {
+		return err
+	}
 	c.notePeer(peer)
 	c.statMu.Lock()
 	c.stats.GetsIssued++
@@ -439,6 +485,9 @@ func (c *Conduit) Swap(peer int, raddr uint64, rkey uint32, swap uint64) (uint64
 }
 
 func (c *Conduit) atomicOp(peer int, wr ib.SendWR) (uint64, error) {
+	if err := c.checkAlive(); err != nil {
+		return 0, err
+	}
 	c.notePeer(peer)
 	c.statMu.Lock()
 	c.stats.AtomicsIssued++
@@ -464,9 +513,22 @@ func (c *Conduit) postWait(peer int, wr ib.SendWR) (ib.Completion, error) {
 		c.waiterMu.Unlock()
 		return ib.Completion{}, err
 	}
-	comp := <-ch
+	var comp ib.Completion
+	select {
+	case comp = <-ch:
+	case <-c.abortCh:
+		// The job aborted while we were blocked; the completion may never
+		// arrive (the peer is dead or the fabric is being torn down).
+		c.waiterMu.Lock()
+		delete(c.waiters, wr.WRID)
+		c.waiterMu.Unlock()
+		return ib.Completion{}, c.Err()
+	}
 	c.clk.AdvanceTo(comp.VTime)
 	if comp.Status != ib.StatusOK {
+		if comp.Status == ib.StatusFlushed && c.PeerDead(peer) {
+			return comp, ErrPeerDead
+		}
 		return comp, fmt.Errorf("gasnet: remote operation failed: %v", comp.Status)
 	}
 	return comp, nil
@@ -474,9 +536,18 @@ func (c *Conduit) postWait(peer int, wr ib.SendWR) (ib.Completion, error) {
 
 // Quiet blocks until all outstanding Puts have completed remotely
 // (shmem_quiet semantics) and advances the clock to the last completion.
+// On a killed/wedged PE or after a job abort it panics with the liveness
+// error, like the upper layers' own blocking waits.
 func (c *Conduit) Quiet() {
+	if err := c.checkAlive(); err != nil {
+		panic(err)
+	}
 	c.outMu.Lock()
 	for c.outstanding > 0 {
+		if err := c.LivenessErr(); err != nil {
+			c.outMu.Unlock()
+			panic(err)
+		}
 		c.outCond.Wait()
 	}
 	v := c.lastPutVT
@@ -536,6 +607,8 @@ func (c *Conduit) notePeer(peer int) {
 	c.statMu.Lock()
 	c.peers[peer] = struct{}{}
 	c.statMu.Unlock()
+	// Every peer we talk to is a peer whose death would strand us.
+	c.MonitorPeer(peer)
 }
 
 func (c *Conduit) countQP(t ib.QPType) {
@@ -555,13 +628,17 @@ func (c *Conduit) countQP(t ib.QPType) {
 // garbage collector, like process teardown.
 func (c *Conduit) Close() {
 	c.closeOnce.Do(func() {
+		// An aborted (or killed/wedged) PE skips the drain: its queued work
+		// was failed, not delivered, and waiting for a dead peer's handshake
+		// would hang teardown forever.
 		c.connMu.Lock()
-		for c.hasPendingLocked() {
+		for c.hasPendingLocked() && c.Err() == nil {
 			c.connCond.Wait()
 		}
 		c.connMu.Unlock()
 		c.closed.Store(true)
 		close(c.closeCh)
+		c.hbStop()
 		c.connMu.Lock()
 		if c.timer != nil {
 			c.timer.Stop()
@@ -660,6 +737,10 @@ func (c *Conduit) handleAM(comp ib.Completion) {
 	if err != nil {
 		return
 	}
+	if c.arrivalFate(comp.VTime) != selfAlive {
+		return // a killed or wedged PE's software dispatches nothing
+	}
+	c.noteAlive(src)
 	at := comp.VTime + c.model.AMProcess
 	c.connMu.Lock()
 	h := c.handlers[handler]

@@ -286,6 +286,10 @@ func (c *Conduit) post(peer int, wr ib.SendWR, clonePending bool) error {
 	}
 	for {
 		c.connMu.Lock()
+		if c.deadPeers[peer] {
+			c.connMu.Unlock()
+			return ErrPeerDead
+		}
 		cn := c.connFor(peer)
 		switch cn.state {
 		case connReady:
@@ -325,8 +329,15 @@ func (c *Conduit) EnsureConnected(peer int) error {
 	if peer < 0 || peer >= c.cfg.NProcs {
 		return fmt.Errorf("gasnet: peer %d out of range [0,%d)", peer, c.cfg.NProcs)
 	}
+	if err := c.checkAlive(); err != nil {
+		return err
+	}
 	for {
 		c.connMu.Lock()
+		if c.deadPeers[peer] {
+			c.connMu.Unlock()
+			return ErrPeerDead
+		}
 		cn := c.connFor(peer)
 		switch cn.state {
 		case connReady:
@@ -346,6 +357,9 @@ func (c *Conduit) EnsureConnected(peer int) error {
 		default:
 			c.connCond.Wait()
 			c.connMu.Unlock()
+			if err := c.Err(); err != nil {
+				return err
+			}
 		}
 	}
 }
@@ -356,6 +370,10 @@ func (c *Conduit) EnsureConnected(peer int) error {
 // our RC endpoint and the upper layer's payload.
 func (c *Conduit) initiate(peer int) error {
 	c.connMu.Lock()
+	if c.deadPeers[peer] {
+		c.connMu.Unlock()
+		return ErrPeerDead
+	}
 	cn := c.connFor(peer)
 	if cn.state != connNone {
 		c.connMu.Unlock()
@@ -472,6 +490,16 @@ func (c *Conduit) handleControl(comp ib.Completion) {
 	if err != nil {
 		return
 	}
+	if c.arrivalFate(comp.VTime) != selfAlive {
+		// A killed or wedged PE's software handles nothing — except the abort
+		// datagram, which models the launcher's out-of-band kill and is what
+		// finally releases a wedged process.
+		if m.Kind == msgAbort {
+			c.handleAbortMsg(m)
+		}
+		return
+	}
+	c.noteAlive(int(m.SrcRank))
 	c.mgrClk.AdvanceTo(comp.VTime)
 	c.mgrClk.Advance(c.model.ConnReqProcess)
 	switch m.Kind {
@@ -481,6 +509,14 @@ func (c *Conduit) handleControl(comp ib.Completion) {
 		c.handleRep(m)
 	case msgConnRTU:
 		c.handleRTU(m)
+	case msgHeartbeat:
+		// Echo a liveness ack to the prober, on the manager thread.
+		c.sendControl(m.UD, connMsg{Kind: msgHeartbeatAck, SrcRank: int32(c.cfg.Rank),
+			Seq: m.Seq, UD: c.udQP.Addr()}, c.mgrClk)
+	case msgHeartbeatAck:
+		// The noteAlive above is the entire effect.
+	case msgAbort:
+		c.handleAbortMsg(m)
 	}
 }
 
@@ -908,6 +944,9 @@ func (c *Conduit) retransScan() {
 // (lower ranks initiate to us), then waits until one ready connection per
 // peer exists. Must be called after SetReady and ExchangeEndpoints.
 func (c *Conduit) ConnectAll() error {
+	if err := c.checkAlive(); err != nil {
+		return err
+	}
 	for peer := c.cfg.Rank; peer < c.cfg.NProcs; peer++ {
 		if err := c.initiate(peer); err != nil {
 			return err
@@ -915,6 +954,10 @@ func (c *Conduit) ConnectAll() error {
 	}
 	c.connMu.Lock()
 	for c.nReady < c.cfg.NProcs {
+		if err := c.LivenessErr(); err != nil {
+			c.connMu.Unlock()
+			return err
+		}
 		c.connCond.Wait()
 	}
 	ready := c.lastReadyVT

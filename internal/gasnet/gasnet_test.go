@@ -30,8 +30,9 @@ type jobOpts struct {
 	faults      *ib.FaultInjector
 	payloads    bool
 	model       *vclock.CostModel
-	maxLiveRC   int           // per-HCA live RC cap (0 = unbounded)
-	retrans     RetransConfig // retransmission timing override
+	maxLiveRC   int             // per-HCA live RC cap (0 = unbounded)
+	retrans     RetransConfig   // retransmission timing override
+	heartbeat   HeartbeatConfig // failure-detector timing override
 
 	// onEvent, when set, receives every connection-lifecycle trace event
 	// from every PE (rank is the observing PE). Used by fault-plane tests
@@ -74,6 +75,7 @@ func startJob(t *testing.T, o jobOpts) ([]*pe, func(body func(p *pe))) {
 			NodeBarrier: bars[r/o.ppn],
 			MaxLiveRC:   o.maxLiveRC,
 			Retrans:     o.retrans,
+			Heartbeat:   o.heartbeat,
 		}
 		if o.onEvent != nil {
 			rank := r

@@ -195,11 +195,28 @@ func TestFaultFreeRunsPayNoResilienceCost(t *testing.T) {
 		if st.LinkFaults != 0 || st.Reconnects != 0 || st.Evictions != 0 || st.Retransmits != 0 {
 			t.Fatalf("rank %d: resilience activity on a fault-free run: %+v", p.C.Rank(), st)
 		}
+		if st.PEFailures != 0 || st.HeartbeatsSent != 0 || st.FalseSuspicions != 0 || st.AbortsPropagated != 0 {
+			t.Fatalf("rank %d: failure-detector activity on a fault-free run: %+v", p.C.Rank(), st)
+		}
 		p.C.connMu.Lock()
 		armed := p.C.timerOn
 		p.C.connMu.Unlock()
 		if armed {
 			t.Fatalf("rank %d: retransmission timer armed on a lossless fabric", p.C.Rank())
+		}
+		// With no PE faults scheduled and no explicit enable, the heartbeat
+		// scan must never be armed: zero detector cost on the happy path.
+		if p.C.hbArmed {
+			t.Fatalf("rank %d: failure detector armed on a fault-free run", p.C.Rank())
+		}
+		p.C.hbMu.Lock()
+		timer := p.C.hbTimer
+		p.C.hbMu.Unlock()
+		if timer != nil {
+			t.Fatalf("rank %d: heartbeat timer armed on a fault-free run", p.C.Rank())
+		}
+		if err := p.C.Err(); err != nil {
+			t.Fatalf("rank %d: abort error on a fault-free run: %v", p.C.Rank(), err)
 		}
 	}
 }

@@ -33,6 +33,14 @@ func (f *Fabric) Model() *vclock.CostModel { return f.model }
 // timers would misread simulation slowness as message loss.
 func (f *Fabric) Lossy() bool { return f.faults != nil }
 
+// Faults returns the fabric's fault injector, nil on a fault-free fabric.
+func (f *Fabric) Faults() *FaultInjector { return f.faults }
+
+// PEFaulty reports whether PE crash/wedge injections are scheduled on this
+// fabric. Upper layers arm their failure detector only then, so fault-free
+// runs record zero heartbeat activity.
+func (f *Fabric) PEFaulty() bool { return f.faults.PEFaultsScheduled() }
+
 // AddHCA attaches a new adapter and assigns it the next LID (LIDs start at 1,
 // as LID 0 is reserved, like the permissive LID in real InfiniBand).
 func (f *Fabric) AddHCA() *HCA {

@@ -78,6 +78,32 @@ type FaultInjector struct {
 	flaps     int
 	slowdowns int
 	held      []heldDelivery
+
+	peSched  map[int]*peFault
+	peKills  int
+	peWedges int
+}
+
+// PEFate is a PE's failure state under the injected kill/wedge schedule.
+type PEFate uint8
+
+const (
+	// PEAlive is the normal state: no failure scheduled, or not yet due.
+	PEAlive PEFate = iota
+	// PEKilled models a process crash: the PE vanishes at the scheduled
+	// virtual time — its queue pairs die and it stops sending and receiving.
+	PEKilled
+	// PEWedged models a hung process: the PE stops making software progress
+	// (no AM handlers, no heartbeat replies, no new sends) but its queue
+	// pairs stay alive, so the fabric still ACKs RDMA against its memory.
+	PEWedged
+)
+
+// peFault is one scheduled PE failure.
+type peFault struct {
+	fate  PEFate
+	at    int64 // virtual trigger time
+	fired bool
 }
 
 // heldDelivery is a datagram delivery deferred for reordering. ttl is the
@@ -130,6 +156,80 @@ func (fi *FaultInjector) Slowdowns() int {
 	fi.mu.Lock()
 	defer fi.mu.Unlock()
 	return fi.slowdowns
+}
+
+// KillPE schedules rank to crash at virtual time at. The injection trips the
+// first time the PE (or traffic destined for it) observes a virtual time at
+// or past the schedule.
+func (fi *FaultInjector) KillPE(rank int, at int64) { fi.schedulePE(rank, PEKilled, at) }
+
+// WedgePE schedules rank to stop making progress at virtual time at while its
+// queue pairs keep ACKing at the fabric level.
+func (fi *FaultInjector) WedgePE(rank int, at int64) { fi.schedulePE(rank, PEWedged, at) }
+
+func (fi *FaultInjector) schedulePE(rank int, fate PEFate, at int64) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.peSched == nil {
+		fi.peSched = make(map[int]*peFault)
+	}
+	fi.peSched[rank] = &peFault{fate: fate, at: at}
+}
+
+// PEFaultsScheduled reports whether any kill/wedge injections exist. Upper
+// layers arm their failure detector only when this is true (the analogue of
+// Fabric.Lossy gating the retransmission timer), so fault-free runs pay
+// nothing for the failure plane.
+func (fi *FaultInjector) PEFaultsScheduled() bool {
+	if fi == nil {
+		return false
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return len(fi.peSched) > 0
+}
+
+// PEFate returns rank's failure state at virtual time now. The first call at
+// or past the scheduled trigger time trips the injection and counts it.
+func (fi *FaultInjector) PEFate(rank int, now int64) PEFate {
+	if fi == nil {
+		return PEAlive
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	f := fi.peSched[rank]
+	if f == nil || now < f.at {
+		return PEAlive
+	}
+	if !f.fired {
+		f.fired = true
+		if f.fate == PEKilled {
+			fi.peKills++
+		} else {
+			fi.peWedges++
+		}
+	}
+	return f.fate
+}
+
+// PEKills reports how many scheduled crashes have tripped.
+func (fi *FaultInjector) PEKills() int {
+	if fi == nil {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.peKills
+}
+
+// PEWedges reports how many scheduled wedges have tripped.
+func (fi *FaultInjector) PEWedges() int {
+	if fi == nil {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.peWedges
 }
 
 // udFate decides the fate of one UD datagram. hold means the delivery must

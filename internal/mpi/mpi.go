@@ -74,6 +74,9 @@ func New(c *gasnet.Conduit) *Comm {
 		m.mu.Unlock()
 		m.cond.Broadcast()
 	})
+	// Wake blocked receivers when the job aborts so they observe the error
+	// instead of waiting forever for a message from a dead peer.
+	c.OnAbort(func(error) { m.cond.Broadcast() })
 	return m
 }
 
@@ -96,6 +99,9 @@ func (m *Comm) Send(dest, tag int, data []byte) error {
 // returns its payload. Matching is FIFO per (source, tag) pair, as MPI
 // requires.
 func (m *Comm) Recv(src, tag int) ([]byte, Status) {
+	if src >= 0 {
+		m.c.MonitorPeer(src)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
@@ -109,6 +115,9 @@ func (m *Comm) Recv(src, tag int) ([]byte, Status) {
 				m.clk.AdvanceTo(msg.at)
 				return msg.data, Status{Source: msg.src, Tag: msg.tag, Len: len(msg.data)}
 			}
+		}
+		if err := m.c.LivenessErr(); err != nil {
+			panic(fmt.Errorf("mpi: recv from rank %d: %w", src, err))
 		}
 		m.cond.Wait()
 	}
@@ -145,7 +154,7 @@ func (m *Comm) Barrier() {
 		to := (m.rank + dist) % m.n
 		from := (m.rank - dist%m.n + m.n) % m.n
 		if err := m.Send(to, collTag(seq, k), nil); err != nil {
-			panic("mpi: barrier: " + err.Error())
+			panic(fmt.Errorf("mpi: barrier: %w", err))
 		}
 		m.Recv(from, collTag(seq, k))
 	}
@@ -174,7 +183,7 @@ func (m *Comm) Bcast(root int, data []byte) []byte {
 		if relative+mask < m.n {
 			dst := (relative + mask + root) % m.n
 			if err := m.Send(dst, collTag(seq, 0), buf); err != nil {
-				panic("mpi: bcast: " + err.Error())
+				panic(fmt.Errorf("mpi: bcast: %w", err))
 			}
 		}
 		mask >>= 1
@@ -242,7 +251,7 @@ func (m *Comm) AllreduceInt64(op Op, local []int64) []int64 {
 					binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
 				}
 				if err := m.Send(m.rank&^mask, collTag(seq, 1), buf); err != nil {
-					panic("mpi: allreduce: " + err.Error())
+					panic(fmt.Errorf("mpi: allreduce: %w", err))
 				}
 				break
 			}
@@ -290,7 +299,7 @@ func (m *Comm) allgatherBytes(local []byte) [][]byte {
 	cur := m.rank
 	for step := 0; step < m.n-1; step++ {
 		if err := m.Send(right, collTag(seq, step), blocks[cur]); err != nil {
-			panic("mpi: allgather: " + err.Error())
+			panic(fmt.Errorf("mpi: allgather: %w", err))
 		}
 		b, _ := m.Recv(left, collTag(seq, step))
 		cur = (cur - 1 + m.n) % m.n
@@ -312,7 +321,7 @@ func (m *Comm) Alltoallv(bufs [][]byte) [][]byte {
 		dst := (m.rank + off) % m.n
 		src := (m.rank - off + m.n) % m.n
 		if err := m.Send(dst, collTag(seq, 0), bufs[dst]); err != nil {
-			panic("mpi: alltoallv: " + err.Error())
+			panic(fmt.Errorf("mpi: alltoallv: %w", err))
 		}
 		b, _ := m.Recv(src, collTag(seq, 0))
 		out[src] = b

@@ -16,9 +16,18 @@ type AllgatherOp struct {
 	got    int
 	maxT   int64 // max contribution virtual time
 	bytes  int
-	cost   int64 // filled when complete
-	doneAt int64
-	done   bool
+	cost    int64 // filled when complete
+	doneAt  int64
+	done    bool
+	aborted bool
+}
+
+// abort releases every waiter; Wait then returns nil instead of values.
+func (op *AllgatherOp) abort() {
+	op.mu.Lock()
+	op.aborted = true
+	op.cond.Broadcast()
+	op.mu.Unlock()
 }
 
 // IAllgather contributes this process's value to the job-wide allgather and
@@ -34,6 +43,9 @@ func (c *Client) IAllgather(value string) *AllgatherOp {
 	if op == nil {
 		op = &AllgatherOp{n: c.s.n, vals: make([]string, c.s.n)}
 		op.cond = sync.NewCond(&op.mu)
+		if c.s.abort != nil {
+			op.aborted = true
+		}
 		c.s.ag[seq] = op
 	}
 	c.s.mu.Unlock()
@@ -59,11 +71,16 @@ func (c *Client) IAllgather(value string) *AllgatherOp {
 
 // Wait blocks until the allgather has completed (PMIX_Wait), advances the
 // caller's clock to the completion time, and returns the gathered values
-// indexed by rank. Wait may be called by every participant.
+// indexed by rank. Wait may be called by every participant. If the job is
+// aborted before the exchange completes, Wait returns nil.
 func (op *AllgatherOp) Wait(c *Client) []string {
 	op.mu.Lock()
-	for !op.done {
+	for !op.done && !op.aborted {
 		op.cond.Wait()
+	}
+	if !op.done {
+		op.mu.Unlock()
+		return nil
 	}
 	vals, doneAt := op.vals, op.doneAt
 	op.mu.Unlock()
@@ -81,13 +98,22 @@ func (op *AllgatherOp) Done() bool {
 
 // ringOp collects the n ring contributions.
 type ringOp struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	n    int
-	vals []string
-	got  int
-	maxT int64
-	done bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	vals    []string
+	got     int
+	maxT    int64
+	done    bool
+	aborted bool
+}
+
+// abort releases every ring waiter; Ring then returns empty neighbours.
+func (op *ringOp) abort() {
+	op.mu.Lock()
+	op.aborted = true
+	op.cond.Broadcast()
+	op.mu.Unlock()
 }
 
 // Ring performs the PMIX_Ring exchange: it blocks until all processes have
@@ -117,8 +143,12 @@ func (c *Client) Ring(value string) (left, right string) {
 		op.done = true
 		op.cond.Broadcast()
 	}
-	for !op.done {
+	for !op.done && !op.aborted {
 		op.cond.Wait()
+	}
+	if !op.done {
+		op.mu.Unlock()
+		return "", ""
 	}
 	l := op.vals[(c.rank-1+op.n)%op.n]
 	r := op.vals[(c.rank+1)%op.n]

@@ -38,6 +38,18 @@ type Server struct {
 	ag     map[int]*AllgatherOp // allgather round -> op
 	ring   map[int]*ringOp
 	closed bool
+
+	abort *AbortNotice
+}
+
+// AbortNotice describes a job abort raised through the PMI control channel —
+// the out-of-band path a launcher uses to tear down a job whose in-band
+// fabric can no longer be trusted (a peer died, a watchdog fired).
+type AbortNotice struct {
+	Origin int    // rank that raised the abort (-1: the launcher/watchdog)
+	Dead   int    // rank confirmed dead, -1 when the abort is not a PE failure
+	Code   int    // suggested exit code for surviving PEs
+	Reason string
 }
 
 // NewServer creates a PMI server for a job of n processes.
@@ -117,6 +129,50 @@ func (c *Client) Fence() {
 	c.s.bytes = 0
 	c.s.mu.Unlock()
 }
+
+// RaiseAbort records a job abort and releases every blocked PMI operation:
+// the fence barrier and all outstanding allgather/ring waiters return
+// immediately. The first notice wins; later ones are dropped.
+func (s *Server) RaiseAbort(n AbortNotice) {
+	s.mu.Lock()
+	if s.abort != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.abort = &n
+	ags := make([]*AllgatherOp, 0, len(s.ag))
+	for _, op := range s.ag {
+		ags = append(ags, op)
+	}
+	rings := make([]*ringOp, 0, len(s.ring))
+	for _, op := range s.ring {
+		rings = append(rings, op)
+	}
+	s.mu.Unlock()
+	s.fence.Abort()
+	for _, op := range ags {
+		op.abort()
+	}
+	for _, op := range rings {
+		op.abort()
+	}
+}
+
+// Aborted returns the job-abort notice, if one has been raised.
+func (s *Server) Aborted() (AbortNotice, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.abort == nil {
+		return AbortNotice{}, false
+	}
+	return *s.abort, true
+}
+
+// RaiseAbort raises a job abort from this client's rank (PMI2_Abort).
+func (c *Client) RaiseAbort(n AbortNotice) { c.s.RaiseAbort(n) }
+
+// Aborted returns the job-abort notice, if one has been raised.
+func (c *Client) Aborted() (AbortNotice, bool) { return c.s.Aborted() }
 
 // KeyFor builds the conventional per-rank KVS key.
 func KeyFor(prefix string, rank int) string { return fmt.Sprintf("%s-%d", prefix, rank) }

@@ -2,6 +2,7 @@ package shmem
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 	"sync"
 )
@@ -17,6 +18,10 @@ type collState struct {
 	cond  *sync.Cond
 	seqs  map[uint64]uint64
 	inbox map[collKey]collMsg
+
+	// liveness (set at Attach) lets recv abandon a wait when the job aborts:
+	// a fragment from a dead peer will never arrive.
+	liveness func() error
 }
 
 type collKey struct {
@@ -77,13 +82,18 @@ func (s *collState) recv(ctx, seq uint64, round uint32, src int) collMsg {
 			delete(s.inbox, k)
 			return m
 		}
+		if s.liveness != nil {
+			if err := s.liveness(); err != nil {
+				panic(fmt.Errorf("shmem: collective receive from pe %d: %w", src, err))
+			}
+		}
 		s.cond.Wait()
 	}
 }
 
 func (c *Ctx) collSendCtx(ctx uint64, to int, seq uint64, round uint32, data []byte) {
 	if err := c.conduit.AMRequest(to, amColl, [4]uint64{ctx, seq, uint64(round)}, data); err != nil {
-		panic("shmem: collective send: " + err.Error())
+		panic(fmt.Errorf("shmem: collective send to pe %d: %w", to, err))
 	}
 }
 

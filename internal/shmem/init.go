@@ -1,6 +1,7 @@
 package shmem
 
 import (
+	"fmt"
 	"sync"
 
 	"goshmem/internal/gasnet"
@@ -79,12 +80,21 @@ func Attach(env Env, opts Options) *Ctx {
 		OnEvent:     env.OnConnEvent,
 		MaxLiveRC:   opts.MaxLiveRC,
 		Retrans:     opts.Retrans,
+		Heartbeat:   opts.Heartbeat,
 	}
 	if opts.SegEx == SegPiggyback {
 		cfg.ConnectPayload = func() []byte { return c.encodeOwnSeg() }
 		cfg.OnConnectPayload = func(peer int, b []byte, at int64) { c.storeSeg(peer, b, at) }
 	}
 	c.conduit = gasnet.New(cfg)
+	c.coll.liveness = c.conduit.LivenessErr
+	// On a job abort, wake every blocked wait loop in the runtime so it can
+	// observe the error instead of sleeping forever on a condvar.
+	c.conduit.OnAbort(func(error) {
+		c.coll.cond.Broadcast()
+		c.segCond.Broadcast()
+		c.watchCond.Broadcast()
+	})
 	c.conduit.RegisterHandler(amColl, c.coll.handle)
 	c.conduit.RegisterHandler(amSegInfo, func(src int, args [4]uint64, payload []byte, at int64) {
 		c.storeSeg(src, payload, at)
@@ -166,8 +176,28 @@ func (c *Ctx) Finalize() {
 		return
 	}
 	c.finalized = true
-	c.BarrierAll()
-	c.conduit.Close()
+	// Close even when the teardown barrier aborts or panics mid-way: a dead
+	// peer must not leave the conduit's progress loop running.
+	defer c.conduit.Close()
+	if c.conduit.Err() == nil {
+		c.BarrierAll()
+	}
+}
+
+// Err returns the job-abort error if this PE's conduit has been aborted
+// (a peer died, the watchdog fired, or GlobalExit was called), else nil.
+func (c *Ctx) Err() error { return c.conduit.Err() }
+
+// GlobalExit is shmem_global_exit: it aborts the whole job with the given
+// exit code, propagating the abort to every live PE through the conduit and
+// the process manager, then unwinds this PE.
+func (c *Ctx) GlobalExit(code int) {
+	ae := &gasnet.AbortError{
+		Origin: c.rank, Dead: -1, Code: code,
+		Reason: fmt.Sprintf("shmem_global_exit(%d) on PE %d", code, c.rank),
+	}
+	c.conduit.Abort(ae)
+	panic(fmt.Errorf("shmem: global exit: %w", ae))
 }
 
 // Stats returns the conduit's resource/traffic counters for this PE.

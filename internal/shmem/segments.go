@@ -56,11 +56,15 @@ func (c *Ctx) broadcastSegs() {
 			continue
 		}
 		if err := c.conduit.AMRequest(pe, amSegInfo, [4]uint64{}, own); err != nil {
-			panic("shmem: segment broadcast: " + err.Error())
+			panic(fmt.Errorf("shmem: segment broadcast to pe %d: %w", pe, err))
 		}
 	}
 	c.segMu.Lock()
 	for !c.allSegsLocked() {
+		if err := c.conduit.LivenessErr(); err != nil {
+			c.segMu.Unlock()
+			panic(fmt.Errorf("shmem: segment broadcast: %w", err))
+		}
 		c.segCond.Wait()
 	}
 	c.segMu.Unlock()
@@ -115,6 +119,10 @@ func (c *Ctx) fetchSeg(pe int) error {
 		}
 		c.segMu.Lock()
 		for !c.segs[pe].have {
+			if err := c.conduit.LivenessErr(); err != nil {
+				c.segMu.Unlock()
+				return fmt.Errorf("shmem: segment fetch from pe %d: %w", pe, err)
+			}
 			c.segCond.Wait()
 		}
 		c.segMu.Unlock()

@@ -75,6 +75,9 @@ type Options struct {
 	// Retrans overrides the conduit's real-time retransmission timing
 	// (zero fields keep the defaults).
 	Retrans gasnet.RetransConfig
+	// Heartbeat configures the conduit's UD failure detector (zero value:
+	// armed automatically only when the fabric schedules PE faults).
+	Heartbeat gasnet.HeartbeatConfig
 }
 
 // InitBreakdown is the per-phase virtual time spent in start_pes, matching

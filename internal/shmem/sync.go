@@ -1,5 +1,7 @@
 package shmem
 
+import "fmt"
+
 // Cmp is the comparison operator for WaitUntil (SHMEM_CMP_*).
 type Cmp uint8
 
@@ -61,6 +63,10 @@ func (c *Ctx) WaitUntilInt64(addr SymAddr, cmp Cmp, value int64) int64 {
 			c.watchMu.Unlock()
 			c.clk.AdvanceTo(at)
 			return v
+		}
+		if err := c.conduit.LivenessErr(); err != nil {
+			c.watchMu.Unlock()
+			panic(fmt.Errorf("shmem: wait_until: %w", err))
 		}
 		c.watchCond.Wait()
 	}

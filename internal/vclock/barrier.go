@@ -19,6 +19,7 @@ type VBarrier struct {
 	gen     int
 	maxT    int64
 	release [2]int64 // indexed by generation parity
+	aborted bool
 }
 
 // NewVBarrier returns a barrier for n participants.
@@ -39,6 +40,10 @@ func (b *VBarrier) N() int { return b.n }
 // two-slot release buffer is race-free.
 func (b *VBarrier) Wait(clk *Clock, extra int64) int64 {
 	b.mu.Lock()
+	if b.aborted {
+		b.mu.Unlock()
+		return clk.Now()
+	}
 	gen := b.gen
 	if b.count == 0 || clk.Now() > b.maxT {
 		b.maxT = clk.Now()
@@ -54,11 +59,32 @@ func (b *VBarrier) Wait(clk *Clock, extra int64) int64 {
 		clk.AdvanceTo(r)
 		return r
 	}
-	for gen == b.gen {
+	for gen == b.gen && !b.aborted {
 		b.cond.Wait()
+	}
+	if b.aborted {
+		b.mu.Unlock()
+		return clk.Now()
 	}
 	r := b.release[gen&1]
 	b.mu.Unlock()
 	clk.AdvanceTo(r)
 	return r
+}
+
+// Abort permanently releases every current and future waiter without
+// synchronizing or advancing clocks. The job-abort path uses it so PEs
+// blocked in a barrier a dead peer will never reach can terminate.
+func (b *VBarrier) Abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Aborted reports whether the barrier has been aborted.
+func (b *VBarrier) Aborted() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.aborted
 }

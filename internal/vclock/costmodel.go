@@ -64,6 +64,9 @@ type CostModel struct {
 	// ConnRetransmitTimeout is the virtual retransmission timeout for the
 	// UD-based connection handshake.
 	ConnRetransmitTimeout int64
+	// HeartbeatPeriod is the virtual time between failure-detector probe
+	// rounds; confirming a dead PE costs a bounded number of these periods.
+	HeartbeatPeriod int64
 
 	// --- PMI (out-of-band, TCP through the process manager) ---
 
@@ -137,6 +140,7 @@ func Default() *CostModel {
 		AMProcess:             1 * Microsecond,
 		ConnReqProcess:        12 * Microsecond,
 		ConnRetransmitTimeout: 2 * Millisecond,
+		HeartbeatPeriod:       1 * Millisecond,
 
 		PMIPut:                  3 * Microsecond,
 		PMIGet:                  12 * Microsecond,
