@@ -8,7 +8,7 @@ GO ?= go
 # CHAOS_SEED=<seed> make soak (failures print the seed to replay).
 CHAOS_SEED ?= 1786034998553156286
 
-.PHONY: all tier1 tier2 build test vet race soak clean
+.PHONY: all tier1 tier2 build test vet race soak trace-demo clean
 
 all: tier1
 
@@ -31,5 +31,12 @@ race:
 soak:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -count=1 -run 'TestChaosSoak|TestChaosRun|TestChaosPEFailureSoak' ./internal/gasnet ./internal/cluster
 
+# Write an 8-PE sample Perfetto trace (open trace-demo.json at
+# https://ui.perfetto.dev) plus the text report with phase breakdown,
+# counters and latency histograms.
+trace-demo:
+	$(GO) run ./cmd/oshrun -np 8 -ppn 4 -app heat2d -trace-out=trace-demo.json -metrics
+
 clean:
 	$(GO) clean ./...
+	rm -f trace-demo.json

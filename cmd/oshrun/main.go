@@ -25,9 +25,77 @@ import (
 	"goshmem/internal/gasnet"
 	"goshmem/internal/ib"
 	"goshmem/internal/mpi"
+	"goshmem/internal/obs"
 	"goshmem/internal/shmem"
 	"goshmem/internal/vclock"
 )
+
+// exitAbort terminates with the job's worst per-PE exit status when the run
+// aborted (used by the JSON path, which must not print the text dump).
+func exitAbort(res *cluster.Result) {
+	if !res.Aborted {
+		return
+	}
+	maxCode := 1
+	for _, p := range res.PEs {
+		if p.ExitCode > maxCode {
+			maxCode = p.ExitCode
+		}
+	}
+	os.Exit(maxCode)
+}
+
+// printPhaseTable prints the per-phase startup breakdown aggregated across
+// PEs (average and worst single PE).
+func printPhaseTable(res *cluster.Result) {
+	phases := res.Obs.StartupPhases()
+	names, sums, maxes := obs.PhaseTotals(phases)
+	if len(names) == 0 {
+		return
+	}
+	np := int64(len(phases))
+	fmt.Printf("\n--- start_pes phase breakdown ---\n")
+	fmt.Printf("%-14s %12s %12s\n", "phase", "avg", "max")
+	for _, n := range names {
+		fmt.Printf("%-14s %11.6fs %11.6fs\n", n, vclock.Seconds(sums[n]/np), vclock.Seconds(maxes[n]))
+	}
+}
+
+// printMetricTables prints the generic counter and histogram registries;
+// all-zero counters and empty histograms are suppressed.
+func printMetricTables(res *cluster.Result) {
+	reg := res.Obs.Registry()
+	if reg == nil {
+		return
+	}
+	var cs []obs.CounterSnapshot
+	for _, c := range reg.Counters() {
+		if c.Value != 0 {
+			cs = append(cs, c)
+		}
+	}
+	if len(cs) > 0 {
+		fmt.Printf("\n--- counters (job totals; zero rows suppressed) ---\n")
+		for _, c := range cs {
+			fmt.Printf("%-28s %14d\n", c.Name, c.Value)
+		}
+	}
+	var hs []obs.HistSnapshot
+	for _, h := range reg.Hists() {
+		if h.Count > 0 {
+			hs = append(hs, h)
+		}
+	}
+	if len(hs) > 0 {
+		us := func(ns int64) float64 { return float64(ns) / 1e3 }
+		fmt.Printf("\n--- latency histograms (virtual µs) ---\n")
+		fmt.Printf("%-28s %10s %10s %10s %10s %10s\n", "histogram", "count", "p50", "p95", "p99", "max")
+		for _, h := range hs {
+			fmt.Printf("%-28s %10d %10.1f %10.1f %10.1f %10.1f\n",
+				h.Name, h.Count, us(h.P50), us(h.P95), us(h.P99), us(h.Max))
+		}
+	}
+}
 
 // parsePEFaults parses a comma-separated list of "rank@seconds" schedules
 // (virtual seconds) into PE fault entries.
@@ -61,6 +129,9 @@ func main() {
 	class := flag.String("class", "S", "NAS class: S | A | B")
 	blockingPMI := flag.Bool("blocking-pmi", false, "use blocking Put-Fence-Get instead of PMIX_Iallgather")
 	trace := flag.Int("trace", 0, "print the first N connection-lifecycle events (virtual-time ordered)")
+	traceOut := flag.String("trace-out", "", "write the full multi-layer event trace to FILE in Chrome trace-event (Perfetto) JSON")
+	jsonOut := flag.Bool("json", false, "emit the full job report (counters, histograms, startup phases) as JSON instead of text")
+	metrics := flag.Bool("metrics", false, "collect latency histograms and generic counters and print them in the text report")
 	qpCap := flag.Int("qp-cap", 0, "cap live RC queue pairs per HCA; idle connections are LRU-evicted (0 = unbounded; on-demand mode only)")
 
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injector RNG seed (deterministic per seed)")
@@ -85,47 +156,49 @@ func main() {
 		os.Exit(2)
 	}
 	cls := nas.Class((*class)[0])
+	// In -json mode the report must be the only stdout output.
+	quiet := *jsonOut
 
 	var body func(c *shmem.Ctx)
 	switch *app {
 	case "hello":
 		body = func(c *shmem.Ctx) {
-			if c.Me() == 0 {
+			if c.Me() == 0 && !quiet {
 				fmt.Printf("Hello World from %d PEs\n", c.NPEs())
 			}
 		}
 	case "heat2d":
 		body = func(c *shmem.Ctx) {
 			r := heat2d.Run(c, heat2d.Params{NX: 64, NY: 8 * c.NPEs(), MaxIters: 50, CheckEvery: 10, Tol: 1e-4})
-			if c.Me() == 0 {
+			if c.Me() == 0 && !quiet {
 				fmt.Printf("heat2d: %d iters, residual %.3g, checksum %.6f\n", r.Iters, r.Residual, r.Checksum)
 			}
 		}
 	case "ep":
 		body = func(c *shmem.Ctx) {
 			r := nas.EP(c, nas.EPParamsFor(cls))
-			if c.Me() == 0 {
+			if c.Me() == 0 && !quiet {
 				fmt.Printf("EP class %c: checksum %.6f\n", cls, r.Checksum)
 			}
 		}
 	case "mg":
 		body = func(c *shmem.Ctx) {
 			r := nas.MG(c, nas.MGParamsFor(cls))
-			if c.Me() == 0 {
+			if c.Me() == 0 && !quiet {
 				fmt.Printf("MG class %c: checksum %.6f, residual %.3g\n", cls, r.Checksum, r.Residual)
 			}
 		}
 	case "bt":
 		body = func(c *shmem.Ctx) {
 			r := nas.BT(c, cls)
-			if c.Me() == 0 {
+			if c.Me() == 0 && !quiet {
 				fmt.Printf("BT class %c: checksum %.6f\n", cls, r.Checksum)
 			}
 		}
 	case "sp":
 		body = func(c *shmem.Ctx) {
 			r := nas.SP(c, cls)
-			if c.Me() == 0 {
+			if c.Me() == 0 && !quiet {
 				fmt.Printf("SP class %c: checksum %.6f\n", cls, r.Checksum)
 			}
 		}
@@ -133,7 +206,7 @@ func main() {
 		body = func(c *shmem.Ctx) {
 			m := mpi.New(c.Conduit())
 			r := graph500.Run(c, m, graph500.DefaultParams())
-			if c.Me() == 0 {
+			if c.Me() == 0 && !quiet {
 				fmt.Printf("graph500: reached %d, traversed %d, valid=%v\n",
 					r.ReachedSum, r.TraversedSum, r.ValidationOK)
 			}
@@ -160,11 +233,44 @@ func main() {
 		KillPEs:  parsePEFaults("kill-pe", *killPE),
 		WedgePEs: parsePEFaults("wedge-pe", *wedgePE),
 		Deadline: int64(*deadline * float64(vclock.Second)),
+		Obs: obs.Config{
+			Events:  *trace > 0 || *traceOut != "",
+			Metrics: *jsonOut || *metrics,
+		},
 	}
 	res, err := cluster.Run(cfg, body)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oshrun:", err)
 		os.Exit(1)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oshrun:", err)
+			os.Exit(1)
+		}
+		if err := res.Obs.WritePerfetto(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oshrun: writing trace:", err)
+			os.Exit(1)
+		}
+		if n := res.Obs.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "oshrun: warning: %d events dropped to ring overflow; rerun with a larger ring\n", n)
+		}
+	}
+
+	if *jsonOut {
+		if err := cluster.BuildReport(res).WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "oshrun:", err)
+			os.Exit(1)
+		}
+		exitAbort(res)
+		return
 	}
 
 	if *trace > 0 {
@@ -187,13 +293,36 @@ func main() {
 		res.AvgEndpoints(), res.AvgPeers(), res.Wall.Round(1e6))
 
 	// One unified failure/resilience table: link-level recovery and
-	// PE-failure counters side by side.
+	// PE-failure counters, all-zero rows suppressed.
 	if c := res.Counters(); c != (cluster.Counters{}) {
+		rows := []struct {
+			label string
+			v     int
+		}{
+			{"link faults", c.LinkFaults}, {"pe failures", c.PEFailures},
+			{"reconnects", c.Reconnects}, {"heartbeats sent", c.HeartbeatsSent},
+			{"evictions", c.Evictions}, {"false suspicions", c.FalseSuspicions},
+			{"retransmits", c.Retransmits}, {"aborts propagated", c.AbortsPropagated},
+		}
 		fmt.Printf("\n--- resilience counters (all PEs) ---\n")
-		fmt.Printf("%-16s %8d    %-16s %8d\n", "link faults", c.LinkFaults, "pe failures", c.PEFailures)
-		fmt.Printf("%-16s %8d    %-16s %8d\n", "reconnects", c.Reconnects, "heartbeats sent", c.HeartbeatsSent)
-		fmt.Printf("%-16s %8d    %-16s %8d\n", "evictions", c.Evictions, "false suspicions", c.FalseSuspicions)
-		fmt.Printf("%-16s %8d    %-16s %8d\n", "retransmits", c.Retransmits, "aborts propagated", c.AbortsPropagated)
+		col := 0
+		for _, r := range rows {
+			if r.v == 0 {
+				continue
+			}
+			fmt.Printf("%-17s %8d    ", r.label, r.v)
+			if col++; col%2 == 0 {
+				fmt.Println()
+			}
+		}
+		if col%2 != 0 {
+			fmt.Println()
+		}
+	}
+
+	if res.Obs != nil {
+		printPhaseTable(res)
+		printMetricTables(res)
 	}
 
 	if res.Aborted {

@@ -17,8 +17,39 @@ import (
 
 	"goshmem/internal/cluster"
 	"goshmem/internal/gasnet"
+	"goshmem/internal/obs"
 	"goshmem/internal/shmem"
 )
+
+// withHist mirrors the -hist flag: it turns on the observability plane's
+// metric registry so each benchmark can print latency percentiles alongside
+// the OSU-style averages.
+var withHist bool
+
+// obsCfg is the cluster observability config for the current flags.
+func obsCfg() obs.Config { return obs.Config{Metrics: withHist} }
+
+// printHists dumps the run's non-empty latency histograms (percentiles in
+// virtual µs), OSU-style: averages hide tails, percentiles do not.
+func printHists(res *cluster.Result) {
+	if !withHist || res == nil || res.Obs == nil {
+		return
+	}
+	reg := res.Obs.Registry()
+	if reg == nil {
+		return
+	}
+	fmt.Println()
+	fmt.Println("# OSU OpenSHMEM Latency Percentiles (simulated, virtual time)")
+	fmt.Printf("%-28s%-10s%-12s%-12s%-12s%-12s\n", "# Histogram", "Count", "p50 (us)", "p95 (us)", "p99 (us)", "max (us)")
+	for _, h := range reg.Hists() {
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Printf("%-28s%-10d%-12.2f%-12.2f%-12.2f%-12.2f\n", h.Name, h.Count,
+			float64(h.P50)/1000, float64(h.P95)/1000, float64(h.P99)/1000, float64(h.Max)/1000)
+	}
+}
 
 func main() {
 	bench := flag.String("bench", "put", "put | get | atomics | barrier | reduce | collect | put_bw")
@@ -27,7 +58,9 @@ func main() {
 	conn := flag.String("conn", "ondemand", "static | ondemand")
 	iters := flag.Int("iters", 200, "timed iterations per size")
 	maxSize := flag.Int("max", 1<<20, "largest message size")
+	hist := flag.Bool("hist", false, "also print latency percentiles (p50/p95/p99/max) from the obs plane")
 	flag.Parse()
+	withHist = *hist
 
 	mode := gasnet.OnDemand
 	if *conn == "static" {
@@ -75,7 +108,7 @@ func runPutGet(which string, mode gasnet.Mode, sizes []int, iters int) {
 	max := sizes[len(sizes)-1]
 	results := map[int]float64{}
 	var mu sync.Mutex
-	_, err := cluster.Run(cluster.Config{NP: 2, PPN: 1, Mode: mode, SkipLaunchCost: true,
+	res, err := cluster.Run(cluster.Config{NP: 2, PPN: 1, Mode: mode, SkipLaunchCost: true, Obs: obsCfg(),
 		HeapSize: max}, func(c *shmem.Ctx) {
 		buf := c.Malloc(max)
 		scratch := make([]byte, max)
@@ -103,6 +136,7 @@ func runPutGet(which string, mode gasnet.Mode, sizes []int, iters int) {
 	for _, s := range sizes {
 		fmt.Printf("%-16d%-16.2f\n", s, results[s])
 	}
+	printHists(res)
 }
 
 func runAtomics(mode gasnet.Mode, iters int) {
@@ -120,7 +154,7 @@ func runAtomics(mode gasnet.Mode, iters int) {
 	}
 	results := map[string]float64{}
 	var mu sync.Mutex
-	_, err := cluster.Run(cluster.Config{NP: 2, PPN: 1, Mode: mode, SkipLaunchCost: true,
+	res, err := cluster.Run(cluster.Config{NP: 2, PPN: 1, Mode: mode, SkipLaunchCost: true, Obs: obsCfg(),
 		HeapSize: 4096}, func(c *shmem.Ctx) {
 		a := c.Malloc(8)
 		for _, op := range ops {
@@ -142,12 +176,13 @@ func runAtomics(mode gasnet.Mode, iters int) {
 	for _, op := range ops {
 		fmt.Printf("%-24s%-16.2f\n", op.op, results[op.op])
 	}
+	printHists(res)
 }
 
 func runBarrier(mode gasnet.Mode, np, ppn, iters int) {
 	var lat float64
 	var mu sync.Mutex
-	_, err := cluster.Run(cluster.Config{NP: np, PPN: ppn, Mode: mode, SkipLaunchCost: true,
+	res, err := cluster.Run(cluster.Config{NP: np, PPN: ppn, Mode: mode, SkipLaunchCost: true, Obs: obsCfg(),
 		HeapSize: 4096}, func(c *shmem.Ctx) {
 		c.BarrierAll()
 		c.BarrierAll()
@@ -164,6 +199,7 @@ func runBarrier(mode gasnet.Mode, np, ppn, iters int) {
 	die(err)
 	header("shmem_barrier_all Latency", "# PEs", "Latency (us)")
 	fmt.Printf("%-16d%-16.2f\n", np, lat)
+	printHists(res)
 }
 
 func runCollective(which string, mode gasnet.Mode, np, ppn, maxSize, iters int) {
@@ -173,7 +209,7 @@ func runCollective(which string, mode gasnet.Mode, np, ppn, maxSize, iters int) 
 	}
 	results := map[int]float64{}
 	var mu sync.Mutex
-	_, err := cluster.Run(cluster.Config{NP: np, PPN: ppn, Mode: mode, SkipLaunchCost: true,
+	res, err := cluster.Run(cluster.Config{NP: np, PPN: ppn, Mode: mode, SkipLaunchCost: true, Obs: obsCfg(),
 		HeapSize: 4096}, func(c *shmem.Ctx) {
 		contrib := make([]byte, maxSize)
 		fcontrib := make([]float64, maxSize/8+1)
@@ -203,6 +239,7 @@ func runCollective(which string, mode gasnet.Mode, np, ppn, maxSize, iters int) 
 	for _, s := range sizes {
 		fmt.Printf("%-16d%-16.2f\n", s, results[s])
 	}
+	printHists(res)
 }
 
 func runPutBW(mode gasnet.Mode, sizes []int, iters int) {
@@ -210,7 +247,7 @@ func runPutBW(mode gasnet.Mode, sizes []int, iters int) {
 	max := sizes[len(sizes)-1]
 	results := map[int]float64{}
 	var mu sync.Mutex
-	_, err := cluster.Run(cluster.Config{NP: 2, PPN: 1, Mode: mode, SkipLaunchCost: true,
+	res, err := cluster.Run(cluster.Config{NP: 2, PPN: 1, Mode: mode, SkipLaunchCost: true, Obs: obsCfg(),
 		HeapSize: max * window}, func(c *shmem.Ctx) {
 		buf := c.Malloc(max * window)
 		scratch := make([]byte, max)
@@ -237,6 +274,7 @@ func runPutBW(mode gasnet.Mode, sizes []int, iters int) {
 	for _, s := range sizes {
 		fmt.Printf("%-16d%-16.1f\n", s, results[s])
 	}
+	printHists(res)
 }
 
 func die(err error) {

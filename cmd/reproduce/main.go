@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	reproduce [-exp all|fig1|fig2|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|table1|ablation] [-full]
+//	reproduce [-exp all|fig1|fig2|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|table1|ablation|phases] [-full]
 package main
 
 import (
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig1, fig2, fig5a, fig5b, fig6, fig7, fig8a, fig8b, fig9, table1, ablation)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig1, fig2, fig5a, fig5b, fig6, fig7, fig8a, fig8b, fig9, table1, ablation, phases)")
 	full := flag.Bool("full", false, "use paper-scale job sizes (slower; needs several GiB of RAM)")
 	maxStatic := flag.Int("maxstatic", 0, "largest job size for static (fully connected) sweeps; 0 = preset")
 	out := flag.String("o", "", "also write output to this file")
@@ -152,6 +152,17 @@ func main() {
 	}
 	if want("fig2") {
 		emit(bench.SummaryTable(startupPts, nasPts, resSeries))
+	}
+	if want("phases") {
+		// Observability-plane view of the Fig 1 / Fig 5(b) breakdowns: the
+		// same init interval, attributed by obs.InitPhase at finer grain.
+		sizes := capSizes(initSizes, capStatic)
+		pts, err := bench.PhaseBreakdown(gasnet.Static, sizes, ppn)
+		die(err)
+		emit(bench.PhaseTable("Startup phases (obs plane), current (static) design", pts))
+		pts, err = bench.PhaseBreakdown(gasnet.OnDemand, initSizes, ppn)
+		die(err)
+		emit(bench.PhaseTable("Startup phases (obs plane), proposed (on-demand) design", pts))
 	}
 	if want("ablation") {
 		rows, err := bench.Ablations(64, 8)

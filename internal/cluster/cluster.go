@@ -10,12 +10,12 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"sort"
 	"sync"
 	"time"
 
 	"goshmem/internal/gasnet"
 	"goshmem/internal/ib"
+	"goshmem/internal/obs"
 	"goshmem/internal/pmi"
 	"goshmem/internal/shmem"
 	"goshmem/internal/vclock"
@@ -82,8 +82,15 @@ type Config struct {
 	SkipLaunchCost bool
 
 	// Trace records connection-lifecycle events into Result.Trace
-	// (virtual-time-ordered across all PEs).
+	// (virtual-time-ordered across all PEs). It implies Obs.Events: the
+	// trace is a filtered view of the observability plane.
 	Trace bool
+
+	// Obs configures the structured observability plane (per-PE multi-layer
+	// events, job-wide metric registry). When enabled, Result.Obs exposes
+	// the plane for Perfetto export, latency histograms and the startup
+	// phase breakdown.
+	Obs obs.Config
 }
 
 // TraceEvent is one connection-lifecycle event from a traced run.
@@ -120,8 +127,14 @@ type Result struct {
 	JobVT int64
 
 	// Trace holds connection-lifecycle events when Config.Trace was set,
-	// ordered by virtual time.
+	// deterministically ordered by (virtual time, rank, kind, peer) so two
+	// runs of the same causally-serialized job produce identical traces
+	// regardless of goroutine scheduling.
 	Trace []TraceEvent
+
+	// Obs is the observability plane when Config.Trace or Config.Obs
+	// enabled it, else nil.
+	Obs *obs.Plane
 
 	// InitAvg and InitMax summarize start_pes across PEs (the paper's
 	// initialization-time metric averages over PEs).
@@ -311,8 +324,16 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 		launchVT = model.LaunchCost(cfg.NP, nodes)
 	}
 
-	res := &Result{Cfg: cfg, PEs: make([]PEResult, cfg.NP)}
-	var traceMu sync.Mutex
+	obsCfg := cfg.Obs
+	if cfg.Trace {
+		obsCfg.Events = true
+	}
+	var plane *obs.Plane
+	if obsCfg.Enabled() {
+		plane = obs.NewPlane(cfg.NP, obsCfg)
+	}
+
+	res := &Result{Cfg: cfg, PEs: make([]PEResult, cfg.NP), Obs: plane}
 	clks := make([]*vclock.Clock, cfg.NP)
 	for r := 0; r < cfg.NP; r++ {
 		clks[r] = vclock.NewClock(launchVT)
@@ -356,19 +377,14 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 				}
 			}()
 			node := rank / cfg.PPN
-			var onEvent func(kind string, peer int, vt int64)
-			if cfg.Trace {
-				onEvent = func(kind string, peer int, vt int64) {
-					traceMu.Lock()
-					res.Trace = append(res.Trace, TraceEvent{VT: vt, Rank: rank, Kind: kind, Peer: peer})
-					traceMu.Unlock()
-				}
-			}
+			pe := plane.PE(rank)
+			pe.Span(0, launchVT, obs.LayerCluster, "launch", -1, 0)
+			attachVT := clk.Now()
 			ctx = shmem.Attach(shmem.Env{
 				Rank: rank, NProcs: cfg.NP, Node: node, PPN: cfg.PPN,
 				HCA: hcas[node], PMI: srv.Client(rank, clk), Clock: clk,
 				NodeBarrier: bars[node],
-				OnConnEvent: onEvent,
+				Obs:         pe,
 			}, shmem.Options{
 				Mode: cfg.Mode, BlockingPMI: cfg.BlockingPMI, SegEx: cfg.SegEx,
 				HeapSize: cfg.HeapSize, DeclaredHeapSize: cfg.DeclaredHeapSize,
@@ -377,13 +393,18 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 				Retrans:            cfg.Retrans,
 				Heartbeat:          cfg.Heartbeat,
 			})
+			pe.Span(attachVT, clk.Now(), obs.LayerCluster, "init", -1, 0)
 			wd.register(rank, ctx.Conduit())
+			appVT := clk.Now()
 			app(ctx)
+			pe.Span(appVT, clk.Now(), obs.LayerCluster, "app", -1, 0)
 			// Snapshot resource counters before finalize so Table I / Fig. 9
 			// metrics reflect the application, not the teardown barrier.
 			stats := ctx.Stats()
 			peers := ctx.CommunicatingPeers()
+			finVT := clk.Now()
 			ctx.Finalize()
+			pe.Span(finVT, clk.Now(), obs.LayerCluster, "finalize", -1, 0)
 			exit := 0
 			if err := ctx.Err(); err != nil {
 				// The job aborted but this PE was never blocked on the dead
@@ -443,10 +464,21 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 	res.InitAvg = initSum / int64(cfg.NP)
 	res.InitMax = initMax
 	res.JobVT = finalMax + model.TeardownBase
-	sort.Slice(res.Trace, func(i, j int) bool { return res.Trace[i].VT < res.Trace[j].VT })
 	for _, h := range fab.HCAs() {
 		res.HCA = append(res.HCA, h.Stats())
 	}
+	if cfg.Trace {
+		// The trace is the connection-lifecycle slice of the plane's event
+		// stream. Events() returns it under the full deterministic sort key
+		// (VT, rank, layer, kind, peer), fixing the old VT-only ordering that
+		// left same-VT events in schedule-dependent order.
+		for _, e := range plane.Events() {
+			if isConnLifecycle(e) {
+				res.Trace = append(res.Trace, TraceEvent{VT: e.VT, Rank: e.Rank, Kind: e.Kind, Peer: e.Peer})
+			}
+		}
+	}
+	mirrorCounters(plane, res)
 	if cfg.NP >= 512 {
 		// Large static jobs leave O(NP^2) dead protocol objects behind;
 		// reclaim them before the caller starts the next sweep point.

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"strings"
+
+	"goshmem/internal/gasnet"
+	"goshmem/internal/obs"
+)
+
+// isConnLifecycle selects the conduit's connection-lifecycle and failure
+// plane events out of the full gasnet-layer stream (which also carries
+// ud-send/ud-recv datagrams, connect spans and heartbeat traffic). These are
+// the events Result.Trace has always exposed.
+func isConnLifecycle(e obs.Event) bool {
+	if e.Layer != obs.LayerGasnet || e.Dur != 0 {
+		return false
+	}
+	if strings.HasPrefix(e.Kind, "conn-") {
+		return true
+	}
+	switch e.Kind {
+	case "pe-fail", "suspect", "suspect-clear", "confirm-dead", "abort":
+		return true
+	}
+	return false
+}
+
+// mirrorCounters publishes the per-PE conduit counters and the per-HCA verbs
+// counters into the plane's metric registry after the run. Mirroring once at
+// the end keeps the hot path free of double accounting: the layers keep
+// their existing cheap struct counters, and the registry is the generic
+// aggregated view the CLI reports from.
+func mirrorCounters(plane *obs.Plane, res *Result) {
+	if plane == nil || !plane.Config().Metrics {
+		return
+	}
+	var t gasnet.Stats
+	for _, p := range res.PEs {
+		s := p.Stats
+		t.QPsCreated += s.QPsCreated
+		t.RCQPsCreated += s.RCQPsCreated
+		t.ConnsEstablished += s.ConnsEstablished
+		t.Retransmits += s.Retransmits
+		t.AMsSent += s.AMsSent
+		t.PutsIssued += s.PutsIssued
+		t.GetsIssued += s.GetsIssued
+		t.AtomicsIssued += s.AtomicsIssued
+		t.BytesPut += s.BytesPut
+		t.BytesGot += s.BytesGot
+		t.LinkFaults += s.LinkFaults
+		t.Reconnects += s.Reconnects
+		t.Evictions += s.Evictions
+		t.PEFailures += s.PEFailures
+		t.HeartbeatsSent += s.HeartbeatsSent
+		t.FalseSuspicions += s.FalseSuspicions
+		t.AbortsPropagated += s.AbortsPropagated
+	}
+	reg := plane.Registry()
+	reg.Counter("gasnet.qps_created").Add(int64(t.QPsCreated))
+	reg.Counter("gasnet.rc_qps_created").Add(int64(t.RCQPsCreated))
+	reg.Counter("gasnet.conns_established").Add(int64(t.ConnsEstablished))
+	reg.Counter("gasnet.retransmits").Add(int64(t.Retransmits))
+	reg.Counter("gasnet.ams_sent").Add(t.AMsSent)
+	reg.Counter("gasnet.puts_issued").Add(t.PutsIssued)
+	reg.Counter("gasnet.gets_issued").Add(t.GetsIssued)
+	reg.Counter("gasnet.atomics_issued").Add(t.AtomicsIssued)
+	reg.Counter("gasnet.bytes_put").Add(t.BytesPut)
+	reg.Counter("gasnet.bytes_got").Add(t.BytesGot)
+	reg.Counter("gasnet.link_faults").Add(int64(t.LinkFaults))
+	reg.Counter("gasnet.reconnects").Add(int64(t.Reconnects))
+	reg.Counter("gasnet.evictions").Add(int64(t.Evictions))
+	reg.Counter("gasnet.pe_failures").Add(int64(t.PEFailures))
+	reg.Counter("gasnet.heartbeats_sent").Add(int64(t.HeartbeatsSent))
+	reg.Counter("gasnet.false_suspicions").Add(int64(t.FalseSuspicions))
+	reg.Counter("gasnet.aborts_propagated").Add(int64(t.AbortsPropagated))
+	for _, h := range res.HCA {
+		reg.Counter("ib.qps_created_ud").Add(h.QPsCreatedUD)
+		reg.Counter("ib.qps_created_rc").Add(h.QPsCreatedRC)
+		reg.Counter("ib.rc_established").Add(h.RCEstablished)
+		reg.Counter("ib.live_rc").Add(h.LiveRC)
+		reg.Counter("ib.msgs_delivered").Add(h.MsgsDelivered)
+		reg.Counter("ib.bytes_delivered").Add(h.BytesDelivered)
+		reg.Counter("ib.cache_misses").Add(h.CacheMisses)
+		reg.Counter("ib.mrs_registered").Add(h.MRsRegistered)
+		reg.Counter("ib.bytes_pinned").Add(h.BytesPinned)
+	}
+}

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"goshmem/internal/obs"
+)
+
+// Report is the machine-readable summary of a run: job-level timings, per-PE
+// outcomes, the startup-phase breakdown, and — when metrics were enabled —
+// the full counter and histogram registry. `oshrun -json` serializes it.
+type Report struct {
+	NP      int    `json:"np"`
+	PPN     int    `json:"ppn"`
+	Mode    string `json:"mode"`
+	JobVT   int64  `json:"job_vt_ns"`
+	InitAvg int64  `json:"init_avg_ns"`
+	InitMax int64  `json:"init_max_ns"`
+	WallNS  int64  `json:"wall_ns"`
+
+	Aborted     bool   `json:"aborted,omitempty"`
+	AbortReason string `json:"abort_reason,omitempty"`
+
+	PEs []PEReport `json:"pes"`
+
+	StartupPhases []obs.PEPhases        `json:"startup_phases,omitempty"`
+	Counters      []obs.CounterSnapshot `json:"counters,omitempty"`
+	Histograms    []obs.HistSnapshot    `json:"histograms,omitempty"`
+	DroppedEvents int64                 `json:"dropped_events,omitempty"`
+}
+
+// PEReport is one PE's slice of the report.
+type PEReport struct {
+	Rank         int   `json:"rank"`
+	InitVT       int64 `json:"init_vt_ns"`
+	FinalVT      int64 `json:"final_vt_ns"`
+	Peers        int   `json:"peers"`
+	RCQPsCreated int   `json:"rc_qps_created"`
+	ExitCode     int   `json:"exit_code"`
+}
+
+// BuildReport assembles the report from a finished run. Observability
+// sections are present only when the corresponding plane was enabled.
+func BuildReport(res *Result) *Report {
+	rep := &Report{
+		NP:      res.Cfg.NP,
+		PPN:     res.Cfg.PPN,
+		Mode:    fmt.Sprint(res.Cfg.Mode),
+		JobVT:   res.JobVT,
+		InitAvg: res.InitAvg,
+		InitMax: res.InitMax,
+		WallNS:  res.Wall.Nanoseconds(),
+
+		Aborted:     res.Aborted,
+		AbortReason: res.AbortReason,
+	}
+	for _, p := range res.PEs {
+		rep.PEs = append(rep.PEs, PEReport{
+			Rank:         p.Rank,
+			InitVT:       p.InitVT,
+			FinalVT:      p.FinalVT,
+			Peers:        p.Peers,
+			RCQPsCreated: p.Stats.RCQPsCreated,
+			ExitCode:     p.ExitCode,
+		})
+	}
+	if res.Obs != nil {
+		rep.StartupPhases = res.Obs.StartupPhases()
+		rep.DroppedEvents = res.Obs.Dropped()
+		if reg := res.Obs.Registry(); reg != nil {
+			rep.Counters = reg.Counters()
+			rep.Histograms = reg.Hists()
+		}
+	}
+	return rep
+}
+
+// WriteJSON serializes the report with stable key order and indentation.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"goshmem/internal/ib"
+	"goshmem/internal/obs"
 	"goshmem/internal/pmi"
 	"goshmem/internal/vclock"
 )
@@ -80,6 +81,12 @@ type Config struct {
 	// retransmit) with the virtual time they occurred at. Must be cheap and
 	// non-blocking; invoked from both the application and manager threads.
 	OnEvent func(kind string, peer int, vt int64)
+
+	// Obs is this PE's observability recorder (nil/obs.Nop disables all
+	// recording at near-zero cost). Connection-lifecycle events mirror into
+	// it alongside OnEvent, and the conduit records connect-latency,
+	// first-op-penalty and heartbeat-RTT histograms when metrics are on.
+	Obs *obs.PE
 
 	// ConnectPayload, if set, supplies the opaque payload appended to
 	// connection REQ/REP messages (OpenSHMEM serializes its segment
@@ -190,7 +197,7 @@ type Conduit struct {
 	nReady      int
 	lastReadyVT int64  // max virtual time any connection became ready
 	useSeq      uint64 // LRU counter for eviction (guarded by connMu)
-	heldReqs    []connMsg
+	heldReqs    []heldReq
 	timerOn     bool
 	timer       *time.Timer
 	retrans     RetransConfig // resolved retransmission timing
@@ -214,6 +221,12 @@ type Conduit struct {
 	statMu sync.Mutex
 	stats  Stats
 	peers  map[int]struct{}
+
+	// Observability (nil-safe: a disabled plane leaves all of these nil).
+	obs      *obs.PE
+	hConnect *obs.Hist // client-perceived connect latency (REQ tx -> ready)
+	hFirstOp *obs.Hist // queued-op penalty (enqueue -> connection ready)
+	hHBRTT   *obs.Hist // heartbeat probe -> ack round trip
 
 	// Failure detector and abort plane (failure.go).
 	hb        HeartbeatConfig // resolved heartbeat timing
@@ -250,7 +263,11 @@ func New(cfg Config) *Conduit {
 		peers:   make(map[int]struct{}),
 		closeCh: make(chan struct{}),
 		retrans: cfg.Retrans.withDefaults(),
+		obs:     cfg.Obs,
 	}
+	c.hConnect = c.obs.Hist("gasnet.connect_ns")
+	c.hFirstOp = c.obs.Hist("gasnet.first_op_penalty_ns")
+	c.hHBRTT = c.obs.Hist("gasnet.heartbeat_rtt_ns")
 	c.connCond = sync.NewCond(&c.connMu)
 	c.outCond = sync.NewCond(&c.outMu)
 	if cfg.Mode == Static {
@@ -259,6 +276,8 @@ func New(cfg Config) *Conduit {
 		c.connMap = make(map[int]*conn)
 	}
 	c.udQP = cfg.HCA.CreateQP(ib.UD, c.clk, nil, c.cq)
+	c.udQP.SetObs(c.obs)
+	c.obs.Emit(c.clk.Now(), obs.LayerIB, "qp-create-ud", -1, 0)
 	c.countQP(ib.UD)
 	mustQP(c.udQP.ToInit())
 	mustQP(c.udQP.ToRTR(ib.Dest{}))
@@ -287,6 +306,10 @@ func (c *Conduit) Mode() Mode { return c.cfg.Mode }
 // Clock returns the PE's virtual clock.
 func (c *Conduit) Clock() *vclock.Clock { return c.clk }
 
+// Obs returns the PE's observability recorder (obs.Nop when disabled), so
+// layers built on the conduit (mpi, shmem) share one recorder per PE.
+func (c *Conduit) Obs() *obs.PE { return c.obs }
+
 // UDAddr returns this PE's UD endpoint address.
 func (c *Conduit) UDAddr() ib.Dest { return c.udQP.Addr() }
 
@@ -295,15 +318,32 @@ func (c *Conduit) UDAddr() ib.Dest { return c.udQP.Addr() }
 // held and are served now, at this PE's current virtual time — the paper's
 // section IV-E treatment of early arrivals ("the reply message is held
 // until the server is ready").
+//
+// The "conn-req-held" trace event is emitted here rather than at arrival,
+// and only for requests whose virtual arrival time genuinely precedes this
+// PE's ready time: a request that arrived early in *real* time but late in
+// *virtual* time is a scheduling artifact, and tracing it would make the
+// trace depend on the goroutine schedule.
 func (c *Conduit) SetReady() {
 	c.mgrClk.AdvanceTo(c.clk.Now())
+	readyVT := c.clk.Now()
 	c.ready.Store(true)
 	c.connMu.Lock()
 	held := c.heldReqs
 	c.heldReqs = nil
 	c.connMu.Unlock()
-	for _, m := range held {
-		c.handleReq(m)
+	for _, h := range held {
+		if h.at < readyVT {
+			c.event("conn-req-held", int(h.m.SrcRank), h.at)
+		}
+		// Replay on a per-request service clock starting at the later of the
+		// request's arrival and our ready time, so the replayed handshake's
+		// timestamps do not depend on the wall order the requests landed in.
+		svc := vclock.NewClock(readyVT)
+		svc.AdvanceTo(h.at)
+		svc.Advance(c.model.ConnReqProcess)
+		c.handleReq(h.m, h.at, svc)
+		c.mgrClk.AdvanceTo(svc.Now())
 	}
 }
 
@@ -596,11 +636,13 @@ func (c *Conduit) PeerSet() map[int]struct{} {
 	return out
 }
 
-// event emits a trace event if tracing is enabled.
+// event emits a trace event if tracing is enabled: to the legacy OnEvent
+// callback and to the observability plane's event ring.
 func (c *Conduit) event(kind string, peer int, vt int64) {
 	if c.cfg.OnEvent != nil {
 		c.cfg.OnEvent(kind, peer, vt)
 	}
+	c.obs.Emit(vt, obs.LayerGasnet, kind, peer, 0)
 }
 
 func (c *Conduit) notePeer(peer int) {

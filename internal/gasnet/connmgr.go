@@ -6,8 +6,37 @@ import (
 	"time"
 
 	"goshmem/internal/ib"
+	"goshmem/internal/obs"
 	"goshmem/internal/vclock"
 )
+
+// heldReq is a connection request that arrived before this PE was ready,
+// kept with its virtual arrival time so the replay at SetReady can both
+// serve it and decide (VT-deterministically) whether it was genuinely
+// early.
+type heldReq struct {
+	m  connMsg
+	at int64
+}
+
+// msgName names a control-message kind for trace events.
+func msgName(kind uint8) string {
+	switch kind {
+	case msgConnReq:
+		return "conn-req"
+	case msgConnRep:
+		return "conn-rep"
+	case msgConnRTU:
+		return "conn-rtu"
+	case msgHeartbeat:
+		return "heartbeat"
+	case msgHeartbeatAck:
+		return "heartbeat-ack"
+	case msgAbort:
+		return "abort"
+	}
+	return "unknown"
+}
 
 // Default real-time retransmission timing: the scan period and the initial
 // per-connection retransmission timeout with exponential backoff. Backoff
@@ -412,6 +441,8 @@ func (c *Conduit) initiate(peer int) error {
 	}
 	c.maybeEvictLocked(peer, c.clk.Now())
 	qp := c.cfg.HCA.CreateQP(ib.RC, c.clk, c.cq, c.cq)
+	qp.SetObs(c.obs)
+	c.obs.Emit(c.clk.Now(), obs.LayerIB, "qp-create-rc", peer, 0)
 	c.countQP(ib.RC)
 	if e := qp.ToInit(); e != nil {
 		c.connMu.Unlock()
@@ -437,6 +468,10 @@ func (c *Conduit) connectSelfLocked(cn *conn) error {
 	c.maybeEvictLocked(c.cfg.Rank, c.clk.Now())
 	a := c.cfg.HCA.CreateQP(ib.RC, c.clk, c.cq, c.cq)
 	b := c.cfg.HCA.CreateQP(ib.RC, c.clk, c.cq, c.cq)
+	a.SetObs(c.obs)
+	b.SetObs(c.obs)
+	c.obs.Emit(c.clk.Now(), obs.LayerIB, "qp-create-rc", c.cfg.Rank, 0)
+	c.obs.Emit(c.clk.Now(), obs.LayerIB, "qp-create-rc", c.cfg.Rank, 0)
 	c.countQP(ib.RC)
 	c.countQP(ib.RC)
 	for _, s := range []struct {
@@ -480,11 +515,27 @@ func (c *Conduit) connectSelfLocked(cn *conn) error {
 
 // sendControl transmits a handshake datagram over the UD endpoint.
 func (c *Conduit) sendControl(dest ib.Dest, m connMsg, clk *vclock.Clock) error {
-	return c.udQP.PostSend(ib.SendWR{Op: ib.OpSend, Dest: dest, Data: m.encode(), Clk: clk})
+	data := m.encode()
+	if c.obs.EventsEnabled() {
+		c.obs.Emit(clk.Now(), obs.LayerGasnet, "ud-send", -1, int64(len(data)),
+			obs.Attr{Key: "msg", Val: msgName(m.Kind)})
+	}
+	return c.udQP.PostSend(ib.SendWR{Op: ib.OpSend, Dest: dest, Data: data, Clk: clk})
 }
 
 // handleControl dispatches UD handshake traffic on the connection-manager
-// "thread" (the progress goroutine), charging the manager clock.
+// "thread" (the progress goroutine).
+//
+// Each message is served on its own service clock seeded from the message's
+// virtual arrival time, so every server-side timestamp (QP transitions, the
+// reply's departure, ready times, trace events) is a deterministic function
+// of the arrival VT alone — never of the wall-clock order in which the
+// goroutine happened to dequeue concurrent messages. The shared manager
+// clock is kept only as a commutative high-water mark (max over served
+// messages), which keeps HealthSnapshot and the fault path monotone without
+// reintroducing order sensitivity. The cost of this determinism is that
+// queueing delay at a contended manager is not modeled: concurrent requests
+// are each charged the full processing cost but do not wait for each other.
 func (c *Conduit) handleControl(comp ib.Completion) {
 	m, err := decodeConnMsg(comp.Data)
 	if err != nil {
@@ -500,32 +551,43 @@ func (c *Conduit) handleControl(comp ib.Completion) {
 		return
 	}
 	c.noteAlive(int(m.SrcRank))
-	c.mgrClk.AdvanceTo(comp.VTime)
-	c.mgrClk.Advance(c.model.ConnReqProcess)
+	if c.obs.EventsEnabled() {
+		c.obs.Emit(comp.VTime, obs.LayerGasnet, "ud-recv", int(m.SrcRank), int64(len(comp.Data)),
+			obs.Attr{Key: "msg", Val: msgName(m.Kind)})
+	}
+	svc := vclock.NewClock(comp.VTime)
+	svc.Advance(c.model.ConnReqProcess)
 	switch m.Kind {
 	case msgConnReq:
-		c.handleReq(m)
+		c.handleReq(m, comp.VTime, svc)
 	case msgConnRep:
-		c.handleRep(m)
+		c.handleRep(m, svc)
 	case msgConnRTU:
-		c.handleRTU(m)
+		c.handleRTU(m, svc)
 	case msgHeartbeat:
 		// Echo a liveness ack to the prober, on the manager thread.
 		c.sendControl(m.UD, connMsg{Kind: msgHeartbeatAck, SrcRank: int32(c.cfg.Rank),
-			Seq: m.Seq, UD: c.udQP.Addr()}, c.mgrClk)
+			Seq: m.Seq, UD: c.udQP.Addr()}, svc)
 	case msgHeartbeatAck:
-		// The noteAlive above is the entire effect.
+		// The noteAlive above is the entire effect; also close the RTT
+		// histogram sample opened by the probe.
+		c.noteHeartbeatAck(int(m.SrcRank), comp.VTime)
 	case msgAbort:
 		c.handleAbortMsg(m)
 	}
+	c.mgrClk.AdvanceTo(svc.Now())
 }
 
 // handleReq is the server side: create an RC endpoint, bind it to the
 // client's, consume the piggybacked payload and reply with our endpoint and
-// payload. Duplicates are answered idempotently; requests arriving before
-// this PE is ready (segments unregistered) are dropped and recovered by the
-// client's retransmission.
-func (c *Conduit) handleReq(m connMsg) {
+// payload. at is the request's virtual arrival time. Duplicates are
+// answered idempotently; requests arriving before this PE is ready
+// (segments unregistered) are held and replayed at SetReady, which also
+// decides whether to emit the "conn-req-held" trace event. at is the
+// request's virtual arrival time; svc is the per-message service clock
+// (already charged with the processing cost) on which all server-side work
+// for this request is timed.
+func (c *Conduit) handleReq(m connMsg, at int64, svc *vclock.Clock) {
 	peer := int(m.SrcRank)
 	if peer < 0 || peer >= c.cfg.NProcs || peer == c.cfg.Rank {
 		return
@@ -535,9 +597,8 @@ func (c *Conduit) handleReq(m connMsg) {
 		// (paper section IV-E). The payload slice is already private.
 		c.connMu.Lock()
 		if !c.ready.Load() {
-			c.heldReqs = append(c.heldReqs, m)
+			c.heldReqs = append(c.heldReqs, heldReq{m: m, at: at})
 			c.connMu.Unlock()
-			c.event("conn-req-held", peer, c.mgrClk.Now())
 			return
 		}
 		c.connMu.Unlock()
@@ -546,7 +607,7 @@ func (c *Conduit) handleReq(m connMsg) {
 	cn := c.connFor(peer)
 	if !c.remoteQPAlive(m.RC) {
 		c.connMu.Unlock()
-		c.event("conn-stale-req", peer, c.mgrClk.Now())
+		c.event("conn-stale-req", peer, svc.Now())
 		return
 	}
 	switch cn.state {
@@ -560,7 +621,7 @@ func (c *Conduit) handleReq(m connMsg) {
 				RC: cn.qp.Addr(), UD: c.udQP.Addr(), Payload: c.payload()}
 			ud := cn.peerUD
 			c.connMu.Unlock()
-			c.sendControl(ud, rep, c.mgrClk)
+			c.sendControl(ud, rep, svc)
 			return
 		}
 		// Higher sequence than anything we served: normally the peer tore
@@ -574,11 +635,11 @@ func (c *Conduit) handleReq(m connMsg) {
 		// stale: ignore it (it is never retransmitted).
 		if cn.state == connReady && c.connHealthyLocked(cn) {
 			c.connMu.Unlock()
-			c.event("conn-stale-req", peer, c.mgrClk.Now())
+			c.event("conn-stale-req", peer, svc.Now())
 			return
 		}
 		c.teardownLocked(cn)
-		c.event("conn-reconnect-req", peer, c.mgrClk.Now())
+		c.event("conn-reconnect-req", peer, svc.Now())
 	case connConnecting:
 		if c.cfg.Rank < peer {
 			// Collision, and we are the winner: ignore the peer's request;
@@ -589,7 +650,7 @@ func (c *Conduit) handleReq(m connMsg) {
 		// Collision, and we are the loser: abandon the client attempt (the
 		// half-open QP is discarded; queued sends stay and flush over the
 		// winning connection).
-		c.event("conn-collision-lost", peer, c.mgrClk.Now())
+		c.event("conn-collision-lost", peer, svc.Now())
 		if cn.qp != nil {
 			cn.qp.Destroy()
 			cn.qp = nil
@@ -602,13 +663,15 @@ func (c *Conduit) handleReq(m connMsg) {
 			// connection the client believes is complete. A genuine new
 			// attempt always carries a higher number.
 			c.connMu.Unlock()
-			c.event("conn-stale-req", peer, c.mgrClk.Now())
+			c.event("conn-stale-req", peer, svc.Now())
 			return
 		}
 	}
 
-	c.maybeEvictLocked(peer, c.mgrClk.Now())
-	qp := c.cfg.HCA.CreateQP(ib.RC, c.mgrClk, c.cq, c.cq)
+	c.maybeEvictLocked(peer, svc.Now())
+	qp := c.cfg.HCA.CreateQP(ib.RC, svc, c.cq, c.cq)
+	qp.SetObs(c.obs)
+	c.obs.Emit(svc.Now(), obs.LayerIB, "qp-create-rc", peer, 0)
 	c.countQP(ib.RC)
 	if qp.ToInit() != nil || qp.ToRTR(m.RC) != nil || qp.ToRTS() != nil {
 		c.connMu.Unlock()
@@ -620,23 +683,23 @@ func (c *Conduit) handleReq(m connMsg) {
 	if m.Seq > cn.seqHi {
 		cn.seqHi = m.Seq
 	}
-	cn.firstTx = c.mgrClk.Now()
+	cn.firstTx = svc.Now()
 	cn.lastTx = timeNow()
 	cn.attempt = 0
-	c.consumePayloadLocked(cn, peer, m.Payload, c.mgrClk.Now())
+	c.consumePayloadLocked(cn, peer, m.Payload, svc.Now())
 	cn.state = connAccepted
 	rep := connMsg{Kind: msgConnRep, SrcRank: int32(c.cfg.Rank), Seq: m.Seq,
 		RC: qp.Addr(), UD: c.udQP.Addr(), Payload: c.payload()}
 	c.armTimerLocked()
 	c.connMu.Unlock()
-	c.event("conn-req-served", peer, c.mgrClk.Now())
-	c.sendControl(m.UD, rep, c.mgrClk)
+	c.event("conn-req-served", peer, svc.Now())
+	c.sendControl(m.UD, rep, svc)
 }
 
 // handleRep is the client side completing the handshake: move our QP to
 // RTR/RTS against the server's endpoint, consume the server's payload, flush
 // queued traffic and confirm with RTU.
-func (c *Conduit) handleRep(m connMsg) {
+func (c *Conduit) handleRep(m connMsg, svc *vclock.Clock) {
 	peer := int(m.SrcRank)
 	if peer < 0 || peer >= c.cfg.NProcs {
 		return
@@ -656,7 +719,7 @@ func (c *Conduit) handleRep(m connMsg) {
 					UD: c.udQP.Addr()}
 				ud := cn.peerUD
 				c.connMu.Unlock()
-				c.sendControl(ud, rtu, c.mgrClk)
+				c.sendControl(ud, rtu, svc)
 				return
 			}
 			// Same attempt number but a different server endpoint: the
@@ -678,7 +741,7 @@ func (c *Conduit) handleRep(m connMsg) {
 		c.statMu.Lock()
 		c.stats.LinkFaults++
 		c.statMu.Unlock()
-		c.event("conn-stale-rep", peer, c.mgrClk.Now())
+		c.event("conn-stale-rep", peer, svc.Now())
 		go c.initiate(peer)
 		return
 	case connConnecting:
@@ -695,13 +758,13 @@ func (c *Conduit) handleRep(m connMsg) {
 		if m.Seq > cn.seqHi {
 			cn.seqHi = m.Seq
 		}
-		cn.qp.SetClock(c.mgrClk) // paper Fig. 4: the manager thread drives RTR/RTS
+		cn.qp.SetClock(svc) // paper Fig. 4: the manager thread drives RTR/RTS
 		if cn.qp.ToRTR(m.RC) != nil || cn.qp.ToRTS() != nil {
 			c.connMu.Unlock()
 			return
 		}
 		cn.peerUD = m.UD
-		cn.readyVT = c.mgrClk.Now()
+		cn.readyVT = svc.Now()
 		c.consumePayloadLocked(cn, peer, m.Payload, cn.readyVT)
 		cn.state = connReady
 		c.nReady++
@@ -710,6 +773,9 @@ func (c *Conduit) handleRep(m connMsg) {
 		if cn.readyVT > c.lastReadyVT {
 			c.lastReadyVT = cn.readyVT
 		}
+		// Client-perceived connect latency: first REQ transmission to ready.
+		c.hConnect.Record(cn.readyVT - cn.firstTx)
+		c.obs.Span(cn.firstTx, cn.readyVT, obs.LayerGasnet, "connect", peer, 0)
 		flushed := c.flushLocked(cn, peer)
 		rtu := connMsg{Kind: msgConnRTU, SrcRank: int32(c.cfg.Rank), Seq: m.Seq,
 			UD: c.udQP.Addr()}
@@ -721,11 +787,11 @@ func (c *Conduit) handleRep(m connMsg) {
 			c.stats.Reconnects++
 		}
 		c.statMu.Unlock()
-		c.event("conn-ready-client", peer, c.mgrClk.Now())
+		c.event("conn-ready-client", peer, svc.Now())
 		if flushed {
 			// Only acknowledge a connection that survived its flush; a flush
 			// that hit a link fault already tore it down for re-handshaking.
-			c.sendControl(ud, rtu, c.mgrClk)
+			c.sendControl(ud, rtu, svc)
 		}
 		c.connCond.Broadcast()
 		return
@@ -742,7 +808,7 @@ func (c *Conduit) handleRep(m connMsg) {
 		// it from there. Queued traffic survives the teardown.
 		c.teardownLocked(cn)
 		c.connMu.Unlock()
-		c.event("conn-mutual-accept", peer, c.mgrClk.Now())
+		c.event("conn-mutual-accept", peer, svc.Now())
 		go c.initiate(peer)
 		return
 	case connNone:
@@ -758,7 +824,7 @@ func (c *Conduit) handleRep(m connMsg) {
 		// QP we destroyed. Re-run the handshake: our higher-numbered request
 		// supersedes the wedged accept and flushes its queue.
 		c.connMu.Unlock()
-		c.event("conn-rescue-accept", peer, c.mgrClk.Now())
+		c.event("conn-rescue-accept", peer, svc.Now())
 		go c.initiate(peer)
 		return
 	default:
@@ -768,7 +834,7 @@ func (c *Conduit) handleRep(m connMsg) {
 
 // handleRTU completes the server side: the client is ready-to-send, so the
 // connection becomes usable and queued traffic flushes.
-func (c *Conduit) handleRTU(m connMsg) {
+func (c *Conduit) handleRTU(m connMsg, svc *vclock.Clock) {
 	peer := int(m.SrcRank)
 	if peer < 0 || peer >= c.cfg.NProcs {
 		return
@@ -780,13 +846,14 @@ func (c *Conduit) handleRTU(m connMsg) {
 		return
 	}
 	cn.state = connReady
-	cn.readyVT = c.mgrClk.Now()
+	cn.readyVT = svc.Now()
 	c.nReady++
 	recon := cn.everReady
 	cn.everReady = true
 	if cn.readyVT > c.lastReadyVT {
 		c.lastReadyVT = cn.readyVT
 	}
+	c.obs.Span(cn.firstTx, cn.readyVT, obs.LayerGasnet, "connect-accept", peer, 0)
 	c.flushLocked(cn, peer)
 	c.connMu.Unlock()
 	c.statMu.Lock()
@@ -795,7 +862,7 @@ func (c *Conduit) handleRTU(m connMsg) {
 		c.stats.Reconnects++
 	}
 	c.statMu.Unlock()
-	c.event("conn-ready-server", peer, c.mgrClk.Now())
+	c.event("conn-ready-server", peer, svc.Now())
 	c.connCond.Broadcast()
 }
 
@@ -813,6 +880,13 @@ func (c *Conduit) flushLocked(cn *conn, peer int) bool {
 	}
 	fc := vclock.NewClock(cn.readyVT)
 	for i, p := range cn.pending {
+		// First-op penalty: how long the queued request waited on the
+		// handshake (zero when the request was enqueued after ready).
+		if pen := cn.readyVT - p.enq; pen > 0 {
+			c.hFirstOp.Record(pen)
+		} else {
+			c.hFirstOp.Record(0)
+		}
 		fc.AdvanceTo(p.enq)
 		wr := p.wr
 		wr.Clk = fc
@@ -860,6 +934,7 @@ func (c *Conduit) retransScan() {
 		peer int
 		ud   ib.Dest
 		m    connMsg
+		at   int64 // virtual retransmission time (deterministic per attempt)
 	}
 	var resend []tx
 	var reinit []int
@@ -899,14 +974,18 @@ func (c *Conduit) retransScan() {
 		}
 		cn.attempt++
 		cn.lastTx = now
-		c.mgrClk.AdvanceTo(cn.firstTx + int64(cn.attempt)*c.model.ConnRetransmitTimeout)
+		// Each retransmission is charged at a virtual time derived from the
+		// attempt's first transmission and the attempt count alone, so the
+		// resend timestamps do not depend on when the wall-clock scan fired.
+		at := cn.firstTx + int64(cn.attempt)*c.model.ConnRetransmitTimeout
+		c.mgrClk.AdvanceTo(at)
 		kind := msgConnReq
 		if cn.state == connAccepted {
 			kind = msgConnRep
 		}
 		resend = append(resend, tx{peer, cn.peerUD, connMsg{Kind: kind,
 			SrcRank: int32(c.cfg.Rank), Seq: cn.seq, RC: cn.qp.Addr(),
-			UD: c.udQP.Addr(), Payload: c.payload()}})
+			UD: c.udQP.Addr(), Payload: c.payload()}, at})
 	}
 	if c.connSlice != nil {
 		for peer, cn := range c.connSlice {
@@ -934,8 +1013,8 @@ func (c *Conduit) retransScan() {
 		c.statMu.Unlock()
 	}
 	for _, t := range resend {
-		c.event("conn-retransmit", t.peer, c.mgrClk.Now())
-		c.sendControl(t.ud, t.m, c.mgrClk)
+		c.event("conn-retransmit", t.peer, t.at)
+		c.sendControl(t.ud, t.m, vclock.NewClock(t.at))
 	}
 }
 

@@ -125,6 +125,7 @@ type peerHealth struct {
 	suspect   bool
 	probes    int // confirmation probes sent since suspicion
 	lastProbe time.Time
+	probeVT   int64 // virtual send time of the last explicit probe (RTT hist)
 	dead      bool
 }
 
@@ -453,10 +454,33 @@ func (c *Conduit) sendPing(peer int, charge bool) {
 	} else {
 		clk = vclock.NewClock(c.mgrClk.Now())
 	}
+	c.hbMu.Lock()
+	if h := c.health[peer]; h != nil {
+		h.probeVT = clk.Now()
+	}
+	c.hbMu.Unlock()
 	c.statMu.Lock()
 	c.stats.HeartbeatsSent++
 	c.statMu.Unlock()
 	c.sendControl(ud, connMsg{Kind: msgHeartbeat, SrcRank: int32(c.cfg.Rank), UD: c.udQP.Addr()}, clk)
+}
+
+// noteHeartbeatAck closes the RTT sample opened by the last explicit probe
+// to peer: the virtual round trip from probe transmission to ack arrival.
+func (c *Conduit) noteHeartbeatAck(peer int, ackVT int64) {
+	if c.hHBRTT == nil {
+		return
+	}
+	c.hbMu.Lock()
+	var probeVT int64
+	if h := c.health[peer]; h != nil && h.probeVT > 0 {
+		probeVT = h.probeVT
+		h.probeVT = 0
+	}
+	c.hbMu.Unlock()
+	if probeVT > 0 && ackVT > probeVT {
+		c.hHBRTT.Record(ackVT - probeVT)
+	}
 }
 
 // markDead flags peer as dead and strips its connection slot: the handshake

@@ -3,6 +3,7 @@ package ib
 import (
 	"sync"
 
+	"goshmem/internal/obs"
 	"goshmem/internal/vclock"
 )
 
@@ -110,6 +111,8 @@ func (f *Fabric) sendUD(q *QP, wr SendWR) error {
 	}
 	if extra := f.faults.slowdown(); extra > 0 {
 		clk.Advance(extra)
+		q.obs.Emit(clk.Now(), obs.LayerIB, "fault-slow", -1, int64(len(wr.Data)))
+		q.obs.Count("ib.fault.slowdown", 1)
 	}
 	depart := clk.Advance(f.model.SendPostOverhead)
 	if q.sendCQ != nil && !wr.NoSendCompletion {
@@ -124,6 +127,8 @@ func (f *Fabric) sendUD(q *QP, wr SendWR) error {
 	}()
 	drop, dup, hold := f.faults.udFate(wr.Data)
 	if drop {
+		q.obs.Emit(clk.Now(), obs.LayerIB, "fault-drop", -1, int64(len(wr.Data)))
+		q.obs.Count("ib.fault.drop", 1)
 		return nil
 	}
 	dh := f.HCA(wr.Dest.LID)
@@ -149,11 +154,15 @@ func (f *Fabric) sendUD(q *QP, wr SendWR) error {
 			Data: data, Imm: wr.Imm, Status: StatusOK, VTime: arrival})
 	}
 	if hold {
+		q.obs.Emit(clk.Now(), obs.LayerIB, "fault-reorder", -1, int64(len(data)))
+		q.obs.Count("ib.fault.reorder", 1)
 		f.faults.holdDelivery(deliver)
 		return nil
 	}
 	deliver()
 	if dup {
+		q.obs.Emit(clk.Now(), obs.LayerIB, "fault-dup", -1, int64(len(wr.Data)))
+		q.obs.Count("ib.fault.dup", 1)
 		dupData := append([]byte(nil), wr.Data...)
 		dh.countDelivery(len(dupData))
 		recvCQ.Push(Completion{QPN: wr.Dest.QPN, Src: src, Op: OpSend, Recv: true,
@@ -175,6 +184,8 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 	}
 	if extra := f.faults.slowdown(); extra > 0 {
 		clk.Advance(extra)
+		q.obs.Emit(clk.Now(), obs.LayerIB, "fault-slow", -1, int64(len(wr.Data)))
+		q.obs.Count("ib.fault.slowdown", 1)
 	}
 	depart := clk.Advance(f.model.SendPostOverhead)
 	dh := f.HCA(q.remote.LID)
@@ -184,6 +195,8 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 	if f.faults.rcFlap() {
 		// Injected link fault: both queue pairs error out mid-stream, before
 		// this operation's payload moves, so no byte is delivered twice.
+		q.obs.Emit(clk.Now(), obs.LayerIB, "fault-flap", -1, 0)
+		q.obs.Count("ib.fault.flap", 1)
 		dh.mu.Lock()
 		dq := dh.qpLocked(q.remote.QPN)
 		dh.mu.Unlock()

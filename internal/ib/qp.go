@@ -1,6 +1,7 @@
 package ib
 
 import (
+	"goshmem/internal/obs"
 	"goshmem/internal/vclock"
 )
 
@@ -14,11 +15,20 @@ type QP struct {
 	clk     *vclock.Clock
 	sendCQ  *CQ
 	recvCQ  *CQ
+	obs     *obs.PE // owning PE's recorder; nil/Nop when observability is off
 	qpn     uint32
 	remote  Dest
 	lastArr int64 // monotone arrival clamp for ordered RC delivery
 	typ     QPType
 	state   QPState
+}
+
+// SetObs binds the owning PE's observability recorder, so state transitions
+// and fabric-level fault injections on this QP are attributed to that PE.
+func (q *QP) SetObs(rec *obs.PE) {
+	q.hca.mu.Lock()
+	q.obs = rec
+	q.hca.mu.Unlock()
 }
 
 // QPN returns the queue-pair number.
@@ -58,6 +68,7 @@ func (q *QP) ToInit() error {
 	}
 	q.state = StateInit
 	q.clk.Advance(q.hca.f.model.QPTransition)
+	q.obs.Emit(q.clk.Now(), obs.LayerIB, "qp-init", -1, 0)
 	return nil
 }
 
@@ -78,6 +89,7 @@ func (q *QP) ToRTR(remote Dest) error {
 	}
 	q.state = StateRTR
 	q.clk.Advance(q.hca.f.model.QPTransition)
+	q.obs.Emit(q.clk.Now(), obs.LayerIB, "qp-rtr", -1, 0)
 	return nil
 }
 
@@ -94,6 +106,7 @@ func (q *QP) ToRTS() error {
 		q.hca.stats.RCEstablished++
 		q.hca.stats.LiveRC++
 	}
+	q.obs.Emit(q.clk.Now(), obs.LayerIB, "qp-rts", -1, 0)
 	return nil
 }
 
@@ -112,6 +125,7 @@ func (q *QP) ToError() {
 		q.hca.stats.LiveRC--
 	}
 	q.state = StateError
+	q.obs.Emit(q.clk.Now(), obs.LayerIB, "qp-error", -1, 0)
 }
 
 // Destroy tears the QP down and releases its adapter resources.
@@ -125,6 +139,7 @@ func (q *QP) Destroy() {
 		q.hca.stats.LiveRC--
 	}
 	q.state = StateDestroyed
+	q.obs.Emit(q.clk.Now(), obs.LayerIB, "qp-destroy", -1, 0)
 	if int(q.qpn) <= len(q.hca.qps) {
 		q.hca.qps[q.qpn-1] = nil
 	}

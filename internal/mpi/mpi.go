@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"goshmem/internal/gasnet"
+	"goshmem/internal/obs"
 	"goshmem/internal/vclock"
 )
 
@@ -55,6 +56,11 @@ type Comm struct {
 	rank int
 	n    int
 
+	obs   *obs.PE
+	hSend *obs.Hist
+	hRecv *obs.Hist
+	hColl *obs.Hist
+
 	mu         sync.Mutex
 	cond       *sync.Cond
 	unexpected []*message
@@ -65,7 +71,10 @@ type Comm struct {
 // New attaches an MPI communicator to an existing conduit. In a hybrid
 // program pass shmem.Ctx.Conduit() so both models share connections.
 func New(c *gasnet.Conduit) *Comm {
-	m := &Comm{c: c, clk: c.Clock(), rank: c.Rank(), n: c.NProcs()}
+	m := &Comm{c: c, clk: c.Clock(), rank: c.Rank(), n: c.NProcs(), obs: c.Obs()}
+	m.hSend = m.obs.Hist("mpi.send_ns")
+	m.hRecv = m.obs.Hist("mpi.recv_ns")
+	m.hColl = m.obs.Hist("mpi.collective_ns")
 	m.cond = sync.NewCond(&m.mu)
 	c.RegisterHandler(amSend, func(src int, args [4]uint64, payload []byte, at int64) {
 		msg := &message{src: src, tag: int(int64(args[0])), data: payload, at: at}
@@ -92,7 +101,16 @@ func (m *Comm) Send(dest, tag int, data []byte) error {
 	if dest < 0 || dest >= m.n {
 		return fmt.Errorf("mpi: dest %d out of range", dest)
 	}
-	return m.c.AMRequest(dest, amSend, [4]uint64{uint64(int64(tag))}, data)
+	start := m.clk.Now()
+	err := m.c.AMRequest(dest, amSend, [4]uint64{uint64(int64(tag))}, data)
+	// Internal collective traffic (negative tags) is spanned by its
+	// collective, not per fragment.
+	if tag >= 0 && err == nil && m.obs.Active() {
+		end := m.clk.Now()
+		m.obs.Span(start, end, obs.LayerMPI, "send", dest, int64(len(data)))
+		m.hSend.Record(end - start)
+	}
+	return err
 }
 
 // Recv blocks for a matching message (src/tag may be AnySource/AnyTag) and
@@ -102,6 +120,7 @@ func (m *Comm) Recv(src, tag int) ([]byte, Status) {
 	if src >= 0 {
 		m.c.MonitorPeer(src)
 	}
+	start := m.clk.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
@@ -113,6 +132,11 @@ func (m *Comm) Recv(src, tag int) ([]byte, Status) {
 				((tag == AnyTag && msg.tag >= 0) || msg.tag == tag) {
 				m.unexpected = append(m.unexpected[:i], m.unexpected[i+1:]...)
 				m.clk.AdvanceTo(msg.at)
+				if msg.tag >= 0 && m.obs.Active() {
+					end := m.clk.Now()
+					m.obs.Span(start, end, obs.LayerMPI, "recv", msg.src, int64(len(msg.data)))
+					m.hRecv.Record(end - start)
+				}
 				return msg.data, Status{Source: msg.src, Tag: msg.tag, Len: len(msg.data)}
 			}
 		}
@@ -144,11 +168,24 @@ func (m *Comm) nextSeq() int64 {
 // collTag builds a reserved tag for round r of collective op seq.
 func collTag(seq int64, round int) int { return collTagBase + int(seq)*64 + round }
 
+// collSpan closes a collective's observability span and feeds the MPI
+// collective latency histogram.
+func (m *Comm) collSpan(kind string, start int64) {
+	if !m.obs.Active() {
+		return
+	}
+	end := m.clk.Now()
+	m.obs.Span(start, end, obs.LayerMPI, kind, -1, 0)
+	m.hColl.Record(end - start)
+}
+
 // Barrier blocks until all ranks arrive (dissemination algorithm).
 func (m *Comm) Barrier() {
 	if m.n == 1 {
 		return
 	}
+	start := m.clk.Now()
+	defer m.collSpan("barrier", start)
 	seq := m.nextSeq()
 	for k, dist := 0, 1; dist < m.n; k, dist = k+1, dist*2 {
 		to := (m.rank + dist) % m.n
@@ -166,6 +203,8 @@ func (m *Comm) Bcast(root int, data []byte) []byte {
 	if m.n == 1 {
 		return data
 	}
+	start := m.clk.Now()
+	defer m.collSpan("bcast", start)
 	seq := m.nextSeq()
 	relative := (m.rank - root + m.n) % m.n
 	buf := data
@@ -233,6 +272,8 @@ func combine(op Op, a, b int64) int64 {
 // AllreduceInt64 reduces element-wise across all ranks; every rank gets the
 // result (binomial reduce to rank 0, then broadcast).
 func (m *Comm) AllreduceInt64(op Op, local []int64) []int64 {
+	start := m.clk.Now()
+	defer m.collSpan("allreduce", start)
 	acc := append([]int64(nil), local...)
 	if m.n > 1 {
 		seq := m.nextSeq()
@@ -293,6 +334,8 @@ func (m *Comm) allgatherBytes(local []byte) [][]byte {
 	if m.n == 1 {
 		return blocks
 	}
+	start := m.clk.Now()
+	defer m.collSpan("allgather", start)
 	seq := m.nextSeq()
 	right := (m.rank + 1) % m.n
 	left := (m.rank - 1 + m.n) % m.n
@@ -314,6 +357,8 @@ func (m *Comm) Alltoallv(bufs [][]byte) [][]byte {
 	if len(bufs) != m.n {
 		panic("mpi: Alltoallv needs one buffer per rank")
 	}
+	start := m.clk.Now()
+	defer m.collSpan("alltoallv", start)
 	seq := m.nextSeq()
 	out := make([][]byte, m.n)
 	out[m.rank] = bufs[m.rank]

@@ -1,0 +1,25 @@
+package obs
+
+import "time"
+
+// NopCallCost measures the per-call wall cost of the disabled
+// instrumentation path (nil *PE / nil *Hist / nil *Counter) by timing n
+// iterations of a representative call mix and returning the mean
+// nanoseconds per call. The cluster-level overhead guard multiplies this
+// by the number of instrumentation call sites actually hit during a run to
+// bound the disabled-path overhead deterministically, instead of diffing
+// two noisy end-to-end wall-clock measurements.
+func NopCallCost(n int) (perCallNS float64) {
+	var p *PE
+	var h *Hist
+	var c *Counter
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		p.Emit(int64(i), LayerGasnet, "x", 1, 0)
+		p.Span(int64(i), int64(i)+1, LayerShmem, "y", -1, 0)
+		h.Record(int64(i))
+		c.Add(1)
+	}
+	elapsed := time.Since(t0).Nanoseconds()
+	return float64(elapsed) / float64(n*4)
+}

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds the job's typed metrics. Counters and histograms are
+// registered once by name (first use creates them) and shared by all PEs,
+// so aggregation is free: the registry IS the aggregate.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Hist
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Hist),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. Safe on a nil registry (returns nil, whose methods no-op).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Hist returns the histogram registered under name, creating it if needed.
+// Safe on a nil registry (returns nil, whose methods no-op).
+func (r *Registry) Hist(name string) *Hist {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Hist{name: name}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterSnapshot is a point-in-time counter reading.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Counters returns all counters sorted by name.
+func (r *Registry) Counters() []CounterSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]CounterSnapshot, 0, len(r.counters))
+	for _, c := range r.counters {
+		out = append(out, CounterSnapshot{Name: c.name, Value: c.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// HistSnapshot is a point-in-time histogram summary. Quantiles are
+// bucket-midpoint estimates (≈6% relative resolution); Max is exact.
+type HistSnapshot struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+	Sum   int64  `json:"sum"`
+	P50   int64  `json:"p50"`
+	P95   int64  `json:"p95"`
+	P99   int64  `json:"p99"`
+	Max   int64  `json:"max"`
+}
+
+// Hists returns summaries of all histograms sorted by name.
+func (r *Registry) Hists() []HistSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hs := make([]*Hist, 0, len(r.hists))
+	for _, h := range r.hists {
+		hs = append(hs, h)
+	}
+	r.mu.Unlock()
+	out := make([]HistSnapshot, 0, len(hs))
+	for _, h := range hs {
+		out = append(out, h.Snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Counter is a monotonic (or at least additive) metric. All methods are
+// safe on a nil receiver and for concurrent use.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add adds delta.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current total.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Name returns the registered name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Hist is an HDR-style histogram over non-negative int64 values
+// (virtual nanoseconds, typically). Values 0..15 land in exact buckets;
+// larger values use log2 majors split into 16 sub-buckets, giving ~6%
+// relative resolution across the full range with a fixed 976-slot array
+// and lock-free recording. All methods are nil-receiver safe.
+type Hist struct {
+	name    string
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+const (
+	histSubBits = 4 // 16 sub-buckets per power of two
+	histSub     = 1 << histSubBits
+	// 16 exact small-value buckets + (63-4) majors × 16 sub-buckets.
+	histBuckets = histSub + (63-histSubBits)*histSub
+)
+
+// histBucket maps a value to its bucket index.
+func histBucket(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < histSub {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1 // 2^e <= u < 2^(e+1), e >= 4
+	sub := (u >> (uint(e) - histSubBits)) & (histSub - 1)
+	return histSub + (e-histSubBits)*histSub + int(sub)
+}
+
+// histMid returns a representative (midpoint) value for a bucket index.
+func histMid(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	idx -= histSub
+	e := idx/histSub + histSubBits
+	sub := idx % histSub
+	lo := (int64(1) << uint(e)) + int64(sub)<<(uint(e)-histSubBits)
+	width := int64(1) << (uint(e) - histSubBits)
+	return lo + width/2
+}
+
+// Record adds one observation.
+func (h *Hist) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[histBucket(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1). The estimate is the
+// midpoint of the bucket containing the q-th observation; the top quantile
+// is clamped to the exact max.
+func (h *Hist) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := int64(q * float64(n))
+	if target >= n {
+		target = n - 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen > target {
+			v := histMid(i)
+			if m := h.max.Load(); v > m {
+				v = m
+			}
+			return v
+		}
+	}
+	return h.max.Load()
+}
+
+// Snapshot summarizes the histogram.
+func (h *Hist) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	return HistSnapshot{
+		Name:  h.name,
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.max.Load(),
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHistBucketRoundTrip(t *testing.T) {
+	// Small values are exact.
+	for v := int64(0); v < 16; v++ {
+		if got := histMid(histBucket(v)); got != v {
+			t.Fatalf("small value %d mapped to %d", v, got)
+		}
+	}
+	// Large values stay within ~6.5% of their bucket midpoint.
+	for _, v := range []int64{16, 100, 1023, 1 << 20, 123456789, 1 << 40, 1<<62 + 12345} {
+		mid := histMid(histBucket(v))
+		diff := v - mid
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.07*float64(v) {
+			t.Fatalf("value %d bucket midpoint %d off by %.1f%%", v, mid, 100*float64(diff)/float64(v))
+		}
+	}
+	// Monotone bucket index.
+	prev := -1
+	for e := 0; e < 63; e++ {
+		b := histBucket(int64(1) << uint(e))
+		if b <= prev {
+			t.Fatalf("bucket index not monotone at 2^%d: %d <= %d", e, b, prev)
+		}
+		prev = b
+	}
+	if histBucket(1<<63-1) >= histBuckets {
+		t.Fatalf("max value overflows bucket array: %d >= %d", histBucket(1<<63-1), histBuckets)
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := &Hist{name: "t"}
+	// 1000 observations: 0..999. p50 ≈ 500, p99 ≈ 990, max = 999 exact.
+	for v := int64(0); v < 1000; v++ {
+		h.Record(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count=%d", h.Count())
+	}
+	s := h.Snapshot()
+	if s.Max != 999 {
+		t.Fatalf("max=%d, want exact 999", s.Max)
+	}
+	if s.Sum != 999*1000/2 {
+		t.Fatalf("sum=%d", s.Sum)
+	}
+	check := func(name string, got, want int64) {
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.10*float64(want) {
+			t.Errorf("%s=%d, want within 10%% of %d", name, got, want)
+		}
+	}
+	check("p50", s.P50, 500)
+	check("p95", s.P95, 950)
+	check("p99", s.P99, 990)
+}
+
+func TestHistQuantileNeverExceedsMax(t *testing.T) {
+	h := &Hist{name: "t"}
+	h.Record(1_000_000)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v > 1_000_000 {
+			t.Fatalf("quantile %.2f = %d exceeds max", q, v)
+		}
+	}
+}
+
+func TestHistConcurrentRecord(t *testing.T) {
+	h := &Hist{name: "t"}
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(seed int64) {
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 10000; i++ {
+				h.Record(r.Int63n(1 << 30))
+			}
+			done <- struct{}{}
+		}(int64(g))
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if h.Count() != 40000 {
+		t.Fatalf("count=%d, want 40000", h.Count())
+	}
+}
+
+func TestRegistrySameNameSameMetric(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("counter not shared by name")
+	}
+	if r.Hist("y") != r.Hist("y") {
+		t.Fatal("hist not shared by name")
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import "testing"
+
+func BenchmarkNopEmit(b *testing.B) {
+	var p *PE
+	for i := 0; i < b.N; i++ {
+		p.Emit(int64(i), LayerGasnet, "conn-initiate", 1, 0)
+	}
+}
+
+func BenchmarkNopSpan(b *testing.B) {
+	var p *PE
+	for i := 0; i < b.N; i++ {
+		p.Span(int64(i), int64(i)+10, LayerShmem, "put", 1, 8)
+	}
+}
+
+func BenchmarkNopHistRecord(b *testing.B) {
+	var h *Hist
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i))
+	}
+}
+
+func BenchmarkEnabledEmit(b *testing.B) {
+	pl := NewPlane(1, Config{Events: true, RingCap: 1 << 12})
+	p := pl.PE(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Emit(int64(i), LayerGasnet, "conn-initiate", 1, 0)
+	}
+}
+
+func BenchmarkEnabledHistRecord(b *testing.B) {
+	pl := NewPlane(1, Config{Metrics: true})
+	h := pl.PE(0).Hist("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i % 100000))
+	}
+}

@@ -1,0 +1,324 @@
+// Package obs is the unified observability plane: a low-overhead,
+// virtual-time-aware structured event and metric layer threaded through
+// every subsystem of the simulator (pmi, ib, gasnet, shmem, mpi, cluster).
+//
+// The design splits responsibilities three ways:
+//
+//   - Events are point ("i") or span ("X") records carrying
+//     {vt, wallns, rank, layer, kind, peer, bytes, attrs}. Each PE owns a
+//     private ring buffer so recording never contends across PEs; the
+//     job-level Plane merges and deterministically orders them on demand.
+//   - Metrics are typed values — monotonic counters and HDR-style latency
+//     histograms — registered once by name in a job-level Registry shared
+//     by all PEs (see metrics.go).
+//   - Startup phases are a small dedicated per-PE list (see phases.go) so
+//     the init-time breakdown can never be lost to ring overflow.
+//
+// The disabled path is a nil *PE (obs.Nop): every method starts with a nil
+// receiver check and returns immediately, so instrumentation call sites can
+// stay unconditional. The overhead of that path is benchmarked (see
+// nop_bench_test.go and the cluster-level overhead guard).
+//
+// Timestamps: the primary timestamp of every event is virtual time (VT,
+// nanoseconds on the PE's vclock). Wall-clock nanoseconds since plane
+// creation are recorded alongside for debugging real-schedule effects, but
+// deterministic outputs (traces, the Perfetto export, reports) are derived
+// from VT only.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Layer names used across the codebase. They double as Perfetto thread
+// names, so keep them short and stable.
+const (
+	LayerCluster = "cluster"
+	LayerShmem   = "shmem"
+	LayerMPI     = "mpi"
+	LayerGasnet  = "gasnet"
+	LayerPMI     = "pmi"
+	LayerIB      = "ib"
+)
+
+// Attr is a small string key/value pair attached to an event.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Event is one structured observation. Dur == 0 marks an instant; Dur > 0
+// a span beginning at VT and covering [VT, VT+Dur]. Peer is -1 when the
+// event has no remote party.
+type Event struct {
+	VT    int64  // virtual time (ns) at which the event begins
+	Wall  int64  // wall-clock ns since plane creation (non-deterministic)
+	Rank  int    // PE that recorded the event
+	Layer string // one of the Layer* constants
+	Kind  string // event kind, e.g. "conn-initiate", "put", "init:pmi-exchange"
+	Peer  int    // remote PE, or -1
+	Bytes int64  // payload size, or 0
+	Dur   int64  // span duration (ns), 0 for instants
+	Attrs []Attr // optional extra context
+}
+
+// Config selects which planes are live. The zero value disables everything
+// (all recorders behave like Nop).
+type Config struct {
+	// Events enables per-PE event rings (required for -trace / -trace-out).
+	Events bool
+	// Metrics enables the counter/histogram registry.
+	Metrics bool
+	// RingCap bounds each PE's event ring. 0 means DefaultRingCap;
+	// negative means unbounded (needed when a complete trace must be
+	// exported). When a bounded ring overflows the oldest events are
+	// overwritten and Dropped() counts them.
+	RingCap int
+}
+
+// DefaultRingCap is the per-PE event ring size when Config.RingCap == 0.
+const DefaultRingCap = 1 << 16
+
+// Enabled reports whether any plane is live.
+func (c Config) Enabled() bool { return c.Events || c.Metrics }
+
+// Plane is the job-level observability state: one recorder per PE plus the
+// shared metric registry.
+type Plane struct {
+	cfg   Config
+	reg   *Registry
+	pes   []*PE
+	start time.Time
+}
+
+// NewPlane creates a plane for np PEs. If cfg disables both events and
+// metrics the plane still exists (phases are always recorded) but event
+// and metric calls no-op.
+func NewPlane(np int, cfg Config) *Plane {
+	if cfg.RingCap == 0 {
+		cfg.RingCap = DefaultRingCap
+	}
+	p := &Plane{cfg: cfg, start: time.Now()}
+	if cfg.Metrics {
+		p.reg = NewRegistry()
+	}
+	p.pes = make([]*PE, np)
+	for r := range p.pes {
+		p.pes[r] = &PE{plane: p, rank: r}
+	}
+	return p
+}
+
+// Config returns the plane's configuration.
+func (pl *Plane) Config() Config {
+	if pl == nil {
+		return Config{}
+	}
+	return pl.cfg
+}
+
+// PE returns the recorder for a rank. Safe on a nil plane (returns Nop).
+func (pl *Plane) PE(rank int) *PE {
+	if pl == nil || rank < 0 || rank >= len(pl.pes) {
+		return Nop
+	}
+	return pl.pes[rank]
+}
+
+// Registry returns the metric registry, or nil when metrics are disabled.
+func (pl *Plane) Registry() *Registry {
+	if pl == nil {
+		return nil
+	}
+	return pl.reg
+}
+
+// Events returns all recorded events merged across PEs in deterministic
+// order: (VT, Rank, Layer, Kind, Peer, Dur, Bytes). Wall-clock is never a
+// sort key, so two runs that produce the same virtual-time event multiset
+// serialize identically.
+func (pl *Plane) Events() []Event {
+	if pl == nil {
+		return nil
+	}
+	var all []Event
+	for _, pe := range pl.pes {
+		all = append(all, pe.snapshot()...)
+	}
+	SortEvents(all)
+	return all
+}
+
+// Dropped returns the total number of events lost to ring overflow.
+func (pl *Plane) Dropped() int64 {
+	if pl == nil {
+		return 0
+	}
+	var n int64
+	for _, pe := range pl.pes {
+		pe.mu.Lock()
+		n += pe.dropped
+		pe.mu.Unlock()
+	}
+	return n
+}
+
+// SortEvents orders events by (VT, Rank, Layer, Kind, Peer, Dur, Bytes).
+func SortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := &evs[i], &evs[j]
+		if a.VT != b.VT {
+			return a.VT < b.VT
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Peer != b.Peer {
+			return a.Peer < b.Peer
+		}
+		if a.Dur != b.Dur {
+			return a.Dur < b.Dur
+		}
+		return a.Bytes < b.Bytes
+	})
+}
+
+// Nop is the disabled recorder: every method on a nil *PE returns
+// immediately. Pass it wherever instrumentation is wired but observability
+// is off.
+var Nop *PE
+
+// PE records events and phases for one rank. All methods are safe on a nil
+// receiver and safe for concurrent use (a PE's app goroutine and its
+// conduit progress goroutine both record).
+type PE struct {
+	plane *Plane
+	rank  int
+
+	mu      sync.Mutex
+	ring    []Event
+	next    int   // next overwrite slot once the bounded ring is full
+	dropped int64 // events overwritten
+	phases  []Phase
+}
+
+// Rank returns the recorder's rank (-1 for Nop).
+func (p *PE) Rank() int {
+	if p == nil {
+		return -1
+	}
+	return p.rank
+}
+
+// Active reports whether any recording (events or metrics) is live. Use it
+// to skip expensive argument preparation at instrumentation sites.
+func (p *PE) Active() bool {
+	return p != nil && (p.plane.cfg.Events || p.plane.cfg.Metrics)
+}
+
+// EventsEnabled reports whether event recording is live.
+func (p *PE) EventsEnabled() bool {
+	return p != nil && p.plane.cfg.Events
+}
+
+// Emit records an instant event.
+func (p *PE) Emit(vt int64, layer, kind string, peer int, bytes int64, attrs ...Attr) {
+	if p == nil || !p.plane.cfg.Events {
+		return
+	}
+	p.record(Event{
+		VT: vt, Wall: p.wall(), Rank: p.rank,
+		Layer: layer, Kind: kind, Peer: peer, Bytes: bytes, Attrs: attrs,
+	})
+}
+
+// Span records an event covering [startVT, endVT].
+func (p *PE) Span(startVT, endVT int64, layer, kind string, peer int, bytes int64, attrs ...Attr) {
+	if p == nil || !p.plane.cfg.Events {
+		return
+	}
+	d := endVT - startVT
+	if d < 0 {
+		d = 0
+	}
+	p.record(Event{
+		VT: startVT, Wall: p.wall(), Rank: p.rank,
+		Layer: layer, Kind: kind, Peer: peer, Bytes: bytes, Dur: d, Attrs: attrs,
+	})
+}
+
+// Counter resolves a named counter, or nil when metrics are disabled.
+// Resolve once at setup and keep the pointer; Counter methods are nil-safe.
+func (p *PE) Counter(name string) *Counter {
+	if p == nil || p.plane.reg == nil {
+		return nil
+	}
+	return p.plane.reg.Counter(name)
+}
+
+// Hist resolves a named histogram, or nil when metrics are disabled.
+// Resolve once at setup and keep the pointer; Hist methods are nil-safe.
+func (p *PE) Hist(name string) *Hist {
+	if p == nil || p.plane.reg == nil {
+		return nil
+	}
+	return p.plane.reg.Hist(name)
+}
+
+// Count adds delta to a named counter (registry lookup per call — fine for
+// cold paths; hot paths should cache via Counter()).
+func (p *PE) Count(name string, delta int64) {
+	if p == nil || p.plane.reg == nil {
+		return
+	}
+	p.plane.reg.Counter(name).Add(delta)
+}
+
+// Observe records a value into a named histogram (registry lookup per
+// call — fine for cold paths; hot paths should cache via Hist()).
+func (p *PE) Observe(name string, v int64) {
+	if p == nil || p.plane.reg == nil {
+		return
+	}
+	p.plane.reg.Hist(name).Record(v)
+}
+
+func (p *PE) wall() int64 { return int64(time.Since(p.plane.start)) }
+
+func (p *PE) record(e Event) {
+	p.mu.Lock()
+	limit := p.plane.cfg.RingCap
+	if limit < 0 || len(p.ring) < limit {
+		p.ring = append(p.ring, e)
+	} else {
+		p.ring[p.next] = e
+		p.next++
+		if p.next == limit {
+			p.next = 0
+		}
+		p.dropped++
+	}
+	p.mu.Unlock()
+}
+
+// snapshot returns the PE's events oldest-first.
+func (p *PE) snapshot() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Event, 0, len(p.ring))
+	if p.dropped > 0 {
+		out = append(out, p.ring[p.next:]...)
+		out = append(out, p.ring[:p.next]...)
+	} else {
+		out = append(out, p.ring...)
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Perfetto / Chrome trace-event export.
+//
+// The exporter emits the JSON Object Format ({"traceEvents": [...]}) that
+// both chrome://tracing and ui.perfetto.dev load directly. Spans become
+// complete ("X") events, instants become "i" events, and each PE is
+// rendered as a process (pid = rank) whose threads are the layers, so the
+// timeline reads top-down the way the stack does: cluster, shmem/mpi,
+// gasnet, pmi, ib.
+//
+// Determinism: timestamps are virtual time (µs with ns precision), never
+// wall clock, and the JSON is emitted field-by-field in a fixed order from
+// events pre-sorted by SortEvents — so byte-identical event multisets
+// produce byte-identical files. The golden-file test pins this down.
+
+// perfettoTID maps a layer to a stable thread id within each PE process.
+var perfettoTID = map[string]int{
+	LayerCluster: 0,
+	LayerShmem:   1,
+	LayerMPI:     2,
+	LayerGasnet:  3,
+	LayerPMI:     4,
+	LayerIB:      5,
+}
+
+const perfettoOtherTID = 9
+
+// WritePerfetto writes the plane's merged events as a Perfetto-loadable
+// Chrome trace.
+func (pl *Plane) WritePerfetto(w io.Writer) error {
+	if pl == nil {
+		return WriteTraceEvents(w, nil, 0)
+	}
+	return WriteTraceEvents(w, pl.Events(), len(pl.pes))
+}
+
+// WriteTraceEvents writes events (already in deterministic order — callers
+// should use SortEvents) as Chrome trace-event JSON. np sizes the process
+// metadata; ranks outside [0,np) still render, just without a name record.
+func WriteTraceEvents(w io.Writer, evs []Event, np int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"traceEvents\":[")
+	first := true
+	sep := func() {
+		if first {
+			first = false
+		} else {
+			bw.WriteString(",\n")
+		}
+	}
+	for rank := 0; rank < np; rank++ {
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"name":"process_name","args":{"name":"PE %d"}}`, rank, rank)
+		for _, layer := range []string{LayerCluster, LayerShmem, LayerMPI, LayerGasnet, LayerPMI, LayerIB} {
+			sep()
+			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+				rank, perfettoTID[layer], strconv.Quote(layer))
+		}
+	}
+	for i := range evs {
+		e := &evs[i]
+		tid, ok := perfettoTID[e.Layer]
+		if !ok {
+			tid = perfettoOtherTID
+		}
+		sep()
+		if e.Dur > 0 {
+			fmt.Fprintf(bw, `{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%s`,
+				e.Rank, tid, usec(e.VT), usec(e.Dur), strconv.Quote(e.Kind))
+		} else {
+			fmt.Fprintf(bw, `{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"name":%s`,
+				e.Rank, tid, usec(e.VT), strconv.Quote(e.Kind))
+		}
+		bw.WriteString(`,"args":{`)
+		argFirst := true
+		arg := func(k, v string) {
+			if argFirst {
+				argFirst = false
+			} else {
+				bw.WriteString(",")
+			}
+			fmt.Fprintf(bw, "%s:%s", strconv.Quote(k), v)
+		}
+		if e.Peer >= 0 {
+			arg("peer", strconv.Itoa(e.Peer))
+		}
+		if e.Bytes > 0 {
+			arg("bytes", strconv.FormatInt(e.Bytes, 10))
+		}
+		for _, a := range e.Attrs {
+			arg(a.Key, strconv.Quote(a.Val))
+		}
+		bw.WriteString("}}")
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// usec renders a virtual-ns quantity as microseconds with nanosecond
+// precision, the unit Chrome trace events use for ts/dur.
+func usec(ns int64) string {
+	us := ns / 1000
+	frac := ns % 1000
+	if frac == 0 {
+		return strconv.FormatInt(us, 10)
+	}
+	return fmt.Sprintf("%d.%03d", us, frac)
+}

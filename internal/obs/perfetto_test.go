@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildTestPlane assembles a tiny fixed scenario: 2 PEs, a couple of
+// spans, instants, attrs, and a startup phase.
+func buildTestPlane() *Plane {
+	pl := NewPlane(2, Config{Events: true})
+	p0, p1 := pl.PE(0), pl.PE(1)
+	p0.InitPhase("pmi-exchange", 0, 1500)
+	p0.Emit(2000, LayerGasnet, "conn-initiate", 1, 0)
+	p0.Span(2000, 5250, LayerGasnet, "connect", 1, 0)
+	p0.Span(6000, 6800, LayerShmem, "put", 1, 4096, Attr{Key: "class", Val: "one-sided"})
+	p1.Emit(2400, LayerGasnet, "conn-req-served", 0, 0)
+	p1.Emit(3000, LayerIB, "fault-drop", 0, 40, Attr{Key: "msg", Val: "conn-req"})
+	return pl
+}
+
+// perfettoGolden pins the exporter's byte-exact output: stable field
+// ordering, metadata records first, events in SortEvents order, VT-derived
+// microsecond timestamps. If you change the exporter intentionally, update
+// this string and re-check the file loads in ui.perfetto.dev.
+const perfettoGolden = `{"traceEvents":[{"ph":"M","pid":0,"name":"process_name","args":{"name":"PE 0"}},
+{"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"cluster"}},
+{"ph":"M","pid":0,"tid":1,"name":"thread_name","args":{"name":"shmem"}},
+{"ph":"M","pid":0,"tid":2,"name":"thread_name","args":{"name":"mpi"}},
+{"ph":"M","pid":0,"tid":3,"name":"thread_name","args":{"name":"gasnet"}},
+{"ph":"M","pid":0,"tid":4,"name":"thread_name","args":{"name":"pmi"}},
+{"ph":"M","pid":0,"tid":5,"name":"thread_name","args":{"name":"ib"}},
+{"ph":"M","pid":1,"name":"process_name","args":{"name":"PE 1"}},
+{"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"cluster"}},
+{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"shmem"}},
+{"ph":"M","pid":1,"tid":2,"name":"thread_name","args":{"name":"mpi"}},
+{"ph":"M","pid":1,"tid":3,"name":"thread_name","args":{"name":"gasnet"}},
+{"ph":"M","pid":1,"tid":4,"name":"thread_name","args":{"name":"pmi"}},
+{"ph":"M","pid":1,"tid":5,"name":"thread_name","args":{"name":"ib"}},
+{"ph":"X","pid":0,"tid":1,"ts":0,"dur":1.500,"name":"init:pmi-exchange","args":{}},
+{"ph":"i","s":"t","pid":0,"tid":3,"ts":2,"name":"conn-initiate","args":{"peer":1}},
+{"ph":"X","pid":0,"tid":3,"ts":2,"dur":3.250,"name":"connect","args":{"peer":1}},
+{"ph":"i","s":"t","pid":1,"tid":3,"ts":2.400,"name":"conn-req-served","args":{"peer":0}},
+{"ph":"i","s":"t","pid":1,"tid":5,"ts":3,"name":"fault-drop","args":{"peer":0,"bytes":40,"msg":"conn-req"}},
+{"ph":"X","pid":0,"tid":1,"ts":6,"dur":0.800,"name":"put","args":{"peer":1,"bytes":4096,"class":"one-sided"}}]}
+`
+
+func TestPerfettoGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := buildTestPlane().WritePerfetto(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if got != perfettoGolden {
+		t.Fatalf("perfetto output diverged from golden:\n got: %s\nwant: %s", got, perfettoGolden)
+	}
+}
+
+func TestPerfettoIsValidJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := buildTestPlane().WritePerfetto(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("exporter produced invalid JSON: %v", err)
+	}
+	// 14 metadata records (2 PEs × 7) + 6 events.
+	if len(doc.TraceEvents) != 20 {
+		t.Fatalf("traceEvents len = %d, want 20", len(doc.TraceEvents))
+	}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		if ph == "" {
+			t.Fatalf("event missing ph: %v", e)
+		}
+	}
+}
+
+func TestPerfettoDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := buildTestPlane().WritePerfetto(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildTestPlane().WritePerfetto(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two identical planes exported different bytes")
+	}
+}
+
+func TestPerfettoEmptyPlane(t *testing.T) {
+	var sb strings.Builder
+	var pl *Plane
+	if err := pl.WritePerfetto(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(sb.String())) {
+		t.Fatalf("empty export invalid JSON: %q", sb.String())
+	}
+}

@@ -1,6 +1,10 @@
 package pmi
 
-import "sync"
+import (
+	"sync"
+
+	"goshmem/internal/obs"
+)
 
 // AllgatherOp is an outstanding PMIX_Iallgather. The initiating call returns
 // immediately after charging only the launch cost; the exchange completes in
@@ -36,6 +40,7 @@ func (op *AllgatherOp) abort() {
 // same sequence of rounds.
 func (c *Client) IAllgather(value string) *AllgatherOp {
 	c.clk.Advance(c.s.model.PMINonBlockingLaunch)
+	c.obs.Emit(c.clk.Now(), obs.LayerPMI, "iallgather-launch", -1, int64(len(value)))
 	c.s.mu.Lock()
 	seq := c.agSeq
 	c.agSeq++
@@ -74,6 +79,7 @@ func (c *Client) IAllgather(value string) *AllgatherOp {
 // indexed by rank. Wait may be called by every participant. If the job is
 // aborted before the exchange completes, Wait returns nil.
 func (op *AllgatherOp) Wait(c *Client) []string {
+	start := c.clk.Now()
 	op.mu.Lock()
 	for !op.done && !op.aborted {
 		op.cond.Wait()
@@ -85,6 +91,9 @@ func (op *AllgatherOp) Wait(c *Client) []string {
 	vals, doneAt := op.vals, op.doneAt
 	op.mu.Unlock()
 	c.clk.AdvanceTo(doneAt)
+	end := c.clk.Now()
+	c.obs.Span(start, end, obs.LayerPMI, "iallgather-wait", -1, 0)
+	c.obs.Observe("pmi.allgather_wait_ns", end-start)
 	return vals
 }
 

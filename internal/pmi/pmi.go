@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sync"
 
+	"goshmem/internal/obs"
 	"goshmem/internal/vclock"
 )
 
@@ -84,9 +85,14 @@ type Client struct {
 	s       *Server
 	rank    int
 	clk     *vclock.Clock
+	obs     *obs.PE
 	agSeq   int
 	ringSeq int
 }
+
+// SetObs binds the PE's observability recorder; PMI operations then emit
+// pmi-layer spans and feed the pmi.* latency histograms.
+func (c *Client) SetObs(rec *obs.PE) { c.obs = rec }
 
 // Rank returns the client's process rank.
 func (c *Client) Rank() int { return c.rank }
@@ -117,6 +123,7 @@ func (c *Client) Get(key string) (string, bool) {
 // job size and the amount of data published this epoch — the scalability
 // problem the paper's Figure 1 attributes to "PMI Exchange".
 func (c *Client) Fence() {
+	start := c.clk.Now()
 	c.s.mu.Lock()
 	perProc := 0
 	if c.s.n > 0 {
@@ -128,6 +135,9 @@ func (c *Client) Fence() {
 	c.s.mu.Lock()
 	c.s.bytes = 0
 	c.s.mu.Unlock()
+	end := c.clk.Now()
+	c.obs.Span(start, end, obs.LayerPMI, "fence", -1, 0)
+	c.obs.Observe("pmi.fence_ns", end-start)
 }
 
 // RaiseAbort records a job abort and releases every blocked PMI operation:

@@ -5,9 +5,23 @@ package shmem
 // network atomic on the same address, exactly like InfiniBand's fetch-add /
 // compare-swap verbs. Addresses must be 8-byte aligned symmetric addresses.
 
+import "goshmem/internal/obs"
+
+// atomicSpan closes an atomic op's observability span and feeds the latency
+// histogram.
+func (c *Ctx) atomicSpan(kind string, pe int, start int64) {
+	if !c.obs.Active() {
+		return
+	}
+	end := c.clk.Now()
+	c.obs.Span(start, end, obs.LayerShmem, kind, pe, 8)
+	c.hAtomic.Record(end - start)
+}
+
 // FetchAddInt64 atomically adds delta to the int64 at addr on pe and returns
 // the previous value (shmem_long_fadd).
 func (c *Ctx) FetchAddInt64(addr SymAddr, delta int64, pe int) int64 {
+	start := c.clk.Now()
 	raddr, rkey, err := c.remoteAddr(pe, addr, 8)
 	if err != nil {
 		panic(err.Error())
@@ -16,6 +30,7 @@ func (c *Ctx) FetchAddInt64(addr SymAddr, delta int64, pe int) int64 {
 	if err != nil {
 		panic(err.Error())
 	}
+	c.atomicSpan("fadd", pe, start)
 	return int64(old)
 }
 
@@ -38,6 +53,7 @@ func (c *Ctx) IncInt64(addr SymAddr, pe int) {
 // SwapInt64 atomically replaces the value and returns the previous one
 // (shmem_long_swap).
 func (c *Ctx) SwapInt64(addr SymAddr, value int64, pe int) int64 {
+	start := c.clk.Now()
 	raddr, rkey, err := c.remoteAddr(pe, addr, 8)
 	if err != nil {
 		panic(err.Error())
@@ -46,12 +62,14 @@ func (c *Ctx) SwapInt64(addr SymAddr, value int64, pe int) int64 {
 	if err != nil {
 		panic(err.Error())
 	}
+	c.atomicSpan("swap", pe, start)
 	return int64(old)
 }
 
 // CompareSwapInt64 atomically stores value if the current value equals cond,
 // returning the previous value (shmem_long_cswap).
 func (c *Ctx) CompareSwapInt64(addr SymAddr, cond, value int64, pe int) int64 {
+	start := c.clk.Now()
 	raddr, rkey, err := c.remoteAddr(pe, addr, 8)
 	if err != nil {
 		panic(err.Error())
@@ -60,5 +78,6 @@ func (c *Ctx) CompareSwapInt64(addr SymAddr, cond, value int64, pe int) int64 {
 	if err != nil {
 		panic(err.Error())
 	}
+	c.atomicSpan("cswap", pe, start)
 	return int64(old)
 }

@@ -5,7 +5,21 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"goshmem/internal/obs"
 )
+
+// collSpan closes a collective's observability span and feeds the collective
+// latency histogram. Nested collectives (reduce over broadcast) each record
+// their own span.
+func (c *Ctx) collSpan(kind string, start int64, h *obs.Hist) {
+	if !c.obs.Active() {
+		return
+	}
+	end := c.clk.Now()
+	c.obs.Span(start, end, obs.LayerShmem, kind, -1, 0)
+	h.Record(end - start)
+}
 
 // collState sequences collective operations. OpenSHMEM requires the PEs of
 // an active set to call that set's collectives in the same order, so a
@@ -117,6 +131,7 @@ func (c *Ctx) collRecv(seq uint64, round uint32, from int) []byte {
 // each PE talking to peers at distance 2^k — which is exactly why global
 // barriers during init force O(log P) connections, paper section IV-E).
 func (c *Ctx) BarrierAll() {
+	start := c.clk.Now()
 	c.Quiet()
 	if c.n == 1 {
 		return
@@ -128,6 +143,7 @@ func (c *Ctx) BarrierAll() {
 		c.collSend(to, seq, k, nil)
 		c.collRecv(seq, k, from)
 	}
+	c.collSpan("barrier", start, c.hBarrier)
 }
 
 // BroadcastBytes distributes root's data to all PEs over a binomial tree and
@@ -136,6 +152,8 @@ func (c *Ctx) BroadcastBytes(root int, data []byte) []byte {
 	if c.n == 1 {
 		return data
 	}
+	start := c.clk.Now()
+	defer c.collSpan("broadcast", start, c.hColl)
 	seq := c.coll.next(worldCtx)
 	relative := (c.rank - root + c.n) % c.n
 	buf := data
@@ -164,6 +182,8 @@ func (c *Ctx) BroadcastBytes(root int, data []byte) []byte {
 // the paper's Figure 7(b): each PE exchanges with at most 2*ceil(log2 N)
 // distinct peers.
 func (c *Ctx) reduceBytes(local []byte, combine func(acc, in []byte)) []byte {
+	start := c.clk.Now()
+	defer c.collSpan("reduce", start, c.hColl)
 	acc := append([]byte(nil), local...)
 	if c.n > 1 {
 		seq := c.coll.next(worldCtx)
@@ -196,6 +216,8 @@ func (c *Ctx) FCollectBytes(contrib []byte) []byte {
 	if c.n == 1 {
 		return out
 	}
+	start := c.clk.Now()
+	defer c.collSpan("fcollect", start, c.hColl)
 	seq := c.coll.next(worldCtx)
 	have := 1
 	round := uint32(0)

@@ -6,6 +6,7 @@ import (
 
 	"goshmem/internal/gasnet"
 	"goshmem/internal/ib"
+	"goshmem/internal/obs"
 	"goshmem/internal/pmi"
 	"goshmem/internal/vclock"
 )
@@ -25,6 +26,11 @@ type Env struct {
 	// OnConnEvent, if set, receives the conduit's connection-lifecycle
 	// trace events (see gasnet.Config.OnEvent).
 	OnConnEvent func(kind string, peer int, vt int64)
+
+	// Obs is the PE's observability recorder (nil: disabled). The runtime
+	// threads it through the PMI client, the conduit and the verbs layer so
+	// every layer's events land in the same per-PE stream.
+	Obs *obs.PE
 }
 
 // Attach is start_pes: it initializes the OpenSHMEM runtime for one PE and
@@ -64,11 +70,22 @@ func Attach(env Env, opts Options) *Ctx {
 	c.segCond = sync.NewCond(&c.segMu)
 	c.watchCond = sync.NewCond(&c.watchMu)
 	c.coll = newCollState()
+	c.obs = env.Obs
+	c.hPut = c.obs.Hist("shmem.put_ns")
+	c.hGet = c.obs.Hist("shmem.get_ns")
+	c.hAtomic = c.obs.Hist("shmem.atomic_ns")
+	c.hBarrier = c.obs.Hist("shmem.barrier_ns")
+	c.hColl = c.obs.Hist("shmem.collective_ns")
+	env.PMI.SetObs(c.obs)
 	c.startVT = c.clk.Now()
 	last := c.startVT
-	mark := func(bucket *int64) {
+	// mark closes one initialization phase: it charges the elapsed region to
+	// the legacy breakdown bucket AND records it as a named startup phase, so
+	// the phases tile [startVT, now] exactly (the phase-sum invariant).
+	mark := func(bucket *int64, phase string) {
 		now := c.clk.Now()
 		*bucket += now - last
+		c.obs.InitPhase(phase, last, now)
 		last = now
 	}
 
@@ -78,6 +95,7 @@ func Attach(env Env, opts Options) *Ctx {
 		Mode: opts.Mode, BlockingPMI: opts.BlockingPMI,
 		NodeBarrier: env.NodeBarrier,
 		OnEvent:     env.OnConnEvent,
+		Obs:         env.Obs,
 		MaxLiveRC:   opts.MaxLiveRC,
 		Retrans:     opts.Retrans,
 		Heartbeat:   opts.Heartbeat,
@@ -103,11 +121,11 @@ func Attach(env Env, opts Options) *Ctx {
 		// Explicit segment-info request (SegAMOnDemand ablation): reply.
 		_ = c.conduit.AMRequest(src, amSegInfo, [4]uint64{}, c.encodeOwnSeg())
 	})
-	mark(&c.breakdown.Other)
+	mark(&c.breakdown.Other, "qp-setup")
 
 	// --- PMI exchange of UD endpoint info ---
 	c.conduit.ExchangeEndpoints()
-	mark(&c.breakdown.PMIExchange)
+	mark(&c.breakdown.PMIExchange, "pmi-exchange")
 
 	// --- Symmetric heap allocation and registration ---
 	c.heapBuf = make([]byte, opts.HeapSize)
@@ -125,32 +143,42 @@ func Attach(env Env, opts Options) *Ctx {
 		c.watchCond.Broadcast()
 	})
 	c.setOwnSeg()
-	mark(&c.breakdown.MemoryReg)
+	c.obs.Emit(c.clk.Now(), obs.LayerIB, "mr-register", -1, int64(opts.DeclaredHeapSize))
+	mark(&c.breakdown.MemoryReg, "mem-reg")
 
 	// --- Shared-memory (intra-node) setup ---
 	c.clk.Advance(c.model.SharedMemSetup)
 	c.conduit.IntraNodeBarrier()
-	mark(&c.breakdown.SharedMemSetup)
+	mark(&c.breakdown.SharedMemSetup, "shared-mem")
 
 	c.conduit.SetReady()
 
 	// --- Connection setup & segment exchange ---
+	// Both sub-phases are marked in every mode (zero-length when skipped), so
+	// the phase names line up across static and on-demand runs.
 	if opts.Mode == gasnet.Static {
 		if err := c.conduit.ConnectAll(); err != nil {
 			panic("shmem: static connect: " + err.Error())
 		}
+		mark(&c.breakdown.ConnectionSetup, "conn-setup")
 		c.broadcastSegs()
 		c.BarrierAll() // the current design's global synchronization
+		mark(&c.breakdown.ConnectionSetup, "rkey-exchange")
 	} else if opts.SegEx == SegBroadcast {
 		// Unusual combination (ablation): broadcast still forces all-to-all.
+		mark(&c.breakdown.ConnectionSetup, "conn-setup")
 		c.broadcastSegs()
 		c.BarrierAll()
-	} else if opts.GlobalInitBarriers {
-		// Section IV-E ablation: a global barrier during on-demand init
-		// forces O(log P) connections right here.
-		c.BarrierAll()
+		mark(&c.breakdown.ConnectionSetup, "rkey-exchange")
+	} else {
+		if opts.GlobalInitBarriers {
+			// Section IV-E ablation: a global barrier during on-demand init
+			// forces O(log P) connections right here.
+			c.BarrierAll()
+		}
+		mark(&c.breakdown.ConnectionSetup, "conn-setup")
+		mark(&c.breakdown.ConnectionSetup, "rkey-exchange")
 	}
-	mark(&c.breakdown.ConnectionSetup)
 
 	// --- Remaining constant setup ---
 	c.clk.Advance(c.model.InitOther)
@@ -159,7 +187,7 @@ func Attach(env Env, opts Options) *Ctx {
 	} else {
 		c.conduit.IntraNodeBarrier() // paper section IV-E replacement
 	}
-	mark(&c.breakdown.Other)
+	mark(&c.breakdown.Other, "other")
 
 	c.breakdown.Total = c.clk.Now() - c.startVT
 	return c

@@ -3,6 +3,8 @@ package shmem
 import (
 	"encoding/binary"
 	"math"
+
+	"goshmem/internal/obs"
 )
 
 // Malloc allocates n bytes on the symmetric heap of every PE and returns the
@@ -43,12 +45,18 @@ func (c *Ctx) PutMem(dest SymAddr, src []byte, pe int) {
 	if len(src) == 0 {
 		return
 	}
+	start := c.clk.Now()
 	addr, rkey, err := c.remoteAddr(pe, dest, len(src))
 	if err != nil {
 		panic(err.Error())
 	}
 	if err := c.conduit.Put(pe, addr, rkey, src); err != nil {
 		panic(err.Error())
+	}
+	if c.obs.Active() {
+		end := c.clk.Now()
+		c.obs.Span(start, end, obs.LayerShmem, "put", pe, int64(len(src)))
+		c.hPut.Record(end - start)
 	}
 }
 
@@ -58,12 +66,18 @@ func (c *Ctx) GetMem(dest []byte, src SymAddr, pe int) {
 	if len(dest) == 0 {
 		return
 	}
+	start := c.clk.Now()
 	addr, rkey, err := c.remoteAddr(pe, src, len(dest))
 	if err != nil {
 		panic(err.Error())
 	}
 	if err := c.conduit.Get(pe, addr, rkey, dest); err != nil {
 		panic(err.Error())
+	}
+	if c.obs.Active() {
+		end := c.clk.Now()
+		c.obs.Span(start, end, obs.LayerShmem, "get", pe, int64(len(dest)))
+		c.hGet.Record(end - start)
 	}
 }
 

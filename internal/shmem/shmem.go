@@ -25,6 +25,7 @@ import (
 
 	"goshmem/internal/gasnet"
 	"goshmem/internal/ib"
+	"goshmem/internal/obs"
 	"goshmem/internal/pmi"
 	"goshmem/internal/vclock"
 )
@@ -117,6 +118,13 @@ type Ctx struct {
 	pmiC    *pmi.Client
 	clk     *vclock.Clock
 	model   *vclock.CostModel
+
+	obs      *obs.PE
+	hPut     *obs.Hist
+	hGet     *obs.Hist
+	hAtomic  *obs.Hist
+	hBarrier *obs.Hist
+	hColl    *obs.Hist
 
 	heapBuf []byte
 	heap    *heap
