@@ -29,7 +29,7 @@ race:
 	$(GO) test -race -count=1 ./internal/gasnet ./internal/ib
 
 soak:
-	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -count=1 -run 'TestChaosSoak|TestChaosRun|TestChaosPEFailureSoak' ./internal/gasnet ./internal/cluster
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -count=1 -run 'TestChaosSoak|TestChaosRun|TestChaosPEFailureSoak|TestChaosControlPlaneSoak' ./internal/gasnet ./internal/cluster
 
 # Write an 8-PE sample Perfetto trace (open trace-demo.json at
 # https://ui.perfetto.dev) plus the text report with phase breakdown,

@@ -6,9 +6,10 @@
 // Applications: hello, heat2d, ep, mg, bt, sp, graph500.
 // It reports the start_pes breakdown, total job time (virtual), and the
 // resource usage counters the paper studies. The fault plane is exposed for
-// resilience experiments: -drop/-dup/-flap/-slow inject fabric faults,
-// -kill-pe/-wedge-pe schedule PE failures, and -deadline arms the hung-job
-// watchdog.
+// resilience experiments: -drop/-dup/-flap/-slow/-corrupt inject fabric
+// faults, -kill-pe/-wedge-pe schedule PE failures,
+// -pmi-slow/-pmi-drop/-pmi-crash degrade the out-of-band control plane, and
+// -deadline arms the hung-job watchdog. See the README's fault-flag table.
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"goshmem/internal/ib"
 	"goshmem/internal/mpi"
 	"goshmem/internal/obs"
+	"goshmem/internal/pmi"
 	"goshmem/internal/shmem"
 	"goshmem/internal/vclock"
 )
@@ -46,7 +48,9 @@ func exitAbort(res *cluster.Result) {
 }
 
 // printPhaseTable prints the per-phase startup breakdown aggregated across
-// PEs (average and worst single PE).
+// PEs (average and worst single PE), followed by which endpoint-exchange
+// path the job actually ran — the line that records a control-plane
+// degradation (Iallgather lost, Put-Fence-Get fallback taken).
 func printPhaseTable(res *cluster.Result) {
 	phases := res.Obs.StartupPhases()
 	names, sums, maxes := obs.PhaseTotals(phases)
@@ -59,6 +63,7 @@ func printPhaseTable(res *cluster.Result) {
 	for _, n := range names {
 		fmt.Printf("%-14s %11.6fs %11.6fs\n", n, vclock.Seconds(sums[n]/np), vclock.Seconds(maxes[n]))
 	}
+	fmt.Printf("pmi exchange path: %s\n", res.ExchangePath())
 }
 
 // printMetricTables prints the generic counter and histogram registries;
@@ -98,27 +103,49 @@ func printMetricTables(res *cluster.Result) {
 }
 
 // parsePEFaults parses a comma-separated list of "rank@seconds" schedules
-// (virtual seconds) into PE fault entries.
-func parsePEFaults(flagName, s string) []cluster.PEFault {
+// (virtual seconds) into PE fault entries, validating that every rank is in
+// [0,np) and every time is non-negative. It returns an error rather than
+// exiting so malformed specs produce one clear diagnostic (and so it can be
+// unit-tested).
+func parsePEFaults(flagName, s string, np int) ([]cluster.PEFault, error) {
 	if s == "" {
-		return nil
+		return nil, nil
 	}
 	var out []cluster.PEFault
 	for _, item := range strings.Split(s, ",") {
-		rankStr, atStr, ok := strings.Cut(strings.TrimSpace(item), "@")
+		item = strings.TrimSpace(item)
+		rankStr, atStr, ok := strings.Cut(item, "@")
 		if !ok {
-			fmt.Fprintf(os.Stderr, "oshrun: -%s wants rank@seconds, got %q\n", flagName, item)
-			os.Exit(2)
+			return nil, fmt.Errorf("-%s wants rank@seconds, got %q", flagName, item)
 		}
 		rank, err1 := strconv.Atoi(rankStr)
 		at, err2 := strconv.ParseFloat(atStr, 64)
-		if err1 != nil || err2 != nil || at < 0 {
-			fmt.Fprintf(os.Stderr, "oshrun: -%s wants rank@seconds, got %q\n", flagName, item)
-			os.Exit(2)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("-%s wants rank@seconds, got %q", flagName, item)
+		}
+		if rank < 0 || rank >= np {
+			return nil, fmt.Errorf("-%s rank %d out of range [0,%d) in %q", flagName, rank, np, item)
+		}
+		if at < 0 {
+			return nil, fmt.Errorf("-%s wants a non-negative time, got %q", flagName, item)
 		}
 		out = append(out, cluster.PEFault{Rank: rank, At: int64(at * float64(vclock.Second))})
 	}
-	return out
+	return out, nil
+}
+
+// checkProb validates a probability flag is in [0,1].
+func checkProb(flagName string, v float64) error {
+	if v < 0 || v > 1 {
+		return fmt.Errorf("-%s wants a probability in [0,1], got %v", flagName, v)
+	}
+	return nil
+}
+
+// fatalUsage prints one clear diagnostic and exits with the flag-error code.
+func fatalUsage(err error) {
+	fmt.Fprintf(os.Stderr, "oshrun: %v\n", err)
+	os.Exit(2)
 }
 
 func main() {
@@ -139,11 +166,40 @@ func main() {
 	dup := flag.Float64("dup", 0, "probability a UD datagram is duplicated")
 	flap := flag.Float64("flap", 0, "probability an RC operation suffers a link fault")
 	slow := flag.Float64("slow", 0, "probability an operation charges extra virtual time (PE slowdown)")
-	slowTime := flag.Float64("slow-time", 100, "slowdown charge in virtual microseconds")
+	slowTime := flag.Float64("slow-time", 100, "slowdown charge in virtual microseconds (fabric and PMI)")
+	corrupt := flag.Float64("corrupt", 0, "probability a UD datagram has one bit flipped in flight (checksummed control frames recover via retransmission)")
 	killPE := flag.String("kill-pe", "", "crash PEs at virtual times: rank@seconds[,rank@seconds...]")
 	wedgePE := flag.String("wedge-pe", "", "wedge PEs (stop progress, keep fabric ACKs) at virtual times: rank@seconds[,...]")
 	deadline := flag.Float64("deadline", 0, "virtual-time job deadline in seconds; the watchdog aborts the job past it (0 = none)")
+	pmiSlow := flag.Float64("pmi-slow", 0, "probability a PMI op is served with inflated latency (slow launcher)")
+	pmiDrop := flag.Float64("pmi-drop", 0, "probability a PMI op (or its reply) is dropped; the client retries with backoff")
+	pmiCrash := flag.Float64("pmi-crash", -1, "crash the PMI server at this virtual time in seconds, losing un-fenced KVS entries (<0 = never)")
+	pmiRecover := flag.Float64("pmi-recover", 0.25, "seconds after -pmi-crash before the server recovers (<0 = never recovers)")
 	flag.Parse()
+
+	if *np <= 0 {
+		fatalUsage(fmt.Errorf("-np wants a positive PE count, got %d", *np))
+	}
+	if *ppn <= 0 {
+		fatalUsage(fmt.Errorf("-ppn wants a positive per-node PE count, got %d", *ppn))
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"drop", *drop}, {"dup", *dup}, {"flap", *flap}, {"slow", *slow},
+		{"corrupt", *corrupt}, {"pmi-slow", *pmiSlow}, {"pmi-drop", *pmiDrop},
+	} {
+		if err := checkProb(p.name, p.v); err != nil {
+			fatalUsage(err)
+		}
+	}
+	if *slowTime < 0 {
+		fatalUsage(fmt.Errorf("-slow-time wants a non-negative duration, got %v", *slowTime))
+	}
+	if *deadline < 0 {
+		fatalUsage(fmt.Errorf("-deadline wants a non-negative duration, got %v", *deadline))
+	}
 
 	mode := gasnet.OnDemand
 	switch *conn {
@@ -217,22 +273,47 @@ func main() {
 	}
 
 	var faults *ib.FaultInjector
-	if *drop > 0 || *dup > 0 || *flap > 0 || *slow > 0 {
+	if *drop > 0 || *dup > 0 || *flap > 0 || *slow > 0 || *corrupt > 0 {
 		faults = ib.NewFaultInjector(*faultSeed)
 		faults.DropProb = *drop
 		faults.DupProb = *dup
 		faults.FlapProb = *flap
 		faults.SlowProb = *slow
 		faults.SlowTime = int64(*slowTime * float64(vclock.Microsecond))
+		faults.CorruptProb = *corrupt
+	}
+	var pmiFaults *pmi.FaultInjector
+	if *pmiSlow > 0 || *pmiDrop > 0 || *pmiCrash >= 0 {
+		pmiFaults = pmi.NewFaultInjector(*faultSeed)
+		pmiFaults.SlowProb = *pmiSlow
+		pmiFaults.SlowTime = int64(*slowTime * float64(vclock.Microsecond))
+		pmiFaults.DropProb = *pmiDrop
+		if *pmiCrash >= 0 {
+			recoverAfter := int64(-1)
+			if *pmiRecover >= 0 {
+				recoverAfter = int64(*pmiRecover * float64(vclock.Second))
+			}
+			pmiFaults.CrashServer(int64(*pmiCrash*float64(vclock.Second)), recoverAfter)
+		}
+	}
+
+	killPEs, err := parsePEFaults("kill-pe", *killPE, *np)
+	if err != nil {
+		fatalUsage(err)
+	}
+	wedgePEs, err := parsePEFaults("wedge-pe", *wedgePE, *np)
+	if err != nil {
+		fatalUsage(err)
 	}
 
 	cfg := cluster.Config{
 		NP: *np, PPN: *ppn, Mode: mode, BlockingPMI: *blockingPMI,
 		HeapSize: 8 << 20, Trace: *trace > 0, MaxLiveRC: *qpCap,
-		Faults:   faults,
-		KillPEs:  parsePEFaults("kill-pe", *killPE),
-		WedgePEs: parsePEFaults("wedge-pe", *wedgePE),
-		Deadline: int64(*deadline * float64(vclock.Second)),
+		Faults:    faults,
+		PMIFaults: pmiFaults,
+		KillPEs:   killPEs,
+		WedgePEs:  wedgePEs,
+		Deadline:  int64(*deadline * float64(vclock.Second)),
 		Obs: obs.Config{
 			Events:  *trace > 0 || *traceOut != "",
 			Metrics: *jsonOut || *metrics,
@@ -303,6 +384,8 @@ func main() {
 			{"reconnects", c.Reconnects}, {"heartbeats sent", c.HeartbeatsSent},
 			{"evictions", c.Evictions}, {"false suspicions", c.FalseSuspicions},
 			{"retransmits", c.Retransmits}, {"aborts propagated", c.AbortsPropagated},
+			{"pmi retries", c.PMIRetries}, {"pmi timeouts", c.PMITimeouts},
+			{"fallback exchanges", c.FallbackExchanges}, {"corrupt frames", c.CorruptFrames},
 		}
 		fmt.Printf("\n--- resilience counters (all PEs) ---\n")
 		col := 0
@@ -310,7 +393,7 @@ func main() {
 			if r.v == 0 {
 				continue
 			}
-			fmt.Printf("%-17s %8d    ", r.label, r.v)
+			fmt.Printf("%-18s %8d    ", r.label, r.v)
 			if col++; col%2 == 0 {
 				fmt.Println()
 			}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePEFaultsValid(t *testing.T) {
+	fs, err := parsePEFaults("kill-pe", "0@0.5, 3@1.25,7@0", 8)
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if len(fs) != 3 {
+		t.Fatalf("got %d faults, want 3", len(fs))
+	}
+	if fs[0].Rank != 0 || fs[0].At != 500_000_000 {
+		t.Fatalf("fault[0] = %+v", fs[0])
+	}
+	if fs[1].Rank != 3 || fs[1].At != 1_250_000_000 {
+		t.Fatalf("fault[1] = %+v", fs[1])
+	}
+	if fs[2].Rank != 7 || fs[2].At != 0 {
+		t.Fatalf("fault[2] = %+v", fs[2])
+	}
+}
+
+func TestParsePEFaultsEmpty(t *testing.T) {
+	fs, err := parsePEFaults("kill-pe", "", 8)
+	if err != nil || fs != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", fs, err)
+	}
+}
+
+func TestParsePEFaultsErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		np   int
+		want string // substring of the diagnostic
+	}{
+		{"garbage", 8, "rank@seconds"},
+		{"3", 8, "rank@seconds"},
+		{"x@0.5", 8, "rank@seconds"},
+		{"3@abc", 8, "rank@seconds"},
+		{"8@0.5", 8, "out of range"},
+		{"-1@0.5", 8, "out of range"},
+		{"3@-0.5", 8, "non-negative time"},
+		{"0@0.1,9@0.2", 8, "out of range"}, // error in later item still caught
+	}
+	for _, tc := range cases {
+		_, err := parsePEFaults("wedge-pe", tc.spec, tc.np)
+		if err == nil {
+			t.Errorf("spec %q: expected error", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("spec %q: error %q does not mention %q", tc.spec, err, tc.want)
+		}
+		if !strings.Contains(err.Error(), "wedge-pe") {
+			t.Errorf("spec %q: error %q does not name the flag", tc.spec, err)
+		}
+	}
+}
+
+func TestCheckProb(t *testing.T) {
+	for _, ok := range []float64{0, 0.5, 1} {
+		if err := checkProb("drop", ok); err != nil {
+			t.Errorf("checkProb(%v) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []float64{-0.01, 1.01, 42} {
+		err := checkProb("corrupt", bad)
+		if err == nil {
+			t.Errorf("checkProb(%v) = nil, want error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "corrupt") {
+			t.Errorf("checkProb(%v): error %q does not name the flag", bad, err)
+		}
+	}
+}

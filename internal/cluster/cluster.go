@@ -45,9 +45,18 @@ type Config struct {
 	DeclaredHeapSize int
 
 	// Model overrides the cost model; Faults injects UD and RC faults
-	// (drops, duplicates, bounded reordering, link flaps, PE slowdowns).
+	// (drops, duplicates, bounded reordering, link flaps, PE slowdowns,
+	// control-frame bit flips).
 	Model  *vclock.CostModel
 	Faults *ib.FaultInjector
+
+	// PMIFaults injects control-plane faults into the PMI server (slow
+	// launcher, dropped/duplicated ops, unavailability windows, a crash
+	// that loses un-fenced KVS entries). PMIRetry tunes the client-side
+	// retry/timeout/backoff loop that recovers from them (zero fields keep
+	// defaults); fault soaks compress it.
+	PMIFaults *pmi.FaultInjector
+	PMIRetry  pmi.RetryConfig
 
 	// MaxLiveRC caps the live RC queue pairs per HCA: each PE evicts its
 	// least-recently-used idle connection before exceeding the cap, and the
@@ -243,6 +252,7 @@ func RunEnvs(cfg Config, body func(env shmem.Env)) error {
 	}
 	fab := ib.NewFabric(model, cfg.Faults)
 	srv := pmi.NewServer(cfg.NP, model)
+	srv.SetFaults(cfg.PMIFaults)
 	nodes := (cfg.NP + cfg.PPN - 1) / cfg.PPN
 	hcas := make([]*ib.HCA, nodes)
 	bars := make([]*vclock.VBarrier, nodes)
@@ -271,9 +281,11 @@ func RunEnvs(cfg Config, body func(env shmem.Env)) error {
 			}()
 			node := rank / cfg.PPN
 			clk := vclock.NewClock(launchVT)
+			pmiC := srv.Client(rank, clk)
+			pmiC.SetRetry(cfg.PMIRetry)
 			body(shmem.Env{
 				Rank: rank, NProcs: cfg.NP, Node: node, PPN: cfg.PPN,
-				HCA: hcas[node], PMI: srv.Client(rank, clk), Clock: clk,
+				HCA: hcas[node], PMI: pmiC, Clock: clk,
 				NodeBarrier: bars[node],
 			})
 		}(r)
@@ -307,6 +319,7 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 
 	fab := ib.NewFabric(model, cfg.Faults)
 	srv := pmi.NewServer(cfg.NP, model)
+	srv.SetFaults(cfg.PMIFaults)
 	nodes := (cfg.NP + cfg.PPN - 1) / cfg.PPN
 	hcas := make([]*ib.HCA, nodes)
 	bars := make([]*vclock.VBarrier, nodes)
@@ -380,9 +393,11 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 			pe := plane.PE(rank)
 			pe.Span(0, launchVT, obs.LayerCluster, "launch", -1, 0)
 			attachVT := clk.Now()
+			pmiC := srv.Client(rank, clk)
+			pmiC.SetRetry(cfg.PMIRetry)
 			ctx = shmem.Attach(shmem.Env{
 				Rank: rank, NProcs: cfg.NP, Node: node, PPN: cfg.PPN,
-				HCA: hcas[node], PMI: srv.Client(rank, clk), Clock: clk,
+				HCA: hcas[node], PMI: pmiC, Clock: clk,
 				NodeBarrier: bars[node],
 				Obs:         pe,
 			}, shmem.Options{

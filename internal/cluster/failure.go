@@ -29,6 +29,10 @@ const (
 	ExitKilled   = 137 // 128 + SIGKILL: PE crashed (fail-stop)
 	ExitWedged   = 134 // 128 + SIGABRT: PE wedged, killed by the launcher
 	ExitWatchdog = 124 // hung-job watchdog deadline/stall termination
+	// ExitPMIFail: the out-of-band control plane failed permanently (PMI
+	// retry budgets exhausted, no fallback left). Raised by the conduit;
+	// re-exported here so launcher-side code has all codes in one place.
+	ExitPMIFail = gasnet.ExitPMIFailure
 )
 
 // exitCodeForErr classifies a liveness error into a per-PE exit code.
@@ -79,6 +83,12 @@ type Counters struct {
 	HeartbeatsSent   int // explicit liveness probes sent
 	FalseSuspicions  int // suspicions cleared by later traffic
 	AbortsPropagated int // abort datagrams fanned out to peers
+
+	// Control-plane leg (PMI resilience and checksummed UD control frames).
+	PMIRetries        int // PMI ops retried after a transient fault
+	PMITimeouts       int // PMI ops that failed permanently
+	FallbackExchanges int // Iallgather exchanges degraded to Put-Fence-Get
+	CorruptFrames     int // UD control frames discarded by checksum
 }
 
 // Counters sums the per-PE failure/resilience counters.
@@ -93,6 +103,10 @@ func (r *Result) Counters() Counters {
 		c.HeartbeatsSent += p.Stats.HeartbeatsSent
 		c.FalseSuspicions += p.Stats.FalseSuspicions
 		c.AbortsPropagated += p.Stats.AbortsPropagated
+		c.PMIRetries += p.Stats.PMIRetries
+		c.PMITimeouts += p.Stats.PMITimeouts
+		c.FallbackExchanges += p.Stats.FallbackExchanges
+		c.CorruptFrames += p.Stats.CorruptFrames
 	}
 	return c
 }

@@ -54,6 +54,10 @@ func mirrorCounters(plane *obs.Plane, res *Result) {
 		t.HeartbeatsSent += s.HeartbeatsSent
 		t.FalseSuspicions += s.FalseSuspicions
 		t.AbortsPropagated += s.AbortsPropagated
+		t.PMIRetries += s.PMIRetries
+		t.PMITimeouts += s.PMITimeouts
+		t.FallbackExchanges += s.FallbackExchanges
+		t.CorruptFrames += s.CorruptFrames
 	}
 	reg := plane.Registry()
 	reg.Counter("gasnet.qps_created").Add(int64(t.QPsCreated))
@@ -73,6 +77,10 @@ func mirrorCounters(plane *obs.Plane, res *Result) {
 	reg.Counter("gasnet.heartbeats_sent").Add(int64(t.HeartbeatsSent))
 	reg.Counter("gasnet.false_suspicions").Add(int64(t.FalseSuspicions))
 	reg.Counter("gasnet.aborts_propagated").Add(int64(t.AbortsPropagated))
+	reg.Counter("pmi.retries").Add(int64(t.PMIRetries))
+	reg.Counter("pmi.timeouts").Add(int64(t.PMITimeouts))
+	reg.Counter("gasnet.fallback_exchanges").Add(int64(t.FallbackExchanges))
+	reg.Counter("gasnet.corrupt_frames").Add(int64(t.CorruptFrames))
 	for _, h := range res.HCA {
 		reg.Counter("ib.qps_created_ud").Add(h.QPsCreatedUD)
 		reg.Counter("ib.qps_created_rc").Add(h.QPsCreatedRC)

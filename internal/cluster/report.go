@@ -5,8 +5,23 @@ import (
 	"fmt"
 	"io"
 
+	"goshmem/internal/gasnet"
 	"goshmem/internal/obs"
 )
+
+// ExchangePath attributes the endpoint-exchange path startup actually took.
+// Static mode and -blocking-pmi use Put-Fence-Get by design; an on-demand run
+// normally completes on the non-blocking IAllgather, unless the control plane
+// lost the exchange and PEs degraded to the blocking fallback ladder.
+func (r *Result) ExchangePath() string {
+	if r.Cfg.Mode == gasnet.Static || r.Cfg.BlockingPMI {
+		return "put-fence-get (blocking)"
+	}
+	if fb := r.Counters().FallbackExchanges; fb > 0 {
+		return fmt.Sprintf("iallgather lost; put-fence-get fallback on %d/%d PEs", fb, r.Cfg.NP)
+	}
+	return "iallgather (non-blocking)"
+}
 
 // Report is the machine-readable summary of a run: job-level timings, per-PE
 // outcomes, the startup-phase breakdown, and — when metrics were enabled —
@@ -22,6 +37,11 @@ type Report struct {
 
 	Aborted     bool   `json:"aborted,omitempty"`
 	AbortReason string `json:"abort_reason,omitempty"`
+
+	// ExchangePath attributes which endpoint-exchange path startup took:
+	// the non-blocking IAllgather, the blocking Put-Fence-Get, or the
+	// degraded fallback after a lost exchange.
+	ExchangePath string `json:"exchange_path"`
 
 	PEs []PEReport `json:"pes"`
 
@@ -55,6 +75,8 @@ func BuildReport(res *Result) *Report {
 
 		Aborted:     res.Aborted,
 		AbortReason: res.AbortReason,
+
+		ExchangePath: res.ExchangePath(),
 	}
 	for _, p := range res.PEs {
 		rep.PEs = append(rep.PEs, PEReport{

@@ -19,6 +19,7 @@
 package gasnet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -142,6 +143,12 @@ type Stats struct {
 	HeartbeatsSent   int // explicit heartbeat probes sent
 	FalseSuspicions  int // suspicions cleared by a late sign of life
 	AbortsPropagated int // abort notices this PE broadcast to peers
+
+	// Control-plane counters (PMI resilience and checksummed UD frames).
+	PMIRetries        int // PMI ops retried after a transient fault
+	PMITimeouts       int // PMI ops that failed permanently (budget exhausted)
+	FallbackExchanges int // Iallgather exchanges degraded to Put-Fence-Get
+	CorruptFrames     int // UD control frames discarded by checksum
 }
 
 type connState uint8
@@ -212,6 +219,11 @@ type Conduit struct {
 	outstanding int
 	lastPutVT   int64
 
+	// udMu single-flights endpoint resolution: the app thread, handshake
+	// recovery goroutines and the heartbeat prober can all race into
+	// resolveUD, and the fallback path below runs a blocking Put-Fence that
+	// must execute exactly once.
+	udMu      sync.Mutex
 	udVals    []string
 	udOp      *pmi.AllgatherOp
 	udFromKVS bool
@@ -221,6 +233,7 @@ type Conduit struct {
 	statMu sync.Mutex
 	stats  Stats
 	peers  map[int]struct{}
+	xpath  string // endpoint-exchange path actually taken (guarded by statMu)
 
 	// Observability (nil-safe: a disabled plane leaves all of these nil).
 	obs      *obs.PE
@@ -351,43 +364,151 @@ func (c *Conduit) SetReady() {
 // or blocking mode it performs the Put-Fence sequence (the Fence cost lands
 // on the critical path); otherwise it launches a PMIX_Iallgather whose
 // completion is deferred until the first connection attempt needs it.
-func (c *Conduit) ExchangeEndpoints() {
+//
+// A non-nil return means the blocking exchange failed permanently: the
+// control plane is unreachable and the job has been aborted (the error is
+// the *AbortError, exit code ExitPMIFailure). The non-blocking launch never
+// fails here — a lost exchange surfaces at resolveUD, where the fallback
+// ladder runs.
+func (c *Conduit) ExchangeEndpoints() error {
 	val := encodeDest(c.udQP.Addr())
 	if c.cfg.Mode == Static || c.cfg.BlockingPMI {
-		c.cfg.PMI.Put(pmi.KeyFor("ud", c.cfg.Rank), val)
-		c.cfg.PMI.Fence()
+		if err := c.cfg.PMI.Put(pmi.KeyFor("ud", c.cfg.Rank), val); err != nil {
+			return c.pmiFail("blocking endpoint exchange (put)", err)
+		}
+		if err := c.cfg.PMI.Fence(); err != nil {
+			if aerr := c.Err(); aerr != nil {
+				return aerr // the fence was released by someone else's abort
+			}
+			return c.pmiFail("blocking endpoint exchange (fence)", err)
+		}
 		c.udFromKVS = true
+		c.setExchangePath("put-fence-get")
 	} else {
 		c.udOp = c.cfg.PMI.IAllgather(val)
+		c.setExchangePath("iallgather")
 	}
 	c.exchanged.Store(true)
+	return nil
+}
+
+// pmiFail converts a permanent control-plane failure into a job abort with
+// the distinct ExitPMIFailure exit code, so a dead launcher can never leave
+// the job hanging: the abort propagates through the (assumed reliable) PMI
+// kill channel and the in-band UD fan-out.
+func (c *Conduit) pmiFail(what string, err error) error {
+	ae := &AbortError{
+		Origin: c.cfg.Rank, Dead: -1, Code: ExitPMIFailure,
+		Reason: fmt.Sprintf("control plane failed on PE %d: %s: %v", c.cfg.Rank, what, err),
+	}
+	c.Abort(ae)
+	return ae
 }
 
 // resolveUD returns a peer's UD endpoint, completing the out-of-band
-// exchange if it is still outstanding (PMIX_Wait semantics).
+// exchange if it is still outstanding (PMIX_Wait semantics). If the
+// non-blocking exchange was lost to a control-plane fault, it transparently
+// degrades to the blocking Put-Fence-Get ladder the paper's design replaced.
 func (c *Conduit) resolveUD(peer int) (ib.Dest, error) {
+	return c.resolveUDOpt(peer, true)
+}
+
+// resolveUDOpt is resolveUD with the fallback ladder optional: background
+// callers (the heartbeat prober, the abort fan-out) must never block in a
+// Put-Fence collective or advance the PE's critical-path clock, so they pass
+// fallback=false and simply skip peers whose endpoints are unresolved.
+func (c *Conduit) resolveUDOpt(peer int, fallback bool) (ib.Dest, error) {
 	if !c.exchanged.Load() {
 		return ib.Dest{}, fmt.Errorf("gasnet: endpoint exchange not started")
 	}
+	if fallback {
+		c.udMu.Lock()
+	} else if !c.udMu.TryLock() {
+		// A resolution (possibly the blocking fallback collective) is in
+		// flight on another goroutine — and a failed fallback aborts the job
+		// from *inside* the critical section, whose fan-out lands back here.
+		// Background callers skip rather than wait (or deadlock).
+		return ib.Dest{}, fmt.Errorf("gasnet: endpoint resolution in flight for rank %d", peer)
+	}
+	defer c.udMu.Unlock()
+	if !c.udFromKVS && c.udVals == nil {
+		vals, err := c.udOp.WaitErr(c.cfg.PMI)
+		switch {
+		case err == nil:
+			c.udVals = vals
+		case errors.Is(err, pmi.ErrAborted):
+			if aerr := c.Err(); aerr != nil {
+				return ib.Dest{}, aerr
+			}
+			return ib.Dest{}, fmt.Errorf("gasnet: endpoint exchange aborted")
+		case !fallback:
+			return ib.Dest{}, fmt.Errorf("gasnet: endpoint exchange lost: %w", err)
+		default:
+			// Graceful degradation: the non-blocking allgather is lost for
+			// every participant (the lost state is shared and sticky), so all
+			// PEs converge here and re-run the exchange as the blocking
+			// Put-Fence-Get sequence. Only a second permanent failure aborts.
+			if ferr := c.fallbackExchangeLocked(err); ferr != nil {
+				return ib.Dest{}, ferr
+			}
+		}
+	}
 	if c.udFromKVS {
-		s, ok := c.cfg.PMI.Get(pmi.KeyFor("ud", peer))
-		if !ok {
-			return ib.Dest{}, fmt.Errorf("gasnet: no UD endpoint published for rank %d", peer)
+		s, err := c.cfg.PMI.Lookup(pmi.KeyFor("ud", peer))
+		if err != nil {
+			if errors.Is(err, pmi.ErrTimeout) && fallback {
+				return ib.Dest{}, c.pmiFail(fmt.Sprintf("endpoint lookup for rank %d", peer), err)
+			}
+			// Keep the typed cause visible: "never published" points at a
+			// startup bug, "lost to injected server crash" at the fault plane.
+			return ib.Dest{}, fmt.Errorf("gasnet: no UD endpoint for rank %d: %w", peer, err)
 		}
 		return decodeDest(s)
 	}
-	if c.udVals == nil {
-		vals := c.udOp.Wait(c.cfg.PMI)
-		if vals == nil {
-			// The exchange was aborted out from under us (job abort).
-			if err := c.Err(); err != nil {
-				return ib.Dest{}, err
-			}
-			return ib.Dest{}, fmt.Errorf("gasnet: endpoint exchange aborted")
-		}
-		c.udVals = vals
-	}
 	return decodeDest(c.udVals[peer])
+}
+
+// fallbackExchangeLocked re-publishes this PE's UD endpoint through the
+// blocking Put-Fence path after the Iallgather was lost. Caller holds udMu.
+// On success later lookups read the KVS directly (udFromKVS). A permanent
+// failure of the fallback itself aborts the job (ExitPMIFailure).
+func (c *Conduit) fallbackExchangeLocked(cause error) error {
+	now := c.clk.Now()
+	c.event("pmi-fallback", -1, now)
+	c.obs.Emit(now, obs.LayerPMI, "pmi-fallback", -1, 0,
+		obs.Attr{Key: "cause", Val: cause.Error()})
+	val := encodeDest(c.udQP.Addr())
+	if err := c.cfg.PMI.Put(pmi.KeyFor("ud", c.cfg.Rank), val); err != nil {
+		return c.pmiFail("fallback endpoint exchange (put)", err)
+	}
+	if err := c.cfg.PMI.Fence(); err != nil {
+		if aerr := c.Err(); aerr != nil {
+			return aerr
+		}
+		return c.pmiFail("fallback endpoint exchange (fence)", err)
+	}
+	c.udFromKVS = true
+	c.statMu.Lock()
+	c.stats.FallbackExchanges++
+	c.statMu.Unlock()
+	c.setExchangePath("put-fence-get (fallback)")
+	return nil
+}
+
+// setExchangePath records which endpoint-exchange path actually ran.
+func (c *Conduit) setExchangePath(p string) {
+	c.statMu.Lock()
+	c.xpath = p
+	c.statMu.Unlock()
+}
+
+// ExchangePath reports which endpoint-exchange path this PE ended up on:
+// "iallgather", "put-fence-get", or "put-fence-get (fallback)" when the
+// non-blocking exchange was lost and the conduit degraded gracefully.
+func (c *Conduit) ExchangePath() string {
+	c.statMu.Lock()
+	defer c.statMu.Unlock()
+	return c.xpath
 }
 
 // deferredAM is an active message that arrived before its handler was
@@ -619,9 +740,14 @@ func log2ceil(n int) int {
 // Stats returns a snapshot of the PE's resource and traffic counters.
 func (c *Conduit) Stats() Stats {
 	c.statMu.Lock()
-	defer c.statMu.Unlock()
 	s := c.stats
 	s.PeersContacted = len(c.peers)
+	c.statMu.Unlock()
+	// The PMI client keeps its own retry/timeout tally; fold it in so the
+	// launcher sees one per-PE resilience table.
+	if c.cfg.PMI != nil {
+		s.PMIRetries, s.PMITimeouts = c.cfg.PMI.RetryStats()
+	}
 	return s
 }
 

@@ -539,6 +539,15 @@ func (c *Conduit) sendControl(dest ib.Dest, m connMsg, clk *vclock.Clock) error 
 func (c *Conduit) handleControl(comp ib.Completion) {
 	m, err := decodeConnMsg(comp.Data)
 	if err != nil {
+		// A frame that fails checksum verification is discarded here, before
+		// any field could poison the connection or rkey tables; the sender's
+		// retransmission timer re-delivers the content.
+		if errors.Is(err, errCorruptFrame) {
+			c.statMu.Lock()
+			c.stats.CorruptFrames++
+			c.statMu.Unlock()
+			c.event("ud-corrupt", -1, comp.VTime)
+		}
 		return
 	}
 	if c.arrivalFate(comp.VTime) != selfAlive {

@@ -16,6 +16,12 @@ import (
 // Fail-fast is the point: blocking on a dead peer hangs the job forever.
 var ErrPeerDead = errors.New("gasnet: peer confirmed dead")
 
+// ExitPMIFailure is the distinct launcher exit code for a job aborted
+// because the out-of-band control plane failed permanently (PMI retry
+// budgets exhausted with no fallback left). It sits alongside the cluster
+// codes 137 (PE killed), 134 (PE wedged) and 124 (watchdog).
+const ExitPMIFailure = 123
+
 // AbortError is the terminal job-abort error. It is raised by the PE that
 // confirms a peer dead, by an explicit GlobalExit, or by the cluster
 // watchdog, and propagated to every live PE in-band (a UD abort datagram)
@@ -444,7 +450,9 @@ func (c *Conduit) hbRearm() {
 // advance the PE's virtual time (or it would trip VT-scheduled faults and
 // skew fault-free runs on its own).
 func (c *Conduit) sendPing(peer int, charge bool) {
-	ud, err := c.resolveUD(peer)
+	// No fallback: a background probe must never block in the Put-Fence
+	// collective or advance the app clock. An unresolved peer is skipped.
+	ud, err := c.resolveUDOpt(peer, false)
 	if err != nil {
 		return
 	}
@@ -603,7 +611,9 @@ func (c *Conduit) raiseAbort(ae *AbortError, propagate bool) {
 		if peer == c.cfg.Rank {
 			continue
 		}
-		ud, err := c.resolveUD(peer)
+		// No fallback while aborting: peers whose endpoints never resolved
+		// are reached through the PMI kill channel above instead.
+		ud, err := c.resolveUDOpt(peer, false)
 		if err != nil {
 			continue
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"goshmem/internal/ib"
 )
@@ -38,7 +39,28 @@ type connMsg struct {
 	Payload []byte  // opaque upper-layer data (segment info); REQ and REP only
 }
 
-const connMsgHdr = 1 + 4 + 4 + 6 + 6 + 4
+// connMsgHdr: [kind u8][src u32][seq u32][RC dest 6][UD dest 6]
+// [payload len u32][crc32 u32]. The trailing CRC covers the whole frame
+// (with the CRC field itself zeroed) — end-to-end protection for the
+// control channel, since a flipped bit in a REQ/REP would otherwise poison
+// the peer's rkey/endpoint tables silently. UD corruption never changes the
+// frame length, so the checksum is verified before any field is trusted.
+const connMsgHdr = 1 + 4 + 4 + 6 + 6 + 4 + 4
+
+const connMsgCRCOff = connMsgHdr - 4
+
+// errCorruptFrame marks a control frame that failed checksum (or basic
+// framing) verification. The receiver discards it; the sender's
+// retransmission timer re-delivers the content.
+var errCorruptFrame = errors.New("gasnet: corrupt control frame")
+
+// connMsgSum computes the frame checksum with the CRC field treated as zero.
+func connMsgSum(b []byte) uint32 {
+	var zero [4]byte
+	sum := crc32.ChecksumIEEE(b[:connMsgCRCOff])
+	sum = crc32.Update(sum, crc32.IEEETable, zero[:])
+	return crc32.Update(sum, crc32.IEEETable, b[connMsgHdr:])
+}
 
 func (m *connMsg) encode() []byte {
 	b := make([]byte, connMsgHdr+len(m.Payload))
@@ -51,13 +73,17 @@ func (m *connMsg) encode() []byte {
 	binary.LittleEndian.PutUint32(b[17:], m.UD.QPN)
 	binary.LittleEndian.PutUint32(b[21:], uint32(len(m.Payload)))
 	copy(b[connMsgHdr:], m.Payload)
+	binary.LittleEndian.PutUint32(b[connMsgCRCOff:], connMsgSum(b))
 	return b
 }
 
 func decodeConnMsg(b []byte) (connMsg, error) {
 	var m connMsg
 	if len(b) < connMsgHdr {
-		return m, errors.New("gasnet: short control message")
+		return m, fmt.Errorf("%w: short (%d bytes)", errCorruptFrame, len(b))
+	}
+	if got := binary.LittleEndian.Uint32(b[connMsgCRCOff:]); got != connMsgSum(b) {
+		return m, fmt.Errorf("%w: checksum mismatch", errCorruptFrame)
 	}
 	m.Kind = b[0]
 	m.SrcRank = int32(binary.LittleEndian.Uint32(b[1:]))
@@ -68,7 +94,8 @@ func decodeConnMsg(b []byte) (connMsg, error) {
 	m.UD.QPN = binary.LittleEndian.Uint32(b[17:])
 	n := int(binary.LittleEndian.Uint32(b[21:]))
 	if n != len(b)-connMsgHdr {
-		return m, fmt.Errorf("gasnet: control payload length mismatch: %d vs %d", n, len(b)-connMsgHdr)
+		return m, fmt.Errorf("%w: payload length mismatch: %d vs %d",
+			errCorruptFrame, n, len(b)-connMsgHdr)
 	}
 	m.Payload = b[connMsgHdr:]
 	return m, nil

@@ -147,6 +147,12 @@ func (f *Fabric) sendUD(q *QP, wr SendWR) error {
 	depart = clk.Advance(f.occupancy(q.hca, dh, len(wr.Data)))
 	arrival := depart + f.latencyOnly(q.hca, dh, f.model.UDSendLatency)
 	data := append([]byte(nil), wr.Data...)
+	// Bit-flip corruption hits only the primary delivered copy: a duplicate
+	// below re-copies the pristine wr.Data, modeling an independent flight.
+	if f.faults.corruptData(data) {
+		q.obs.Emit(clk.Now(), obs.LayerIB, "fault-corrupt", -1, int64(len(data)))
+		q.obs.Count("ib.fault.corrupt", 1)
+	}
 	src := q.Addr()
 	deliver := func() {
 		dh.countDelivery(len(data))

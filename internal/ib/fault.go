@@ -67,6 +67,15 @@ type FaultInjector struct {
 	SlowProb float64
 	SlowTime int64
 
+	// CorruptProb is the probability a single bit of a UD datagram is
+	// flipped in flight. UD has no hardware end-to-end payload protection in
+	// this model, so detection is the receiver's job: checksummed control
+	// frames discard the damage and the sender's retransmission recovers it.
+	// MaxCorrupts caps the number of corruptions (0 = unlimited) so a test
+	// can guarantee eventual convergence.
+	CorruptProb float64
+	MaxCorrupts int
+
 	// UDFilter, if non-nil, inspects each UD datagram payload and may force
 	// its fate, overriding the probabilistic knobs. Tests use it to lose one
 	// specific protocol leg (e.g. exactly the first ConnRep).
@@ -77,6 +86,7 @@ type FaultInjector struct {
 	reorders  int
 	flaps     int
 	slowdowns int
+	corrupts  int
 	held      []heldDelivery
 
 	peSched  map[int]*peFault
@@ -156,6 +166,38 @@ func (fi *FaultInjector) Slowdowns() int {
 	fi.mu.Lock()
 	defer fi.mu.Unlock()
 	return fi.slowdowns
+}
+
+// Corrupts reports how many datagrams have had a bit flipped in flight.
+func (fi *FaultInjector) Corrupts() int {
+	if fi == nil {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.corrupts
+}
+
+// corruptData decides whether to corrupt one in-flight datagram and, when it
+// does, flips a single random bit of data in place. The flip never changes
+// the buffer length, so detection must come from content verification (the
+// control-frame checksum), not framing.
+func (fi *FaultInjector) corruptData(data []byte) bool {
+	if fi == nil || len(data) == 0 {
+		return false
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.CorruptProb <= 0 || (fi.MaxCorrupts > 0 && fi.corrupts >= fi.MaxCorrupts) {
+		return false
+	}
+	if fi.rng.Float64() >= fi.CorruptProb {
+		return false
+	}
+	bit := fi.rng.Intn(len(data) * 8)
+	data[bit/8] ^= 1 << (bit % 8)
+	fi.corrupts++
+	return true
 }
 
 // KillPE schedules rank to crash at virtual time at. The injection trips the

@@ -1,6 +1,7 @@
 package pmi
 
 import (
+	"fmt"
 	"sync"
 
 	"goshmem/internal/obs"
@@ -13,17 +14,19 @@ import (
 // Wait observes no additional critical-path cost — the overlap effect the
 // paper exploits in section IV-D.
 type AllgatherOp struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	n      int
-	vals   []string
-	got    int
-	maxT   int64 // max contribution virtual time
-	bytes  int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	vals    []string
+	got     int
+	maxT    int64 // max contribution virtual time
+	bytes   int
 	cost    int64 // filled when complete
 	doneAt  int64
 	done    bool
 	aborted bool
+	lost    bool // exchange failed (server crash / launch exhaustion)
+	lostErr error
 }
 
 // abort releases every waiter; Wait then returns nil instead of values.
@@ -34,6 +37,21 @@ func (op *AllgatherOp) abort() {
 	op.mu.Unlock()
 }
 
+// fail marks the exchange lost and releases every waiter. The lost state is
+// sticky and mutually exclusive with done: either every participant sees the
+// gathered values, or every participant sees the same failure — so all of
+// them take the same (fallback) branch and no subset diverges. Completed or
+// aborted rounds are left untouched.
+func (op *AllgatherOp) fail(err error) {
+	op.mu.Lock()
+	if !op.done && !op.aborted && !op.lost {
+		op.lost = true
+		op.lostErr = err
+		op.cond.Broadcast()
+	}
+	op.mu.Unlock()
+}
+
 // IAllgather contributes this process's value to the job-wide allgather and
 // returns the operation handle without blocking. Successive calls by the
 // same set of processes form successive rounds; all processes must call the
@@ -41,6 +59,7 @@ func (op *AllgatherOp) abort() {
 func (c *Client) IAllgather(value string) *AllgatherOp {
 	c.clk.Advance(c.s.model.PMINonBlockingLaunch)
 	c.obs.Emit(c.clk.Now(), obs.LayerPMI, "iallgather-launch", -1, int64(len(value)))
+	launchErr := c.withRetry("iallgather", "")
 	c.s.mu.Lock()
 	seq := c.agSeq
 	c.agSeq++
@@ -54,8 +73,22 @@ func (c *Client) IAllgather(value string) *AllgatherOp {
 		c.s.ag[seq] = op
 	}
 	c.s.mu.Unlock()
+	if launchErr != nil {
+		// This participant could not hand its fragment to the launcher, so
+		// the collective can complete for no one: fail the SHARED op. Every
+		// other participant observes the same lost state via WaitErr and
+		// takes the same fallback path.
+		op.fail(fmt.Errorf("%w: %v", ErrExchangeLost, launchErr))
+		return op
+	}
 
 	op.mu.Lock()
+	if op.lost {
+		// The round already failed (crash, or another participant's launch
+		// exhausted its retries): a late contribution cannot revive it.
+		op.mu.Unlock()
+		return op
+	}
 	op.vals[c.rank] = value
 	op.got++
 	op.bytes += len(value)
@@ -77,16 +110,30 @@ func (c *Client) IAllgather(value string) *AllgatherOp {
 // Wait blocks until the allgather has completed (PMIX_Wait), advances the
 // caller's clock to the completion time, and returns the gathered values
 // indexed by rank. Wait may be called by every participant. If the job is
-// aborted before the exchange completes, Wait returns nil.
+// aborted — or the exchange is lost to an injected fault — before it
+// completes, Wait returns nil; WaitErr additionally says why.
 func (op *AllgatherOp) Wait(c *Client) []string {
+	vals, _ := op.WaitErr(c)
+	return vals
+}
+
+// WaitErr is Wait with a typed failure: it returns the gathered values, or
+// nil plus ErrExchangeLost (the server crashed mid-exchange or a launch
+// exhausted its retries — the caller should fall back to Put-Fence-Get) or
+// ErrAborted (the job is going down).
+func (op *AllgatherOp) WaitErr(c *Client) ([]string, error) {
 	start := c.clk.Now()
 	op.mu.Lock()
-	for !op.done && !op.aborted {
+	for !op.done && !op.aborted && !op.lost {
 		op.cond.Wait()
 	}
 	if !op.done {
+		lost, lostErr := op.lost, op.lostErr
 		op.mu.Unlock()
-		return nil
+		if lost {
+			return nil, lostErr
+		}
+		return nil, ErrAborted
 	}
 	vals, doneAt := op.vals, op.doneAt
 	op.mu.Unlock()
@@ -94,7 +141,7 @@ func (op *AllgatherOp) Wait(c *Client) []string {
 	end := c.clk.Now()
 	c.obs.Span(start, end, obs.LayerPMI, "iallgather-wait", -1, 0)
 	c.obs.Observe("pmi.allgather_wait_ns", end-start)
-	return vals
+	return vals, nil
 }
 
 // Done reports (without blocking) whether the exchange has completed in

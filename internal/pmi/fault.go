@@ -1,0 +1,204 @@
+package pmi
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// FaultInjector is the control-plane leg of the fault plane, mirroring
+// internal/ib's fabric injector: it degrades the launcher-mediated PMI
+// channel that, in real deployments, is the first component to misbehave at
+// scale. All decisions are driven by a seeded PRNG so a failing run can be
+// replayed; a nil injector (the default) makes every method a no-op, keeping
+// the happy path free.
+//
+// Faults it can inject, in the order a client op is evaluated:
+//
+//   - slow launcher: with SlowProb, charge SlowTime extra virtual latency
+//     before serving the op;
+//   - server crash: once the first op arrives at/after the armed crash time
+//     (CrashServer), every KVS entry published but not yet fenced is lost and
+//     incomplete allgather rounds fail; the server then refuses ops until the
+//     recovery time (or forever, if recovery is disabled);
+//   - unavailability window: ops inside [UnavailAt, UnavailAt+UnavailFor)
+//     fail with ErrUnavailable — transient, retryable;
+//   - deterministic Iallgather denial (DenyIAllgather): the launcher simply
+//     does not serve the non-blocking allgather extension, modelling a PM
+//     without PMIX support — the conduit must take the fallback ladder;
+//   - drop/duplicate: with DropProb (bounded by MaxDrops, or DropFirstN for
+//     a deterministic burst) a request or its reply is lost — the client
+//     observes a timeout and retries; with DupProb the request is applied
+//     twice (PMI ops are idempotent, so duplicates are only counted).
+type FaultInjector struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// Slow launcher.
+	SlowProb float64
+	SlowTime int64 // virtual ns added per slowed op
+
+	// Request/reply loss and duplication.
+	DropProb   float64
+	MaxDrops   int // 0: unlimited
+	DropFirstN int // deterministically drop the first N ops seen
+	DupProb    float64
+
+	// Transient unavailability window [UnavailAt, UnavailAt+UnavailFor).
+	UnavailAt  int64
+	UnavailFor int64
+
+	// DenyIAllgather makes every IAllgather launch fail deterministically
+	// while leaving Put/Get/Fence untouched.
+	DenyIAllgather bool
+
+	// Crash mode (armed via CrashServer).
+	crashArmed   bool
+	crashAt      int64
+	recoverAfter int64 // <0: the server never comes back
+	crashTripped bool
+
+	seen        int
+	drops       int
+	dups        int
+	slowdowns   int
+	unavailHits int
+}
+
+// NewFaultInjector creates a seeded control-plane fault injector.
+func NewFaultInjector(seed int64) *FaultInjector {
+	return &FaultInjector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// CrashServer arms a crash at virtual time `at`: the first client op at or
+// after `at` trips it, losing every un-fenced KVS entry and failing every
+// incomplete allgather. The server refuses ops (ErrUnavailable) until
+// at+recoverAfter; recoverAfter < 0 means it never recovers.
+func (fi *FaultInjector) CrashServer(at, recoverAfter int64) {
+	fi.mu.Lock()
+	fi.crashArmed = true
+	fi.crashAt = at
+	fi.recoverAfter = recoverAfter
+	fi.mu.Unlock()
+}
+
+// opFate is the injector's verdict for one client op.
+type opFate struct {
+	slow    int64 // extra virtual latency to charge before the op
+	crash   bool  // this op trips the armed crash (caller applies KVS loss)
+	unavail bool  // server unreachable right now (transient, retryable)
+	drop    bool  // request or reply lost (observed as a timeout, retryable)
+}
+
+// fate evaluates the fault plane for one client op at virtual time now.
+// opName is the client operation ("put", "get", "fence", "iallgather").
+func (fi *FaultInjector) fate(opName string, now int64) opFate {
+	var f opFate
+	if fi == nil {
+		return f
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	fi.seen++
+
+	if fi.SlowProb > 0 && fi.rng.Float64() < fi.SlowProb {
+		f.slow = fi.SlowTime
+		fi.slowdowns++
+	}
+
+	// Crash: trip once, then refuse ops until recovery.
+	if fi.crashArmed && !fi.crashTripped && now >= fi.crashAt {
+		fi.crashTripped = true
+		f.crash = true
+	}
+	if fi.crashTripped {
+		recoverAt := fi.crashAt + fi.recoverAfter
+		if fi.recoverAfter < 0 || now < recoverAt {
+			f.unavail = true
+			fi.unavailHits++
+			return f
+		}
+	}
+
+	// Transient unavailability window.
+	if fi.UnavailFor > 0 && now >= fi.UnavailAt && now < fi.UnavailAt+fi.UnavailFor {
+		f.unavail = true
+		fi.unavailHits++
+		return f
+	}
+
+	if fi.DenyIAllgather && opName == "iallgather" {
+		f.unavail = true
+		fi.unavailHits++
+		return f
+	}
+
+	if fi.DropFirstN > 0 && fi.drops < fi.DropFirstN {
+		fi.drops++
+		f.drop = true
+		return f
+	}
+	if fi.DropProb > 0 && (fi.MaxDrops == 0 || fi.drops < fi.MaxDrops) &&
+		fi.rng.Float64() < fi.DropProb {
+		fi.drops++
+		f.drop = true
+		return f
+	}
+	if fi.DupProb > 0 && fi.rng.Float64() < fi.DupProb {
+		fi.dups++ // ops are idempotent: duplicates are counted, not applied
+	}
+	return f
+}
+
+// Drops returns how many client ops were dropped.
+func (fi *FaultInjector) Drops() int {
+	if fi == nil {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.drops
+}
+
+// Dups returns how many client ops were duplicated.
+func (fi *FaultInjector) Dups() int {
+	if fi == nil {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.dups
+}
+
+// Slowdowns returns how many ops were served with inflated latency.
+func (fi *FaultInjector) Slowdowns() int {
+	if fi == nil {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.slowdowns
+}
+
+// UnavailHits returns how many ops found the server unreachable.
+func (fi *FaultInjector) UnavailHits() int {
+	if fi == nil {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.unavailHits
+}
+
+// CrashTripped reports whether the armed server crash has fired.
+func (fi *FaultInjector) CrashTripped() bool {
+	if fi == nil {
+		return false
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.crashTripped
+}
+
+// Faulty reports whether any fault is configured — the gate the client uses
+// to skip the retry/fate machinery entirely on fault-free runs.
+func (fi *FaultInjector) Faulty() bool { return fi != nil }

@@ -1,0 +1,255 @@
+package pmi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"goshmem/internal/vclock"
+)
+
+// fastRetry keeps the fault tests cheap in virtual time without changing the
+// retry loop's structure.
+var fastRetry = RetryConfig{Attempts: 4, OpTimeout: 10_000, Backoff: 20_000, MaxShift: 3}
+
+func faultyClient(t *testing.T, n int, fi *FaultInjector) (*Server, *Client, *vclock.Clock) {
+	t.Helper()
+	s := NewServer(n, vclock.Default())
+	s.SetFaults(fi)
+	clk := vclock.NewClock(0)
+	c := s.Client(0, clk)
+	c.SetRetry(fastRetry)
+	return s, c, clk
+}
+
+func TestSlowLauncherChargesVirtualLatency(t *testing.T) {
+	fi := NewFaultInjector(1)
+	fi.SlowProb = 1
+	fi.SlowTime = 3_000_000
+	_, c, clk := faultyClient(t, 1, fi)
+	if err := c.Put("k", "v"); err != nil {
+		t.Fatalf("Put under slow launcher: %v", err)
+	}
+	if fi.Slowdowns() == 0 {
+		t.Fatal("slowdown not counted")
+	}
+	if clk.Now() < fi.SlowTime {
+		t.Fatalf("slow charge not on the clock: now=%d want >= %d", clk.Now(), fi.SlowTime)
+	}
+}
+
+func TestDropsAreRetriedToSuccess(t *testing.T) {
+	fi := NewFaultInjector(1)
+	fi.DropFirstN = 3
+	_, c, _ := faultyClient(t, 1, fi)
+	if err := c.Put("k", "v"); err != nil {
+		t.Fatalf("Put should survive %d drops with %d attempts: %v", fi.DropFirstN, fastRetry.Attempts, err)
+	}
+	retries, timeouts := c.RetryStats()
+	if retries != 3 || timeouts != 0 {
+		t.Fatalf("retry stats = (%d,%d), want (3,0)", retries, timeouts)
+	}
+	if v, err := c.Lookup("k"); err != nil || v != "v" {
+		t.Fatalf("Lookup after retried Put = %q, %v", v, err)
+	}
+}
+
+func TestRetryExhaustionIsTypedTimeout(t *testing.T) {
+	fi := NewFaultInjector(1)
+	fi.DropFirstN = 1000 // more than the budget can absorb
+	_, c, _ := faultyClient(t, 1, fi)
+	err := c.Put("k", "v")
+	if err == nil {
+		t.Fatal("Put should fail permanently")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("error should wrap ErrTimeout: %v", err)
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error should be *OpError: %v", err)
+	}
+	if oe.Op != "put" || oe.Key != "k" || oe.Attempts != fastRetry.Attempts {
+		t.Fatalf("OpError = %+v", oe)
+	}
+	if !errors.Is(oe.Last, errDropped) {
+		t.Fatalf("last per-try fault = %v, want errDropped", oe.Last)
+	}
+	if retries, timeouts := c.RetryStats(); timeouts != 1 || retries != fastRetry.Attempts-1 {
+		t.Fatalf("retry stats = (%d,%d), want (%d,1)", retries, timeouts, fastRetry.Attempts-1)
+	}
+}
+
+func TestBackoffCrossesUnavailabilityWindow(t *testing.T) {
+	fi := NewFaultInjector(1)
+	fi.UnavailAt = 0
+	fi.UnavailFor = 40_000 // two backoffs (20k+40k) carry the clock past it
+	_, c, clk := faultyClient(t, 1, fi)
+	if err := c.Put("k", "v"); err != nil {
+		t.Fatalf("Put should recover once virtual time leaves the window: %v", err)
+	}
+	if retries, _ := c.RetryStats(); retries == 0 {
+		t.Fatal("expected at least one retry inside the window")
+	}
+	if fi.UnavailHits() == 0 {
+		t.Fatal("unavailability hits not counted")
+	}
+	if clk.Now() < fi.UnavailAt+fi.UnavailFor {
+		t.Fatalf("success before the window closed: now=%d", clk.Now())
+	}
+}
+
+func TestCrashLosesUnfencedKeysOnly(t *testing.T) {
+	const n = 2
+	s := NewServer(n, vclock.Default())
+	fi := NewFaultInjector(1)
+	s.SetFaults(fi)
+	clks := [n]*vclock.Clock{vclock.NewClock(0), vclock.NewClock(0)}
+	cs := [n]*Client{}
+	for r := 0; r < n; r++ {
+		cs[r] = s.Client(r, clks[r])
+		cs[r].SetRetry(fastRetry)
+	}
+	// Epoch 1: both publish and fence — these keys become durable.
+	done := make(chan error, n)
+	for r := 0; r < n; r++ {
+		go func(r int) {
+			if err := cs[r].Put(KeyFor("durable", r), "fenced"); err != nil {
+				done <- err
+				return
+			}
+			done <- cs[r].Fence()
+		}(r)
+	}
+	for r := 0; r < n; r++ {
+		if err := <-done; err != nil {
+			t.Fatalf("epoch 1: %v", err)
+		}
+	}
+	// Epoch 2: rank 0 publishes but does NOT fence, then the server crashes
+	// (recovering instantly, so only the KVS damage is observable).
+	if err := cs[0].Put("ephemeral", "unfenced"); err != nil {
+		t.Fatalf("epoch 2 put: %v", err)
+	}
+	fi.CrashServer(clks[0].Now(), 0)
+	if _, err := cs[0].Lookup(KeyFor("durable", 1)); err != nil {
+		t.Fatalf("fenced key should survive the crash: %v", err)
+	}
+	if !fi.CrashTripped() {
+		t.Fatal("crash should have tripped on the first post-arm op")
+	}
+	if _, err := cs[0].Lookup("ephemeral"); !errors.Is(err, ErrLostToFault) {
+		t.Fatalf("un-fenced key: err = %v, want ErrLostToFault", err)
+	}
+	if _, err := cs[0].Lookup("never-put"); !errors.Is(err, ErrNeverPublished) {
+		t.Fatalf("unknown key: err = %v, want ErrNeverPublished", err)
+	}
+	// Re-publishing resurrects the lost key.
+	if err := cs[0].Put("ephemeral", "again"); err != nil {
+		t.Fatalf("re-put: %v", err)
+	}
+	if v, err := cs[0].Lookup("ephemeral"); err != nil || v != "again" {
+		t.Fatalf("resurrected key = %q, %v", v, err)
+	}
+}
+
+func TestCrashFailsIncompleteAllgather(t *testing.T) {
+	const n = 2
+	s := NewServer(n, vclock.Default())
+	fi := NewFaultInjector(1)
+	s.SetFaults(fi)
+	clk0, clk1 := vclock.NewClock(0), vclock.NewClock(0)
+	c0, c1 := s.Client(0, clk0), s.Client(1, clk1)
+	c0.SetRetry(fastRetry)
+	c1.SetRetry(fastRetry)
+
+	op := c0.IAllgather("v0") // rank 1 never contributes: round stays open
+	fi.CrashServer(clk1.Now(), 0)
+	if err := c1.Put("trip", "x"); err != nil {
+		t.Fatalf("tripping put: %v", err)
+	}
+	vals, err := op.WaitErr(c0)
+	if vals != nil || !errors.Is(err, ErrExchangeLost) {
+		t.Fatalf("WaitErr = (%v, %v), want (nil, ErrExchangeLost)", vals, err)
+	}
+}
+
+func TestCrashSparesCompletedAllgather(t *testing.T) {
+	const n = 2
+	s := NewServer(n, vclock.Default())
+	fi := NewFaultInjector(1)
+	s.SetFaults(fi)
+	clk0, clk1 := vclock.NewClock(0), vclock.NewClock(0)
+	c0, c1 := s.Client(0, clk0), s.Client(1, clk1)
+	c0.SetRetry(fastRetry)
+	c1.SetRetry(fastRetry)
+
+	op0 := c0.IAllgather("v0")
+	c1.IAllgather("v1") // completes the round (doneAt may still be in the future)
+	fi.CrashServer(clk0.Now(), 0)
+	if err := c0.Put("trip", "x"); err != nil {
+		t.Fatalf("tripping put: %v", err)
+	}
+	vals, err := op0.WaitErr(c0)
+	if err != nil || len(vals) != n || vals[0] != "v0" || vals[1] != "v1" {
+		t.Fatalf("completed round damaged by crash: (%v, %v)", vals, err)
+	}
+}
+
+func TestLaunchExhaustionFailsWholeRound(t *testing.T) {
+	// One participant's launch exhausting its retries must fail the SHARED op
+	// so every participant takes the same fallback branch (no subset diverges
+	// into a Fence only some PEs reach).
+	const n = 2
+	s := NewServer(n, vclock.Default())
+	fi := NewFaultInjector(1)
+	fi.DenyIAllgather = true
+	s.SetFaults(fi)
+	clk0, clk1 := vclock.NewClock(0), vclock.NewClock(0)
+	c0, c1 := s.Client(0, clk0), s.Client(1, clk1)
+	c0.SetRetry(fastRetry)
+	c1.SetRetry(fastRetry)
+
+	op0 := c0.IAllgather("v0")
+	op1 := c1.IAllgather("v1")
+	for i, pair := range []struct {
+		op *AllgatherOp
+		c  *Client
+	}{{op0, c0}, {op1, c1}} {
+		if vals, err := pair.op.WaitErr(pair.c); vals != nil || !errors.Is(err, ErrExchangeLost) {
+			t.Fatalf("rank %d: WaitErr = (%v, %v), want (nil, ErrExchangeLost)", i, vals, err)
+		}
+	}
+	// Put/Get/Fence stay serviceable: the fallback ladder has somewhere to go.
+	if err := c0.Put("k", "v"); err != nil {
+		t.Fatalf("Put under DenyIAllgather: %v", err)
+	}
+}
+
+func TestDuplicatesAreIdempotent(t *testing.T) {
+	fi := NewFaultInjector(1)
+	fi.DupProb = 1
+	_, c, _ := faultyClient(t, 1, fi)
+	for i := 0; i < 5; i++ {
+		if err := c.Put("k", fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if fi.Dups() != 5 {
+		t.Fatalf("dups = %d, want 5", fi.Dups())
+	}
+	if v, err := c.Lookup("k"); err != nil || v != "v4" {
+		t.Fatalf("duplicated Puts corrupted the KVS: %q, %v", v, err)
+	}
+}
+
+func TestFaultFreeServerSkipsRetryMachinery(t *testing.T) {
+	s := NewServer(1, vclock.Default())
+	c := s.Client(0, vclock.NewClock(0))
+	if err := c.Put("k", "v"); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if retries, timeouts := c.RetryStats(); retries != 0 || timeouts != 0 {
+		t.Fatalf("fault-free run touched retry stats: (%d,%d)", retries, timeouts)
+	}
+}

@@ -20,6 +20,7 @@ package pmi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"goshmem/internal/obs"
 	"goshmem/internal/vclock"
@@ -34,11 +35,21 @@ type Server struct {
 	kvs   map[string]string
 	bytes int // total bytes Put since the last fence epoch; sizes fence cost
 
+	// unfenced tracks keys published since the last completed Fence — the
+	// epoch an injected server crash discards. lost remembers keys that were
+	// discarded that way, so Lookup can tell "never published" from "lost to
+	// fault" (PMI2 offers no such distinction; the simulator does, for
+	// debuggability of injected-fault runs).
+	unfenced map[string]struct{}
+	lost     map[string]struct{}
+
 	fence *vclock.VBarrier
 
 	ag     map[int]*AllgatherOp // allgather round -> op
 	ring   map[int]*ringOp
 	closed bool
+
+	faults *FaultInjector
 
 	abort *AbortNotice
 }
@@ -59,17 +70,29 @@ func NewServer(n int, model *vclock.CostModel) *Server {
 		model = vclock.Default()
 	}
 	return &Server{
-		n:     n,
-		model: model,
-		kvs:   make(map[string]string),
-		fence: vclock.NewVBarrier(n),
-		ag:    make(map[int]*AllgatherOp),
-		ring:  make(map[int]*ringOp),
+		n:        n,
+		model:    model,
+		kvs:      make(map[string]string),
+		unfenced: make(map[string]struct{}),
+		lost:     make(map[string]struct{}),
+		fence:    vclock.NewVBarrier(n),
+		ag:       make(map[int]*AllgatherOp),
+		ring:     make(map[int]*ringOp),
 	}
 }
 
 // NProcs returns the job size.
 func (s *Server) NProcs() int { return s.n }
+
+// SetFaults installs the control-plane fault injector. Call before the job
+// starts; a nil injector (the default) keeps the server perfectly reliable.
+// The abort channel (RaiseAbort/Aborted) is deliberately NOT fault-injected:
+// the launcher's kill path is assumed reliable even when its KVS service
+// degrades, which keeps abort semantics simple and bounded.
+func (s *Server) SetFaults(fi *FaultInjector) { s.faults = fi }
+
+// Faults returns the installed control-plane fault injector (nil if none).
+func (s *Server) Faults() *FaultInjector { return s.faults }
 
 // Client returns the PMI client handle for the given rank. clk is the PE's
 // virtual clock; all blocking PMI costs are charged to it.
@@ -77,7 +100,7 @@ func (s *Server) Client(rank int, clk *vclock.Clock) *Client {
 	if rank < 0 || rank >= s.n {
 		panic(fmt.Sprintf("pmi: rank %d out of range [0,%d)", rank, s.n))
 	}
-	return &Client{s: s, rank: rank, clk: clk}
+	return &Client{s: s, rank: rank, clk: clk, retry: RetryConfig{}.withDefaults()}
 }
 
 // Client is one process's connection to the PMI server.
@@ -88,6 +111,10 @@ type Client struct {
 	obs     *obs.PE
 	agSeq   int
 	ringSeq int
+
+	retry    RetryConfig
+	retries  atomic.Int64 // transient-failure retries performed
+	timeouts atomic.Int64 // ops that failed permanently (budget exhausted)
 }
 
 // SetObs binds the PE's observability recorder; PMI operations then emit
@@ -98,22 +125,52 @@ func (c *Client) SetObs(rec *obs.PE) { c.obs = rec }
 func (c *Client) Rank() int { return c.rank }
 
 // Put publishes a key-value pair. Visibility to other processes is only
-// guaranteed after a Fence (PMI2 semantics).
-func (c *Client) Put(key, value string) {
+// guaranteed after a Fence (PMI2 semantics). Under an injected fault plane
+// the op is retried with virtual backoff; a non-nil return means the control
+// plane is permanently unreachable (the error wraps ErrTimeout).
+func (c *Client) Put(key, value string) error {
 	c.clk.Advance(c.s.model.PMIPut)
+	if err := c.withRetry("put", key); err != nil {
+		return err
+	}
 	c.s.mu.Lock()
 	c.s.kvs[key] = value
 	c.s.bytes += len(key) + len(value)
+	c.s.unfenced[key] = struct{}{}
+	delete(c.s.lost, key) // re-publishing resurrects a crash-lost key
 	c.s.mu.Unlock()
+	return nil
 }
 
-// Get retrieves a value from the global KVS.
+// Get retrieves a value from the global KVS. It reports only presence; use
+// Lookup when the caller needs to distinguish why a key is missing.
 func (c *Client) Get(key string) (string, bool) {
+	v, err := c.Lookup(key)
+	return v, err == nil
+}
+
+// Lookup retrieves a value from the global KVS, returning a typed error on
+// a miss: ErrNeverPublished for a key no process ever Put, ErrLostToFault
+// for one that was published but discarded (un-fenced) by an injected
+// server crash, or an *OpError (wrapping ErrTimeout) when the server itself
+// is unreachable.
+func (c *Client) Lookup(key string) (string, error) {
 	c.clk.Advance(c.s.model.PMIGet)
+	if err := c.withRetry("get", key); err != nil {
+		return "", err
+	}
 	c.s.mu.Lock()
 	v, ok := c.s.kvs[key]
+	_, wasLost := c.s.lost[key]
 	c.s.mu.Unlock()
-	return v, ok
+	switch {
+	case ok:
+		return v, nil
+	case wasLost:
+		return "", fmt.Errorf("%w: %q", ErrLostToFault, key)
+	default:
+		return "", fmt.Errorf("%w: %q", ErrNeverPublished, key)
+	}
 }
 
 // Fence is the blocking synchronizing collective: it blocks until every
@@ -122,8 +179,15 @@ func (c *Client) Get(key string) (string, bool) {
 // manager's tree-based all-to-all KVS distribution and grows with both the
 // job size and the amount of data published this epoch — the scalability
 // problem the paper's Figure 1 attributes to "PMI Exchange".
-func (c *Client) Fence() {
+//
+// A non-nil return means the fence could not complete: the server is
+// permanently unreachable (error wraps ErrTimeout) or the job was aborted
+// while blocked in the barrier (error wraps ErrAborted).
+func (c *Client) Fence() error {
 	start := c.clk.Now()
+	if err := c.withRetry("fence", ""); err != nil {
+		return err
+	}
 	c.s.mu.Lock()
 	perProc := 0
 	if c.s.n > 0 {
@@ -133,11 +197,23 @@ func (c *Client) Fence() {
 	cost := c.s.model.FenceCost(c.s.n, perProc)
 	c.s.fence.Wait(c.clk, cost)
 	c.s.mu.Lock()
-	c.s.bytes = 0
+	aborted := c.s.abort != nil
+	if !aborted {
+		c.s.bytes = 0
+		// Everything published this epoch is now durable: an injected
+		// server crash can no longer discard it.
+		for k := range c.s.unfenced {
+			delete(c.s.unfenced, k)
+		}
+	}
 	c.s.mu.Unlock()
+	if aborted {
+		return fmt.Errorf("%w: fence released by abort", ErrAborted)
+	}
 	end := c.clk.Now()
 	c.obs.Span(start, end, obs.LayerPMI, "fence", -1, 0)
 	c.obs.Observe("pmi.fence_ns", end-start)
+	return nil
 }
 
 // RaiseAbort records a job abort and releases every blocked PMI operation:

@@ -1,0 +1,190 @@
+package pmi
+
+import (
+	"errors"
+	"fmt"
+
+	"goshmem/internal/obs"
+)
+
+// Typed control-plane errors. All permanent failures returned by client ops
+// wrap one of these sentinels, so callers can errors.Is their way to a
+// decision (retry further up, fall back, or abort) without string matching.
+var (
+	// ErrUnavailable: the server refused the op (crash window, unavailability
+	// window, or a deterministically denied extension). Transient in
+	// principle — the retry loop keeps trying until its budget runs out.
+	ErrUnavailable = errors.New("pmi: server unavailable")
+
+	// ErrTimeout: the retry budget for one op is exhausted; the control
+	// plane is considered permanently unreachable for this op.
+	ErrTimeout = errors.New("pmi: operation timed out (retries exhausted)")
+
+	// ErrNeverPublished: Get/Lookup found no value and the key was never
+	// Put — a protocol-level bug in the caller, not a fault-plane artifact.
+	ErrNeverPublished = errors.New("pmi: key never published")
+
+	// ErrLostToFault: Get/Lookup found no value for a key that WAS published
+	// but had not been fenced when the injected server crash discarded the
+	// un-fenced epoch. Distinguishing this from ErrNeverPublished is what
+	// lets a trace reader tell "startup bug" from "injected fault".
+	ErrLostToFault = errors.New("pmi: key lost to injected server crash (published but un-fenced)")
+
+	// ErrExchangeLost: an in-flight IAllgather cannot complete (server
+	// crashed mid-exchange or a participant's launch exhausted its retries).
+	// The caller is expected to take the Put-Fence-Get fallback ladder.
+	ErrExchangeLost = errors.New("pmi: allgather exchange lost")
+
+	// ErrAborted: the job-abort notice fired while the op was blocked.
+	ErrAborted = errors.New("pmi: job aborted")
+
+	// errDropped is internal to the retry loop: the request (or its reply)
+	// was lost and the client saw nothing but silence until its op timeout.
+	errDropped = errors.New("pmi: request dropped")
+)
+
+// OpError is the permanent failure of one PMI client operation after the
+// retry budget ran out. It wraps the sentinel describing the final cause.
+type OpError struct {
+	Op       string // "put", "get", "fence", "iallgather"
+	Key      string // KVS key, when the op has one
+	Rank     int
+	Attempts int
+	Cause    error // wraps ErrTimeout; Last holds the final per-try fault
+	Last     error
+}
+
+func (e *OpError) Error() string {
+	k := ""
+	if e.Key != "" {
+		k = fmt.Sprintf(" key %q", e.Key)
+	}
+	return fmt.Sprintf("pmi: %s%s failed on rank %d after %d attempts: %v (last: %v)",
+		e.Op, k, e.Rank, e.Attempts, e.Cause, e.Last)
+}
+
+func (e *OpError) Unwrap() error { return e.Cause }
+
+// RetryConfig bounds the client-side retry/timeout/backoff loop that guards
+// every PMI op, analogous to gasnet.RetransConfig for the in-band fabric.
+// All durations are virtual nanoseconds: a "timed-out" try charges OpTimeout
+// to the calling PE's clock, and the k-th retry is preceded by an
+// exponentially growing backoff (Backoff << min(k, MaxShift)). Because the
+// waiting is virtual, a retry storm costs nothing in real time — but the
+// advancing clock is exactly what carries a PE across a crash/unavailability
+// window, or into the watchdog's jaws if the failure is permanent.
+type RetryConfig struct {
+	Attempts  int   // total tries per op before giving up (default 10)
+	OpTimeout int64 // virtual ns charged per failed try (default 200µs)
+	Backoff   int64 // base virtual backoff before a retry (default 500µs)
+	MaxShift  int   // cap on the exponential doubling (default 8)
+}
+
+func (rc RetryConfig) withDefaults() RetryConfig {
+	if rc.Attempts <= 0 {
+		rc.Attempts = 10
+	}
+	if rc.OpTimeout <= 0 {
+		rc.OpTimeout = 200_000
+	}
+	if rc.Backoff <= 0 {
+		rc.Backoff = 500_000
+	}
+	if rc.MaxShift <= 0 {
+		rc.MaxShift = 8
+	}
+	return rc
+}
+
+// SetRetry overrides the client's retry policy; zero fields keep defaults.
+func (c *Client) SetRetry(rc RetryConfig) { c.retry = rc.withDefaults() }
+
+// RetryStats returns this client's resilience counters: how many retries it
+// performed and how many ops failed permanently (timed out).
+func (c *Client) RetryStats() (retries, timeouts int) {
+	return int(c.retries.Load()), int(c.timeouts.Load())
+}
+
+// withRetry runs the fault gate for one op, retrying transient failures with
+// exponential virtual backoff. It returns nil once the server accepts the
+// op, or an *OpError wrapping ErrTimeout when the budget is exhausted. On a
+// fault-free server (no injector) it is a single branch.
+func (c *Client) withRetry(op, key string) error {
+	if !c.s.faults.Faulty() {
+		return nil
+	}
+	rc := c.retry
+	var last error
+	for attempt := 0; attempt < rc.Attempts; attempt++ {
+		if attempt > 0 {
+			shift := attempt - 1
+			if shift > rc.MaxShift {
+				shift = rc.MaxShift
+			}
+			c.clk.Advance(rc.Backoff << shift)
+			c.retries.Add(1)
+			c.obs.Emit(c.clk.Now(), obs.LayerPMI, "pmi-retry", -1, 0,
+				obs.Attr{Key: "op", Val: op})
+		}
+		f := c.s.admit(c, op)
+		if f == nil {
+			return nil
+		}
+		last = f
+		// The client cannot tell a dropped request from a slow reply: it
+		// waits out its per-try timeout before concluding the try failed.
+		c.clk.Advance(rc.OpTimeout)
+	}
+	c.timeouts.Add(1)
+	c.obs.Emit(c.clk.Now(), obs.LayerPMI, "pmi-timeout", -1, 0,
+		obs.Attr{Key: "op", Val: op})
+	return &OpError{
+		Op: op, Key: key, Rank: c.rank, Attempts: rc.Attempts,
+		Cause: ErrTimeout, Last: last,
+	}
+}
+
+// admit consults the fault plane for one client op, applying crash damage
+// to the KVS when the op trips an armed crash. A nil return admits the op.
+func (s *Server) admit(c *Client, op string) error {
+	f := s.faults.fate(op, c.clk.Now())
+	if f.slow > 0 {
+		c.clk.Advance(f.slow)
+		c.obs.Emit(c.clk.Now(), obs.LayerPMI, "pmi-fault-slow", -1, 0,
+			obs.Attr{Key: "op", Val: op})
+	}
+	if f.crash {
+		s.crashNow(c)
+	}
+	if f.unavail {
+		return ErrUnavailable
+	}
+	if f.drop {
+		return errDropped
+	}
+	return nil
+}
+
+// crashNow applies the damage of the injected server crash: every KVS entry
+// published since the last Fence is discarded (and remembered in the lost
+// set so later Lookups can attribute the miss), and every incomplete
+// allgather round fails with ErrExchangeLost.
+func (s *Server) crashNow(c *Client) {
+	s.mu.Lock()
+	nLost := len(s.unfenced)
+	for k := range s.unfenced {
+		delete(s.kvs, k)
+		s.lost[k] = struct{}{}
+		delete(s.unfenced, k)
+	}
+	s.bytes = 0
+	var pending []*AllgatherOp
+	for _, op := range s.ag {
+		pending = append(pending, op)
+	}
+	s.mu.Unlock()
+	for _, op := range pending {
+		op.fail(ErrExchangeLost) // no-op on rounds that already completed
+	}
+	c.obs.Emit(c.clk.Now(), obs.LayerPMI, "pmi-server-crash", -1, int64(nLost))
+}

@@ -124,7 +124,12 @@ func Attach(env Env, opts Options) *Ctx {
 	mark(&c.breakdown.Other, "qp-setup")
 
 	// --- PMI exchange of UD endpoint info ---
-	c.conduit.ExchangeEndpoints()
+	if err := c.conduit.ExchangeEndpoints(); err != nil {
+		// Permanent control-plane failure: the conduit has already raised
+		// the job abort (ExitPMIFailure); unwind this PE through the same
+		// panic path GlobalExit uses so the launcher classifies the code.
+		panic(fmt.Errorf("shmem: endpoint exchange: %w", err))
+	}
 	mark(&c.breakdown.PMIExchange, "pmi-exchange")
 
 	// --- Symmetric heap allocation and registration ---
