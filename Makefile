@@ -8,7 +8,7 @@ GO ?= go
 # CHAOS_SEED=<seed> make soak (failures print the seed to replay).
 CHAOS_SEED ?= 1786034998553156286
 
-.PHONY: all tier1 tier2 build test vet race soak trace-demo clean
+.PHONY: all tier1 tier2 build test vet race soak trace-demo bench clean
 
 all: tier1
 
@@ -33,10 +33,16 @@ soak:
 
 # Write an 8-PE sample Perfetto trace (open trace-demo.json at
 # https://ui.perfetto.dev) plus the text report with phase breakdown,
-# counters and latency histograms.
+# counters, latency histograms, and the communication-topology view
+# (traffic heatmap, peer degrees, QP waste).
 trace-demo:
-	$(GO) run ./cmd/oshrun -np 8 -ppn 4 -app heat2d -trace-out=trace-demo.json -metrics
+	$(GO) run ./cmd/oshrun -np 8 -ppn 4 -app heat2d -trace-out=trace-demo.json -metrics -topology
+
+# Record the perf trajectory: run the fixed startup/latency/phase suite and
+# write BENCH_<date>.json (schema-versioned; nightly CI uploads it).
+bench:
+	$(GO) run ./cmd/bench
 
 clean:
 	$(GO) clean ./...
-	rm -f trace-demo.json
+	rm -f trace-demo.json BENCH_*.json

@@ -1,0 +1,98 @@
+// Command bench records the simulator's performance trajectory: a small,
+// fixed suite of startup, latency and phase measurements written as one
+// machine-readable JSON document. `make bench` runs it and writes
+// BENCH_<date>.json; nightly CI uploads the file so regressions in the
+// modeled numbers (and in the wall cost of producing them) show up as a
+// diffable series over time.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"goshmem/internal/bench"
+	"goshmem/internal/gasnet"
+)
+
+// SchemaVersion identifies the BENCH_<date>.json document shape so the
+// trajectory tooling can evolve with it. Bump on any breaking change.
+const SchemaVersion = 1
+
+// doc is the perf-trajectory document.
+type doc struct {
+	SchemaVersion int    `json:"schema_version"`
+	Date          string `json:"date"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+
+	// WallNS is the wall-clock cost of producing the whole suite — the
+	// simulator's own speed, as opposed to the virtual-time numbers below.
+	WallNS int64 `json:"wall_ns"`
+
+	// Startup is Figure 5(a) at reduced sizes: start_pes and Hello World
+	// virtual seconds for both connection modes.
+	Startup []bench.StartupPoint `json:"startup"`
+
+	// Latency is Figure 6 at reduced sizes: put/get virtual latency (ns per
+	// op) for both modes.
+	Latency []bench.LatencyPoint `json:"latency_put_get"`
+
+	// PhasesStatic / PhasesOnDemand are the obs-plane startup-phase
+	// breakdowns (virtual seconds per phase, averaged across PEs).
+	PhasesStatic   []bench.PhasePoint `json:"phases_static"`
+	PhasesOnDemand []bench.PhasePoint `json:"phases_ondemand"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default BENCH_<yyyy-mm-dd>.json)")
+	flag.Parse()
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("2006-01-02"))
+	}
+
+	d := doc{
+		SchemaVersion: SchemaVersion,
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+	}
+
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+
+	t0 := time.Now()
+
+	var err error
+	d.Startup, err = bench.Startup([]int{64, 128, 256}, 8, 256)
+	die(err)
+
+	d.Latency, err = bench.PutGetLatency([]int{8, 4096, 65536}, 50)
+	die(err)
+
+	d.PhasesStatic, err = bench.PhaseBreakdown(gasnet.Static, []int{64, 128}, 8)
+	die(err)
+	d.PhasesOnDemand, err = bench.PhaseBreakdown(gasnet.OnDemand, []int{64, 128}, 8)
+	die(err)
+
+	d.WallNS = time.Since(t0).Nanoseconds()
+
+	f, err := os.Create(path)
+	die(err)
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	die(enc.Encode(&d))
+	die(f.Close())
+	fmt.Printf("wrote %s (suite wall time %.1fs)\n", path, float64(d.WallNS)/1e9)
+}

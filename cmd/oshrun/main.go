@@ -159,6 +159,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the full multi-layer event trace to FILE in Chrome trace-event (Perfetto) JSON")
 	jsonOut := flag.Bool("json", false, "emit the full job report (counters, histograms, startup phases) as JSON instead of text")
 	metrics := flag.Bool("metrics", false, "collect latency histograms and generic counters and print them in the text report")
+	topology := flag.Bool("topology", false, "record the per-pair flow matrix and print the traffic heatmap, peer-degree table and QP waste attribution")
 	qpCap := flag.Int("qp-cap", 0, "cap live RC queue pairs per HCA; idle connections are LRU-evicted (0 = unbounded; on-demand mode only)")
 
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injector RNG seed (deterministic per seed)")
@@ -317,6 +318,7 @@ func main() {
 		Obs: obs.Config{
 			Events:  *trace > 0 || *traceOut != "",
 			Metrics: *jsonOut || *metrics,
+			Flows:   *topology || *jsonOut,
 		},
 	}
 	res, err := cluster.Run(cfg, body)
@@ -406,6 +408,11 @@ func main() {
 	if res.Obs != nil {
 		printPhaseTable(res)
 		printMetricTables(res)
+	}
+
+	if *topology {
+		fmt.Printf("\n--- communication topology ---\n")
+		cluster.WriteTopologyText(os.Stdout, res)
 	}
 
 	if res.Aborted {

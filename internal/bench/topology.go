@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+
+	"goshmem/internal/cluster"
+	"goshmem/internal/gasnet"
+	"goshmem/internal/obs"
+)
+
+// TopologyPoint is one application's row of the flow-telemetry view of
+// Table I: the communicating-peer count derived from the recorded flow
+// matrix, side by side with the conduit's own peer-set count, plus the
+// degree distribution and the QP waste attribution.
+type TopologyPoint struct {
+	App string
+	N   int
+
+	// AvgPeersConduit is Table I's metric as the conduit reports it
+	// (distinct peers in the peer set); AvgPeersMatrix is the same metric
+	// recomputed from the per-pair flow matrix. The two must agree.
+	AvgPeersConduit float64
+	AvgPeersMatrix  float64
+
+	Degree obs.DegreeDist
+
+	QPsEstablished int
+	QPsUsed        int
+	QPsWasted      int
+}
+
+// TopologyAt reruns the Table I applications with flow recording enabled
+// and reduces each run's communication matrix. Apps whose layout needs a
+// square PE grid are skipped at non-square sizes (as in PeersAt).
+func TopologyAt(np, ppn int) ([]TopologyPoint, error) {
+	order, apps := tinyApps()
+	var out []TopologyPoint
+	for _, name := range order {
+		if (name == "BT" || name == "SP") && !isSquare(np) {
+			continue
+		}
+		res, err := cluster.Run(cluster.Config{NP: np, PPN: ppn, Mode: gasnet.OnDemand,
+			HeapSize: 8 << 20, Obs: obs.Config{Flows: true}}, apps[name])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		top := cluster.BuildTopology(res)
+		if top == nil {
+			return nil, fmt.Errorf("%s: no flow matrix recorded", name)
+		}
+		pt := TopologyPoint{
+			App:             name,
+			N:               np,
+			AvgPeersConduit: res.AvgPeers(),
+			AvgPeersMatrix:  top.Degree.Avg,
+			Degree:          top.Degree,
+			QPsEstablished:  top.QPsEstablished,
+			QPsUsed:         top.QPsUsed,
+			QPsWasted:       top.QPsWasted,
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// TopologyTable renders the flow-telemetry reproduction of Table I.
+func TopologyTable(np int, pts []TopologyPoint) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Table I (flow matrix): communicating peers per process from recorded traffic (%d PEs)", np),
+		Headers: []string{"application", "peers (conduit)", "peers (matrix)",
+			"min", "p50", "p95", "max", "QPs est", "used", "wasted"},
+	}
+	for _, p := range pts {
+		t.Rows = append(t.Rows, []string{
+			p.App, f1(p.AvgPeersConduit), f1(p.AvgPeersMatrix),
+			fmt.Sprintf("%d", p.Degree.Min), fmt.Sprintf("%d", p.Degree.P50),
+			fmt.Sprintf("%d", p.Degree.P95), fmt.Sprintf("%d", p.Degree.Max),
+			fmt.Sprintf("%d", p.QPsEstablished), fmt.Sprintf("%d", p.QPsUsed),
+			fmt.Sprintf("%d", p.QPsWasted),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"peers (matrix) is recomputed from per-pair send counters and must match the conduit's peer sets",
+		"QPs est counts completed RC handshakes (reconnects included); used counts pair-slots that carried data")
+	return t
+}

@@ -18,6 +18,7 @@ import (
 
 	"goshmem/internal/gasnet"
 	"goshmem/internal/ib"
+	"goshmem/internal/obs"
 	"goshmem/internal/shmem"
 )
 
@@ -230,7 +231,7 @@ func (im *Image) SyncAll() {
 	for dist := 1; dist < im.n; dist *= 2 {
 		to := (im.rank + dist) % im.n
 		from := (im.rank - dist%im.n + im.n) % im.n
-		if err := im.conduit.AMRequest(to, amSync, [4]uint64{seq, uint64(dist)}, nil); err != nil {
+		if err := im.conduit.AMRequestKind(to, amSync, [4]uint64{seq, uint64(dist)}, nil, obs.FlowBarrier); err != nil {
 			panic(err.Error())
 		}
 		im.waitSync(seq, from)
@@ -246,7 +247,7 @@ func (im *Image) SyncImages(images []int) {
 	seq := im.syncSeq
 	im.syncMu.Unlock()
 	for _, img := range images {
-		if err := im.conduit.AMRequest(img-1, amSync, [4]uint64{seq, 0}, nil); err != nil {
+		if err := im.conduit.AMRequestKind(img-1, amSync, [4]uint64{seq, 0}, nil, obs.FlowBarrier); err != nil {
 			panic(err.Error())
 		}
 	}

@@ -23,10 +23,17 @@ func (r *Result) ExchangePath() string {
 	return "iallgather (non-blocking)"
 }
 
+// ReportSchemaVersion identifies the JSON report's schema so downstream
+// tooling (perf-trajectory diffing, CI artifact parsers) can evolve with
+// it. Bump on any breaking change to Report's shape.
+const ReportSchemaVersion = 1
+
 // Report is the machine-readable summary of a run: job-level timings, per-PE
 // outcomes, the startup-phase breakdown, and — when metrics were enabled —
 // the full counter and histogram registry. `oshrun -json` serializes it.
 type Report struct {
+	SchemaVersion int `json:"schema_version"`
+
 	NP      int    `json:"np"`
 	PPN     int    `json:"ppn"`
 	Mode    string `json:"mode"`
@@ -49,6 +56,10 @@ type Report struct {
 	Counters      []obs.CounterSnapshot `json:"counters,omitempty"`
 	Histograms    []obs.HistSnapshot    `json:"histograms,omitempty"`
 	DroppedEvents int64                 `json:"dropped_events,omitempty"`
+
+	// Topology is the flow-telemetry section (communication matrix, degree
+	// distribution, QP waste attribution); present when flows were recorded.
+	Topology *TopologyReport `json:"topology,omitempty"`
 }
 
 // PEReport is one PE's slice of the report.
@@ -65,6 +76,8 @@ type PEReport struct {
 // sections are present only when the corresponding plane was enabled.
 func BuildReport(res *Result) *Report {
 	rep := &Report{
+		SchemaVersion: ReportSchemaVersion,
+
 		NP:      res.Cfg.NP,
 		PPN:     res.Cfg.PPN,
 		Mode:    fmt.Sprint(res.Cfg.Mode),
@@ -96,6 +109,7 @@ func BuildReport(res *Result) *Report {
 			rep.Histograms = reg.Hists()
 		}
 	}
+	rep.Topology = BuildTopology(res)
 	return rep
 }
 

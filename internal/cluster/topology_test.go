@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"goshmem/internal/gasnet"
+	"goshmem/internal/ib"
+	"goshmem/internal/obs"
+	"goshmem/internal/shmem"
+)
+
+// TestTopologyMatchesPeerSets cross-checks the two independent peer-count
+// paths: the matrix-derived degree (obs.DataPeers over recorded flows) must
+// equal the conduit's own peer-set count for every PE, and the job-level
+// degree average must equal Result.AvgPeers — the Table I metric.
+func TestTopologyMatchesPeerSets(t *testing.T) {
+	res, err := Run(Config{
+		NP: 16, PPN: 8, Mode: gasnet.OnDemand, HeapSize: 1 << 16,
+		Obs: obs.Config{Flows: true},
+	}, ringApp(3, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := BuildTopology(res)
+	if top == nil {
+		t.Fatal("no topology despite Flows enabled")
+	}
+	if len(top.PEs) != 16 {
+		t.Fatalf("topology has %d PEs, want 16", len(top.PEs))
+	}
+	for i, pt := range top.PEs {
+		if pt.Peers != res.PEs[i].Peers {
+			t.Errorf("PE %d: matrix degree %d != conduit peer count %d",
+				pt.Rank, pt.Peers, res.PEs[i].Peers)
+		}
+	}
+	if top.Degree.Avg != res.AvgPeers() {
+		t.Errorf("degree avg %v != AvgPeers %v", top.Degree.Avg, res.AvgPeers())
+	}
+	if top.QPsEstablished == 0 || top.QPsUsed == 0 {
+		t.Errorf("waste attribution empty: est=%d used=%d", top.QPsEstablished, top.QPsUsed)
+	}
+
+	// The JSON report carries the schema version and the topology section.
+	rep := BuildReport(res)
+	if rep.SchemaVersion != ReportSchemaVersion || rep.Topology == nil {
+		t.Fatalf("report: schema_version=%d topology=%v", rep.SchemaVersion, rep.Topology)
+	}
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(sb.String()), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw["schema_version"]) != "1" {
+		t.Errorf("schema_version in JSON = %s", raw["schema_version"])
+	}
+	if _, ok := raw["topology"]; !ok {
+		t.Error("topology section missing from JSON report")
+	}
+}
+
+// TestTopologyNilWithoutFlows pins the gating: no Flows, no topology
+// section, and the text view degrades gracefully.
+func TestTopologyNilWithoutFlows(t *testing.T) {
+	res, err := Run(Config{NP: 4, PPN: 2, Mode: gasnet.OnDemand, HeapSize: 1 << 16},
+		ringApp(1, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top := BuildTopology(res); top != nil {
+		t.Fatalf("topology built without flows: %+v", top)
+	}
+	if rep := BuildReport(res); rep.Topology != nil {
+		t.Fatal("report has topology section without flows")
+	}
+	var sb strings.Builder
+	WriteTopologyText(&sb, res)
+	if !strings.Contains(sb.String(), "no flow matrix recorded") {
+		t.Fatalf("text view: %q", sb.String())
+	}
+}
+
+// fanApp drives connection churn from a single client: rank 0 puts to every
+// server in turn for several rounds, so a small live-QP cap forces serial
+// LRU evictions and reconnects with fully deterministic recency order.
+func fanApp(rounds, blockSize int) func(c *shmem.Ctx) {
+	return func(c *shmem.Ctx) {
+		buf := c.Malloc(blockSize)
+		src := make([]byte, blockSize)
+		if c.Me() == 0 {
+			for r := 0; r < rounds; r++ {
+				src[0] = byte(r)
+				for p := 1; p < c.NPEs(); p++ {
+					c.PutMem(buf, src, p)
+					c.Quiet()
+				}
+			}
+		}
+		c.BarrierAll()
+	}
+}
+
+// TestFlowTelemetryByteIdentical is the tentpole determinism invariant: a
+// 33-PE fan run must produce byte-identical flow matrices (control column
+// included), topology reductions, rendered heatmaps and rendered lifecycle
+// timelines across two identical runs — goroutine scheduling must not leak
+// into any of them. No QP cap here: without one, every conn event is
+// demand-driven at virtual times that are a pure function of the schedule
+// (the cap's eviction decisions, by contrast, sample the adapter's live-QP
+// count in real time; see TestFlowChurnDataPlaneStable). The PE count is
+// odd on purpose: at even np the dissemination barrier's distance-np/2
+// round makes both sides of a pair demand the connection simultaneously,
+// and which side wins that real-time collision (client vs server role, and
+// with it the ctrl column and the timeline) is schedule-dependent. At odd
+// np no barrier distance is self-inverse, so every pair's second demand is
+// causally ordered behind the first establishment.
+func TestFlowTelemetryByteIdentical(t *testing.T) {
+	run := func() (*Result, [][]obs.FlowEdge, *TopologyReport, string, string) {
+		res, err := Run(Config{
+			NP: 33, PPN: 1, Mode: gasnet.OnDemand, HeapSize: 1 << 16,
+			Obs: obs.Config{Events: true, Flows: true},
+		}, fanApp(2, 256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var heat strings.Builder
+		obs.WriteHeatmap(&heat, res.Cfg.NP, res.FlowMatrix())
+		var tlText strings.Builder
+		obs.WriteTimelines(&tlText, obs.BuildConnTimelines(res.Obs.Events()))
+		return res, res.FlowMatrix(), BuildTopology(res), heat.String(), tlText.String()
+	}
+
+	_, matA, topA, heatA, tlA := run()
+	_, matB, topB, heatB, tlB := run()
+
+	if !reflect.DeepEqual(matA, matB) {
+		t.Error("flow matrices differ across identical runs")
+	}
+	if !reflect.DeepEqual(topA, topB) {
+		t.Error("topology reductions differ across identical runs")
+	}
+	if heatA != heatB {
+		t.Error("heatmap renders differ across identical runs")
+	}
+	if tlA == "" {
+		t.Fatal("empty lifecycle timeline")
+	}
+	if tlA != tlB {
+		t.Errorf("lifecycle timelines differ across identical runs:\n--- A\n%s--- B\n%s", tlA, tlB)
+	}
+	// Every rank-0 client pair must show a completed handshake.
+	if !strings.Contains(tlA, "0->32 ") || !strings.Contains(tlA, "ready-client@") {
+		t.Errorf("timeline missing expected pairs:\n%s", tlA)
+	}
+}
+
+// TestFlowChurnDataPlaneStable pins eviction transparency in the matrix: a
+// QP cap small enough to force eviction/reconnect churn must not change the
+// data-plane flow matrix or the degree distribution — churn adds control
+// traffic and lifecycle events, never application traffic. The eviction
+// *timing* is legitimately schedule-dependent (the cap samples the
+// adapter's live-QP count in real time), so the control column and the
+// timelines are checked for shape, not byte-compared.
+func TestFlowChurnDataPlaneStable(t *testing.T) {
+	run := func(cap int) (*Result, string) {
+		res, err := Run(Config{
+			NP: 32, PPN: 1, Mode: gasnet.OnDemand, HeapSize: 1 << 16,
+			MaxLiveRC: cap,
+			Obs:       obs.Config{Events: true, Flows: true},
+		}, fanApp(3, 256))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tlText strings.Builder
+		obs.WriteTimelines(&tlText, obs.BuildConnTimelines(res.Obs.Events()))
+		return res, tlText.String()
+	}
+
+	uncapped, _ := run(0)
+	capped, tl := run(8)
+
+	if capped.TotalEvictions() == 0 {
+		t.Fatal("no evictions under the QP cap; the churn leg tested nothing")
+	}
+	want := dataOnly(uncapped.FlowMatrix())
+	if got := dataOnly(capped.FlowMatrix()); !reflect.DeepEqual(got, want) {
+		t.Error("data-plane matrix changed under QP-cap churn")
+	}
+	ut, ct := BuildTopology(uncapped), BuildTopology(capped)
+	if ut.Degree != ct.Degree {
+		t.Errorf("degree distribution changed under churn: %+v vs %+v", ut.Degree, ct.Degree)
+	}
+	// Churn must be visible in the lifecycle view: evictions and at least
+	// one re-established pair.
+	if !strings.Contains(tl, "evict@") {
+		t.Errorf("timeline shows no evictions:\n%s", tl)
+	}
+	tls := obs.BuildConnTimelines(capped.Obs.Events())
+	recon := 0
+	for _, c := range tls {
+		recon += c.Reconnects
+	}
+	if recon == 0 {
+		t.Error("no pair re-established after eviction")
+	}
+	// The capped run established more connections than pair-slots that
+	// carried data — the waste/churn attribution the report surfaces.
+	if ct.QPsEstablished <= ut.QPsEstablished {
+		t.Errorf("churn not visible in QPsEstablished: capped %d <= uncapped %d",
+			ct.QPsEstablished, ut.QPsEstablished)
+	}
+}
+
+// dataOnly copies a flow matrix with the control column zeroed: under
+// probabilistic fabric faults the control-datagram counts legitimately vary
+// (retransmissions are timer-driven), while the data-plane counts are a pure
+// function of the application schedule.
+func dataOnly(mat [][]obs.FlowEdge) [][]obs.FlowEdge {
+	out := make([][]obs.FlowEdge, len(mat))
+	for r, edges := range mat {
+		for _, e := range edges {
+			e.Cells[obs.FlowCtrl] = obs.FlowCell{}
+			if e.TotalOps() == 0 {
+				continue // edge carried only control traffic
+			}
+			out[r] = append(out[r], e)
+		}
+	}
+	return out
+}
+
+// TestFlowMatrixDataPlaneStableUnderChaos extends the fault-transparency
+// invariant (DESIGN.md section 6) to the flow matrix: the data-plane matrix
+// and the degree distribution of a run under drops, duplication, flaps and a
+// QP cap must be byte-identical to the fault-free run's — resilience may add
+// control traffic and virtual time, never application traffic.
+func TestFlowMatrixDataPlaneStableUnderChaos(t *testing.T) {
+	run := func(faults *ib.FaultInjector) *Result {
+		cfg := Config{
+			NP: 16, PPN: 8, Mode: gasnet.OnDemand, HeapSize: 1 << 16,
+			Faults: faults,
+			Obs:    obs.Config{Flows: true},
+		}
+		if faults != nil {
+			cfg.MaxLiveRC = 20
+			cfg.Retrans = gasnet.RetransConfig{
+				Interval: time.Millisecond, BaseRTO: 2 * time.Millisecond, MaxShift: 3,
+			}
+		}
+		res, err := Run(cfg, ringApp(5, 1024))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	inject := func() *ib.FaultInjector {
+		fi := ib.NewFaultInjector(42)
+		fi.DropProb = 0.2
+		fi.MaxDrops = 100
+		fi.DupProb = 0.1
+		fi.FlapProb = 0.05
+		fi.MaxFlaps = 8
+		return fi
+	}
+
+	clean := run(nil)
+	faulty1 := run(inject())
+	faulty2 := run(inject())
+
+	want := dataOnly(clean.FlowMatrix())
+	if got := dataOnly(faulty1.FlowMatrix()); !reflect.DeepEqual(got, want) {
+		t.Error("data-plane matrix diverged from the fault-free run under chaos")
+	}
+	if a, b := dataOnly(faulty1.FlowMatrix()), dataOnly(faulty2.FlowMatrix()); !reflect.DeepEqual(a, b) {
+		t.Error("data-plane matrix differs across identical seeded chaos runs")
+	}
+
+	ct, f1, f2 := BuildTopology(clean), BuildTopology(faulty1), BuildTopology(faulty2)
+	if ct.Degree != f1.Degree || f1.Degree != f2.Degree {
+		t.Errorf("degree distributions diverged: clean %+v faulty %+v %+v",
+			ct.Degree, f1.Degree, f2.Degree)
+	}
+	if faulty1.TotalLinkFaults() == 0 && faulty1.TotalRetransmits() == 0 {
+		t.Error("chaos leg injected nothing; the comparison tested nothing")
+	}
+}

@@ -21,6 +21,7 @@ package gasnet
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -149,6 +150,11 @@ type Stats struct {
 	PMITimeouts       int // PMI ops that failed permanently (budget exhausted)
 	FallbackExchanges int // Iallgather exchanges degraded to Put-Fence-Get
 	CorruptFrames     int // UD control frames discarded by checksum
+
+	// Flows is this PE's row of the communication matrix: per-peer op and
+	// byte counts split by kind (put/get/atomic/am/coll/barrier/ctrl),
+	// sorted by peer. Nil unless obs.Config.Flows was enabled.
+	Flows []obs.FlowEdge
 }
 
 type connState uint8
@@ -345,6 +351,21 @@ func (c *Conduit) SetReady() {
 	held := c.heldReqs
 	c.heldReqs = nil
 	c.connMu.Unlock()
+	// Replay in virtual-arrival order, not wall-arrival order: concurrent
+	// early requests land in heldReqs in goroutine-schedule order, and the
+	// replay mutates shared manager state (eviction LRU, connection slots),
+	// so a schedule-dependent order would leak into traces and the flow
+	// matrix. (src, seq) breaks VT ties deterministically.
+	sort.Slice(held, func(i, j int) bool {
+		a, b := held[i], held[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.m.SrcRank != b.m.SrcRank {
+			return a.m.SrcRank < b.m.SrcRank
+		}
+		return a.m.Seq < b.m.Seq
+	})
 	for _, h := range held {
 		if h.at < readyVT {
 			c.event("conn-req-held", int(h.m.SrcRank), h.at)
@@ -536,8 +557,16 @@ func (c *Conduit) RegisterHandler(id uint8, h Handler) {
 
 // AMRequest sends an active message. It never blocks on the network: if no
 // connection to the peer exists yet it is queued behind the on-demand
-// handshake.
+// handshake. The message is attributed to the flow matrix as generic AM
+// traffic; layers with a more precise classification (collective rounds,
+// barriers) use AMRequestKind.
 func (c *Conduit) AMRequest(peer int, handler uint8, args [4]uint64, payload []byte) error {
+	return c.AMRequestKind(peer, handler, args, payload, obs.FlowAM)
+}
+
+// AMRequestKind is AMRequest with an explicit flow-matrix classification
+// for the message (obs.FlowAM, obs.FlowColl, obs.FlowBarrier).
+func (c *Conduit) AMRequestKind(peer int, handler uint8, args [4]uint64, payload []byte, kind obs.FlowKind) error {
 	if err := c.checkAlive(); err != nil {
 		return err
 	}
@@ -546,6 +575,7 @@ func (c *Conduit) AMRequest(peer int, handler uint8, args [4]uint64, payload []b
 	c.stats.AMsSent++
 	c.statMu.Unlock()
 	data := encodeAM(handler, c.cfg.Rank, args, payload)
+	c.obs.Flow(peer, kind, int64(len(data)))
 	return c.post(peer, ib.SendWR{Op: ib.OpSend, Data: data, NoSendCompletion: true}, false)
 }
 
@@ -561,6 +591,7 @@ func (c *Conduit) Put(peer int, raddr uint64, rkey uint32, data []byte) error {
 	c.stats.PutsIssued++
 	c.stats.BytesPut += int64(len(data))
 	c.statMu.Unlock()
+	c.obs.Flow(peer, obs.FlowPut, int64(len(data)))
 	c.outMu.Lock()
 	c.outstanding++
 	c.outMu.Unlock()
@@ -586,6 +617,7 @@ func (c *Conduit) GetNBI(peer int, raddr uint64, rkey uint32, buf []byte) error 
 	c.stats.GetsIssued++
 	c.stats.BytesGot += int64(len(buf))
 	c.statMu.Unlock()
+	c.obs.Flow(peer, obs.FlowGet, int64(len(buf)))
 	wr := ib.SendWR{Op: ib.OpRDMARead, WRID: c.wrid.Add(1), RemoteAddr: raddr, RKey: rkey, Len: len(buf)}
 	c.waiterMu.Lock()
 	if c.pendingGets == nil {
@@ -619,6 +651,7 @@ func (c *Conduit) Get(peer int, raddr uint64, rkey uint32, buf []byte) error {
 	c.stats.GetsIssued++
 	c.stats.BytesGot += int64(len(buf))
 	c.statMu.Unlock()
+	c.obs.Flow(peer, obs.FlowGet, int64(len(buf)))
 	wr := ib.SendWR{Op: ib.OpRDMARead, WRID: c.wrid.Add(1), RemoteAddr: raddr, RKey: rkey, Len: len(buf)}
 	comp, err := c.postWait(peer, wr)
 	if err != nil {
@@ -653,6 +686,7 @@ func (c *Conduit) atomicOp(peer int, wr ib.SendWR) (uint64, error) {
 	c.statMu.Lock()
 	c.stats.AtomicsIssued++
 	c.statMu.Unlock()
+	c.obs.Flow(peer, obs.FlowAtomic, 8) // atomics operate on one uint64
 	wr.WRID = c.wrid.Add(1)
 	comp, err := c.postWait(peer, wr)
 	if err != nil {
@@ -748,6 +782,7 @@ func (c *Conduit) Stats() Stats {
 	if c.cfg.PMI != nil {
 		s.PMIRetries, s.PMITimeouts = c.cfg.PMI.RetryStats()
 	}
+	s.Flows = c.obs.FlowSnapshot()
 	return s
 }
 

@@ -260,7 +260,13 @@ func (c *Conduit) pickVictimLocked(excludePeer int) (*conn, int) {
 		if peer == excludePeer || peer == c.cfg.Rank {
 			return
 		}
-		if victim == nil || cn.lastUse < victim.lastUse {
+		// Total order: lastUse first, peer rank as the tie-break. Server-side
+		// connections that were never used locally all carry lastUse == 0, and
+		// without the tie-break the map iteration order would pick the victim —
+		// making eviction (and everything downstream: reconnects, the flow
+		// matrix's ctrl column, lifecycle timelines) schedule-dependent.
+		if victim == nil || cn.lastUse < victim.lastUse ||
+			(cn.lastUse == victim.lastUse && peer < vpeer) {
 			victim, vpeer = cn, peer
 		}
 	}
@@ -458,7 +464,7 @@ func (c *Conduit) initiate(peer int) error {
 	c.armTimerLocked()
 	c.connMu.Unlock()
 	c.event("conn-initiate", peer, c.clk.Now())
-	return c.sendControl(ud, req, c.clk)
+	return c.sendControl(peer, ud, req, c.clk)
 }
 
 // connectSelfLocked builds the loopback connection to this PE itself
@@ -513,13 +519,15 @@ func (c *Conduit) connectSelfLocked(cn *conn) error {
 	return nil
 }
 
-// sendControl transmits a handshake datagram over the UD endpoint.
-func (c *Conduit) sendControl(dest ib.Dest, m connMsg, clk *vclock.Clock) error {
+// sendControl transmits a handshake datagram over the UD endpoint. peer is
+// the destination rank, attributed to the flow matrix as control traffic.
+func (c *Conduit) sendControl(peer int, dest ib.Dest, m connMsg, clk *vclock.Clock) error {
 	data := m.encode()
 	if c.obs.EventsEnabled() {
 		c.obs.Emit(clk.Now(), obs.LayerGasnet, "ud-send", -1, int64(len(data)),
 			obs.Attr{Key: "msg", Val: msgName(m.Kind)})
 	}
+	c.obs.Flow(peer, obs.FlowCtrl, int64(len(data)))
 	return c.udQP.PostSend(ib.SendWR{Op: ib.OpSend, Dest: dest, Data: data, Clk: clk})
 }
 
@@ -575,7 +583,7 @@ func (c *Conduit) handleControl(comp ib.Completion) {
 		c.handleRTU(m, svc)
 	case msgHeartbeat:
 		// Echo a liveness ack to the prober, on the manager thread.
-		c.sendControl(m.UD, connMsg{Kind: msgHeartbeatAck, SrcRank: int32(c.cfg.Rank),
+		c.sendControl(int(m.SrcRank), m.UD, connMsg{Kind: msgHeartbeatAck, SrcRank: int32(c.cfg.Rank),
 			Seq: m.Seq, UD: c.udQP.Addr()}, svc)
 	case msgHeartbeatAck:
 		// The noteAlive above is the entire effect; also close the RTT
@@ -630,7 +638,7 @@ func (c *Conduit) handleReq(m connMsg, at int64, svc *vclock.Clock) {
 				RC: cn.qp.Addr(), UD: c.udQP.Addr(), Payload: c.payload()}
 			ud := cn.peerUD
 			c.connMu.Unlock()
-			c.sendControl(ud, rep, svc)
+			c.sendControl(peer, ud, rep, svc)
 			return
 		}
 		// Higher sequence than anything we served: normally the peer tore
@@ -702,7 +710,7 @@ func (c *Conduit) handleReq(m connMsg, at int64, svc *vclock.Clock) {
 	c.armTimerLocked()
 	c.connMu.Unlock()
 	c.event("conn-req-served", peer, svc.Now())
-	c.sendControl(m.UD, rep, svc)
+	c.sendControl(peer, m.UD, rep, svc)
 }
 
 // handleRep is the client side completing the handshake: move our QP to
@@ -728,7 +736,7 @@ func (c *Conduit) handleRep(m connMsg, svc *vclock.Clock) {
 					UD: c.udQP.Addr()}
 				ud := cn.peerUD
 				c.connMu.Unlock()
-				c.sendControl(ud, rtu, svc)
+				c.sendControl(peer, ud, rtu, svc)
 				return
 			}
 			// Same attempt number but a different server endpoint: the
@@ -800,7 +808,7 @@ func (c *Conduit) handleRep(m connMsg, svc *vclock.Clock) {
 		if flushed {
 			// Only acknowledge a connection that survived its flush; a flush
 			// that hit a link fault already tore it down for re-handshaking.
-			c.sendControl(ud, rtu, svc)
+			c.sendControl(peer, ud, rtu, svc)
 		}
 		c.connCond.Broadcast()
 		return
@@ -1023,7 +1031,7 @@ func (c *Conduit) retransScan() {
 	}
 	for _, t := range resend {
 		c.event("conn-retransmit", t.peer, t.at)
-		c.sendControl(t.ud, t.m, vclock.NewClock(t.at))
+		c.sendControl(t.peer, t.ud, t.m, vclock.NewClock(t.at))
 	}
 }
 

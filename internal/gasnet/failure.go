@@ -27,9 +27,9 @@ const ExitPMIFailure = 123
 // watchdog, and propagated to every live PE in-band (a UD abort datagram)
 // and out-of-band (the PMI abort flag, the launcher's kill path).
 type AbortError struct {
-	Origin int    // rank that raised the abort (-1: launcher/watchdog)
-	Dead   int    // rank confirmed dead, -1 when no PE died
-	Code   int    // exit code surviving PEs should report
+	Origin int // rank that raised the abort (-1: launcher/watchdog)
+	Dead   int // rank confirmed dead, -1 when no PE died
+	Code   int // exit code surviving PEs should report
 	Reason string
 }
 
@@ -470,7 +470,7 @@ func (c *Conduit) sendPing(peer int, charge bool) {
 	c.statMu.Lock()
 	c.stats.HeartbeatsSent++
 	c.statMu.Unlock()
-	c.sendControl(ud, connMsg{Kind: msgHeartbeat, SrcRank: int32(c.cfg.Rank), UD: c.udQP.Addr()}, clk)
+	c.sendControl(peer, ud, connMsg{Kind: msgHeartbeat, SrcRank: int32(c.cfg.Rank), UD: c.udQP.Addr()}, clk)
 }
 
 // noteHeartbeatAck closes the RTT sample opened by the last explicit probe
@@ -619,7 +619,7 @@ func (c *Conduit) raiseAbort(ae *AbortError, propagate bool) {
 		}
 		m := connMsg{Kind: msgAbort, SrcRank: int32(ae.Origin), Seq: uint32(int32(ae.Dead)),
 			UD: c.udQP.Addr(), Payload: payload}
-		if c.sendControl(ud, m, c.mgrClk) == nil {
+		if c.sendControl(peer, ud, m, c.mgrClk) == nil {
 			sent++
 		}
 	}

@@ -102,7 +102,13 @@ func (m *Comm) Send(dest, tag int, data []byte) error {
 		return fmt.Errorf("mpi: dest %d out of range", dest)
 	}
 	start := m.clk.Now()
-	err := m.c.AMRequest(dest, amSend, [4]uint64{uint64(int64(tag))}, data)
+	// Flow-matrix classification rides on the tag sign: user point-to-point
+	// traffic has tags >= 0, internal collective rounds use negative tags.
+	kind := obs.FlowAM
+	if tag < 0 {
+		kind = obs.FlowColl
+	}
+	err := m.c.AMRequestKind(dest, amSend, [4]uint64{uint64(int64(tag))}, data, kind)
 	// Internal collective traffic (negative tags) is spanned by its
 	// collective, not per fragment.
 	if tag >= 0 && err == nil && m.obs.Active() {

@@ -17,9 +17,10 @@ func NopCallCost(n int) (perCallNS float64) {
 	for i := 0; i < n; i++ {
 		p.Emit(int64(i), LayerGasnet, "x", 1, 0)
 		p.Span(int64(i), int64(i)+1, LayerShmem, "y", -1, 0)
+		p.Flow(1, FlowPut, int64(i))
 		h.Record(int64(i))
 		c.Add(1)
 	}
 	elapsed := time.Since(t0).Nanoseconds()
-	return float64(elapsed) / float64(n*4)
+	return float64(elapsed) / float64(n*5)
 }

@@ -16,6 +16,13 @@ func BenchmarkNopSpan(b *testing.B) {
 	}
 }
 
+func BenchmarkNopFlow(b *testing.B) {
+	var p *PE
+	for i := 0; i < b.N; i++ {
+		p.Flow(1, FlowPut, int64(i))
+	}
+}
+
 func BenchmarkNopHistRecord(b *testing.B) {
 	var h *Hist
 	for i := 0; i < b.N; i++ {

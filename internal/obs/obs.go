@@ -71,6 +71,9 @@ type Config struct {
 	Events bool
 	// Metrics enables the counter/histogram registry.
 	Metrics bool
+	// Flows enables the per-PE, per-peer flow matrix (required for
+	// -topology and the report's topology section; see flow.go).
+	Flows bool
 	// RingCap bounds each PE's event ring. 0 means DefaultRingCap;
 	// negative means unbounded (needed when a complete trace must be
 	// exported). When a bounded ring overflows the oldest events are
@@ -82,7 +85,7 @@ type Config struct {
 const DefaultRingCap = 1 << 16
 
 // Enabled reports whether any plane is live.
-func (c Config) Enabled() bool { return c.Events || c.Metrics }
+func (c Config) Enabled() bool { return c.Events || c.Metrics || c.Flows }
 
 // Plane is the job-level observability state: one recorder per PE plus the
 // shared metric registry.
@@ -208,6 +211,7 @@ type PE struct {
 	next    int   // next overwrite slot once the bounded ring is full
 	dropped int64 // events overwritten
 	phases  []Phase
+	flows   map[int]*[NumFlowKinds]FlowCell // peer -> per-kind cells (flow.go)
 }
 
 // Rank returns the recorder's rank (-1 for Nop).
@@ -218,15 +222,20 @@ func (p *PE) Rank() int {
 	return p.rank
 }
 
-// Active reports whether any recording (events or metrics) is live. Use it
-// to skip expensive argument preparation at instrumentation sites.
+// Active reports whether any recording (events, metrics or flows) is live.
+// Use it to skip expensive argument preparation at instrumentation sites.
 func (p *PE) Active() bool {
-	return p != nil && (p.plane.cfg.Events || p.plane.cfg.Metrics)
+	return p != nil && (p.plane.cfg.Events || p.plane.cfg.Metrics || p.plane.cfg.Flows)
 }
 
 // EventsEnabled reports whether event recording is live.
 func (p *PE) EventsEnabled() bool {
 	return p != nil && p.plane.cfg.Events
+}
+
+// FlowsEnabled reports whether flow-matrix recording is live.
+func (p *PE) FlowsEnabled() bool {
+	return p != nil && p.plane.cfg.Flows
 }
 
 // Emit records an instant event.

@@ -33,6 +33,15 @@ var perfettoTID = map[string]int{
 
 const perfettoOtherTID = 9
 
+// Synthetic per-pair connection-lifecycle tracks: each directed pair
+// (rank -> peer) with at least one completed lifecycle slice renders as its
+// own thread inside the rank's process, named "conn peer N", so connection
+// setup/live/eviction read as nested slices next to the layer timelines.
+const (
+	layerConn           = "conn"
+	perfettoConnTIDBase = 16 // tid = base + peer
+)
+
 // WritePerfetto writes the plane's merged events as a Perfetto-loadable
 // Chrome trace.
 func (pl *Plane) WritePerfetto(w io.Writer) error {
@@ -46,6 +55,29 @@ func (pl *Plane) WritePerfetto(w io.Writer) error {
 // should use SortEvents) as Chrome trace-event JSON. np sizes the process
 // metadata; ranks outside [0,np) still render, just without a name record.
 func WriteTraceEvents(w io.Writer, evs []Event, np int) error {
+	// Synthesize the per-pair lifecycle slices (timeline.go) and merge them
+	// into the stream; SortEvents keeps the merged order deterministic.
+	tls := BuildConnTimelines(evs)
+	connPeers := make(map[int][]int) // rank -> peers with a conn track (sorted)
+	var synth []Event
+	for i := range tls {
+		tl := &tls[i]
+		spans := synthConnSpans(tl)
+		if len(spans) == 0 {
+			continue
+		}
+		connPeers[tl.Rank] = append(connPeers[tl.Rank], tl.Peer)
+		for _, s := range spans {
+			synth = append(synth, Event{
+				VT: s.from, Rank: tl.Rank, Layer: layerConn,
+				Kind: s.kind, Peer: tl.Peer, Dur: s.to - s.from,
+			})
+		}
+	}
+	if len(synth) > 0 {
+		evs = append(append([]Event(nil), evs...), synth...)
+		SortEvents(evs)
+	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "{\"traceEvents\":[")
 	first := true
@@ -64,11 +96,18 @@ func WriteTraceEvents(w io.Writer, evs []Event, np int) error {
 			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
 				rank, perfettoTID[layer], strconv.Quote(layer))
 		}
+		for _, peer := range connPeers[rank] {
+			sep()
+			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+				rank, perfettoConnTIDBase+peer, strconv.Quote(fmt.Sprintf("conn peer %d", peer)))
+		}
 	}
 	for i := range evs {
 		e := &evs[i]
 		tid, ok := perfettoTID[e.Layer]
-		if !ok {
+		if e.Layer == layerConn && e.Peer >= 0 {
+			tid = perfettoConnTIDBase + e.Peer
+		} else if !ok {
 			tid = perfettoOtherTID
 		}
 		sep()

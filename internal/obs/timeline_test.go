@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// connEvent builds one gasnet-layer conn-* instant.
+func connEvent(vt int64, rank int, kind string, peer int) Event {
+	return Event{VT: vt, Rank: rank, Layer: LayerGasnet, Kind: kind, Peer: peer}
+}
+
+func TestBuildConnTimelines(t *testing.T) {
+	evs := []Event{
+		// Pair 0->1: initiate, ready, evict, reconnect, ready again.
+		connEvent(100, 0, "conn-initiate", 1),
+		connEvent(400, 0, "conn-ready-client", 1),
+		connEvent(900, 0, "conn-evict", 1),
+		connEvent(1200, 0, "conn-initiate", 1),
+		connEvent(1300, 0, "conn-retransmit", 1),
+		connEvent(1600, 0, "conn-ready-client", 1),
+		// Pair 1->0: server side.
+		connEvent(250, 1, "conn-req-served", 0),
+		connEvent(400, 1, "conn-ready-server", 0),
+		// Noise the reducer must ignore: spans, other layers, peerless events.
+		{VT: 100, Rank: 0, Layer: LayerGasnet, Kind: "connect", Peer: 1, Dur: 300},
+		{VT: 500, Rank: 0, Layer: LayerIB, Kind: "conn-initiate", Peer: 1},
+		{VT: 600, Rank: 0, Layer: LayerGasnet, Kind: "conn-initiate", Peer: -1},
+	}
+	tls := BuildConnTimelines(evs)
+	if len(tls) != 2 {
+		t.Fatalf("got %d timelines, want 2: %+v", len(tls), tls)
+	}
+	c := tls[0] // (0,1) sorts first
+	if c.Rank != 0 || c.Peer != 1 {
+		t.Fatalf("first timeline pair = %d->%d", c.Rank, c.Peer)
+	}
+	if c.Attempts != 3 || c.Established != 2 || c.Evictions != 1 || c.Reconnects != 1 {
+		t.Fatalf("0->1 counts: %+v", c)
+	}
+	wantStates := []TimelinePoint{
+		{100, "initiate"}, {400, "ready-client"}, {900, "evict"},
+		{1200, "initiate"}, {1300, "retransmit"}, {1600, "ready-client"},
+	}
+	if !reflect.DeepEqual(c.States, wantStates) {
+		t.Fatalf("0->1 states: %+v", c.States)
+	}
+	s := tls[1]
+	if s.Rank != 1 || s.Peer != 0 || s.Attempts != 0 || s.Established != 1 || s.Reconnects != 0 {
+		t.Fatalf("1->0 timeline: %+v", s)
+	}
+
+	// Rendering is stable text.
+	var sb strings.Builder
+	WriteTimelines(&sb, tls)
+	want := "0->1 attempts=3 est=2 evict=1 recon=1 | initiate@100 ready-client@400 evict@900 initiate@1200 retransmit@1300 ready-client@1600\n" +
+		"1->0 attempts=0 est=1 evict=0 recon=0 | req-served@250 ready-server@400\n"
+	if sb.String() != want {
+		t.Fatalf("render:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestSynthConnSpans(t *testing.T) {
+	tls := BuildConnTimelines([]Event{
+		connEvent(100, 0, "conn-initiate", 1),
+		connEvent(400, 0, "conn-ready-client", 1),
+		connEvent(900, 0, "conn-evict", 1),
+		connEvent(1200, 0, "conn-initiate", 1),
+		connEvent(1600, 0, "conn-ready-client", 1),
+		// no eviction after the second establish: live at job end
+	})
+	if len(tls) != 1 {
+		t.Fatalf("timelines: %+v", tls)
+	}
+	spans := synthConnSpans(&tls[0])
+	want := []connSpan{
+		{"conn-handshake", 100, 400},
+		{"conn-live", 400, 900},
+		{"conn-episode", 100, 900},
+		{"conn-handshake", 1200, 1600}, // open episode: handshake only
+	}
+	if !reflect.DeepEqual(spans, want) {
+		t.Fatalf("spans: %+v\nwant: %+v", spans, want)
+	}
+
+	// A handshake that never completed synthesizes nothing.
+	tls = BuildConnTimelines([]Event{connEvent(100, 0, "conn-initiate", 1)})
+	if spans := synthConnSpans(&tls[0]); len(spans) != 0 {
+		t.Fatalf("incomplete handshake synthesized spans: %+v", spans)
+	}
+}
+
+// TestPerfettoConnTracks checks the exporter materializes per-peer conn
+// tracks: a thread-name metadata row at tid base+peer and the synthesized
+// handshake/live/episode slices, only for pairs that completed a handshake.
+func TestPerfettoConnTracks(t *testing.T) {
+	pl := NewPlane(2, Config{Events: true})
+	p0 := pl.PE(0)
+	p0.Emit(1000, LayerGasnet, "conn-initiate", 1, 0)
+	p0.Emit(2000, LayerGasnet, "conn-ready-client", 1, 0)
+	p0.Emit(5000, LayerGasnet, "conn-evict", 1, 0)
+	// PE 1 only initiated; no completed handshake, so no conn track.
+	pl.PE(1).Emit(1000, LayerGasnet, "conn-initiate", 0, 0)
+
+	var sb strings.Builder
+	if err := pl.WritePerfetto(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"tid":17,"name":"thread_name","args":{"name":"conn peer 1"}`) {
+		t.Fatalf("missing conn-track metadata for PE 0 peer 1:\n%s", out)
+	}
+	for _, name := range []string{"conn-handshake", "conn-live", "conn-episode"} {
+		if !strings.Contains(out, `"name":"`+name+`"`) {
+			t.Fatalf("missing synthesized %s slice:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, `"name":"conn peer 0"`) {
+		t.Fatalf("PE 1 got a conn track without a completed handshake:\n%s", out)
+	}
+}

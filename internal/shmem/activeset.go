@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"goshmem/internal/obs"
 )
 
 // ActiveSet is the OpenSHMEM 1.0 subgroup abstraction used by collectives:
@@ -57,7 +59,7 @@ func (c *Ctx) BarrierSet(as ActiveSet) {
 	for k, dist := uint32(0), 1; dist < as.Size; k, dist = k+1, dist*2 {
 		to := as.rankOf((me + dist) % as.Size)
 		from := as.rankOf((me - dist%as.Size + as.Size) % as.Size)
-		c.collSendCtx(ctx, to, seq, k, nil)
+		c.collSendCtx(ctx, to, seq, k, nil, obs.FlowBarrier)
 		c.collRecvCtx(ctx, seq, k, from)
 	}
 }
@@ -86,7 +88,7 @@ func (c *Ctx) BroadcastSet(as ActiveSet, rootIdx int, data []byte) []byte {
 	for mask > 0 {
 		if relative+mask < as.Size {
 			dstIdx := (relative + mask + rootIdx) % as.Size
-			c.collSendCtx(ctx, as.rankOf(dstIdx), seq, 0, buf)
+			c.collSendCtx(ctx, as.rankOf(dstIdx), seq, 0, buf, obs.FlowColl)
 		}
 		mask >>= 1
 	}
@@ -148,7 +150,7 @@ func (c *Ctx) reduceBytesSet(as ActiveSet, local []byte, combine func(acc, in []
 					combine(acc, in)
 				}
 			} else {
-				c.collSendCtx(ctx, as.rankOf(me&^mask), seq, 0, acc)
+				c.collSendCtx(ctx, as.rankOf(me&^mask), seq, 0, acc, obs.FlowColl)
 				break
 			}
 		}

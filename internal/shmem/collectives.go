@@ -105,8 +105,11 @@ func (s *collState) recv(ctx, seq uint64, round uint32, src int) collMsg {
 	}
 }
 
-func (c *Ctx) collSendCtx(ctx uint64, to int, seq uint64, round uint32, data []byte) {
-	if err := c.conduit.AMRequest(to, amColl, [4]uint64{ctx, seq, uint64(round)}, data); err != nil {
+// collSendCtx sends one collective fragment. kind attributes the fragment
+// in the flow matrix: obs.FlowBarrier for barrier rounds, obs.FlowColl for
+// data-carrying collectives.
+func (c *Ctx) collSendCtx(ctx uint64, to int, seq uint64, round uint32, data []byte, kind obs.FlowKind) {
+	if err := c.conduit.AMRequestKind(to, amColl, [4]uint64{ctx, seq, uint64(round)}, data, kind); err != nil {
 		panic(fmt.Errorf("shmem: collective send to pe %d: %w", to, err))
 	}
 }
@@ -119,7 +122,7 @@ func (c *Ctx) collRecvCtx(ctx uint64, seq uint64, round uint32, from int) []byte
 
 // World-context conveniences used by the whole-job collectives.
 func (c *Ctx) collSend(to int, seq uint64, round uint32, data []byte) {
-	c.collSendCtx(worldCtx, to, seq, round, data)
+	c.collSendCtx(worldCtx, to, seq, round, data, obs.FlowColl)
 }
 
 func (c *Ctx) collRecv(seq uint64, round uint32, from int) []byte {
@@ -140,7 +143,7 @@ func (c *Ctx) BarrierAll() {
 	for k, dist := uint32(0), 1; dist < c.n; k, dist = k+1, dist*2 {
 		to := (c.rank + dist) % c.n
 		from := (c.rank - dist%c.n + c.n) % c.n
-		c.collSend(to, seq, k, nil)
+		c.collSendCtx(worldCtx, to, seq, k, nil, obs.FlowBarrier)
 		c.collRecv(seq, k, from)
 	}
 	c.collSpan("barrier", start, c.hBarrier)

@@ -18,6 +18,7 @@ import (
 
 	"goshmem/internal/gasnet"
 	"goshmem/internal/ib"
+	"goshmem/internal/obs"
 	"goshmem/internal/shmem"
 )
 
@@ -258,7 +259,7 @@ func (t *Thread) Barrier() {
 	for dist := 1; dist < t.n; dist *= 2 {
 		to := (t.rank + dist) % t.n
 		from := (t.rank - dist%t.n + t.n) % t.n
-		if err := t.conduit.AMRequest(to, amBarrier, [4]uint64{seq, uint64(dist)}, nil); err != nil {
+		if err := t.conduit.AMRequestKind(to, amBarrier, [4]uint64{seq, uint64(dist)}, nil, obs.FlowBarrier); err != nil {
 			panic(err.Error())
 		}
 		key := [2]uint64{seq, uint64(from)}
