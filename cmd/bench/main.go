@@ -42,6 +42,12 @@ type doc struct {
 	// op) for both modes.
 	Latency []bench.LatencyPoint `json:"latency_put_get"`
 
+	// CreditStall is the resource-plane backpressure suite: burst
+	// put-with-signal latency (virtual ns per op) and the stall/NAK
+	// counters as the receive-queue depth shrinks; depth 0 is the
+	// unbounded baseline.
+	CreditStall []bench.CreditPoint `json:"latency_credit_stall"`
+
 	// PhasesStatic / PhasesOnDemand are the obs-plane startup-phase
 	// breakdowns (virtual seconds per phase, averaged across PEs).
 	PhasesStatic   []bench.PhasePoint `json:"phases_static"`
@@ -79,6 +85,9 @@ func main() {
 	die(err)
 
 	d.Latency, err = bench.PutGetLatency([]int{8, 4096, 65536}, 50)
+	die(err)
+
+	d.CreditStall, err = bench.CreditStallLatency([]int{0, 16, 4, 1}, 32, 20)
 	die(err)
 
 	d.PhasesStatic, err = bench.PhaseBreakdown(gasnet.Static, []int{64, 128}, 8)

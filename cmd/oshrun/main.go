@@ -22,6 +22,7 @@ import (
 	"goshmem/internal/apps/graph500"
 	"goshmem/internal/apps/heat2d"
 	"goshmem/internal/apps/nas"
+	"goshmem/internal/apps/traffic"
 	"goshmem/internal/cluster"
 	"goshmem/internal/gasnet"
 	"goshmem/internal/ib"
@@ -142,6 +143,15 @@ func checkProb(flagName string, v float64) error {
 	return nil
 }
 
+// checkBudget validates a resource-budget flag is non-negative (zero means
+// unbounded, matching the ib.Limits zero-value convention).
+func checkBudget(flagName string, v int64) error {
+	if v < 0 {
+		return fmt.Errorf("-%s wants a non-negative budget (0 = unbounded), got %d", flagName, v)
+	}
+	return nil
+}
+
 // fatalUsage prints one clear diagnostic and exits with the flag-error code.
 func fatalUsage(err error) {
 	fmt.Fprintf(os.Stderr, "oshrun: %v\n", err)
@@ -152,7 +162,7 @@ func main() {
 	np := flag.Int("np", 16, "number of PEs")
 	ppn := flag.Int("ppn", 8, "PEs per simulated node")
 	conn := flag.String("conn", "ondemand", "connection mode: static | ondemand")
-	app := flag.String("app", "hello", "application: hello | heat2d | ep | mg | bt | sp | graph500")
+	app := flag.String("app", "hello", "application: hello | heat2d | ep | mg | bt | sp | graph500 | traffic")
 	class := flag.String("class", "S", "NAS class: S | A | B")
 	blockingPMI := flag.Bool("blocking-pmi", false, "use blocking Put-Fence-Get instead of PMIX_Iallgather")
 	trace := flag.Int("trace", 0, "print the first N connection-lifecycle events (virtual-time ordered)")
@@ -161,6 +171,10 @@ func main() {
 	metrics := flag.Bool("metrics", false, "collect latency histograms and generic counters and print them in the text report")
 	topology := flag.Bool("topology", false, "record the per-pair flow matrix and print the traffic heatmap, peer-degree table and QP waste attribution")
 	qpCap := flag.Int("qp-cap", 0, "cap live RC queue pairs per HCA; idle connections are LRU-evicted (0 = unbounded; on-demand mode only)")
+	qpBudget := flag.Int("qp-budget", 0, "hard per-HCA queue-pair budget (UD+RC) the adapter enforces; exhaustion triggers eviction+retry, admission rejection, and exit 125 when progress is impossible (0 = unbounded)")
+	mrBudget := flag.Int64("mr-budget", 0, "hard per-HCA pinned-memory budget in bytes; refused heap registrations degrade to bounce-buffering (0 = unbounded)")
+	rqDepth := flag.Int("rq-depth", 0, "per-RC-QP receive-queue depth; full queues NAK senders, who back off on credit windows (0 = unbounded)")
+	allocFail := flag.String("alloc-fail", "", "inject allocation faults: kind:n[,kind:n...] with kind qp|mr; each adapter's n-th (1-based) allocation of that kind fails")
 
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injector RNG seed (deterministic per seed)")
 	drop := flag.Float64("drop", 0, "probability a UD datagram is dropped")
@@ -200,6 +214,19 @@ func main() {
 	}
 	if *deadline < 0 {
 		fatalUsage(fmt.Errorf("-deadline wants a non-negative duration, got %v", *deadline))
+	}
+	if err := checkBudget("qp-budget", int64(*qpBudget)); err != nil {
+		fatalUsage(err)
+	}
+	if err := checkBudget("mr-budget", *mrBudget); err != nil {
+		fatalUsage(err)
+	}
+	if err := checkBudget("rq-depth", int64(*rqDepth)); err != nil {
+		fatalUsage(err)
+	}
+	failQP, failMR, err := ib.ParseAllocFaults(*allocFail)
+	if err != nil {
+		fatalUsage(fmt.Errorf("-alloc-fail: %w", err))
 	}
 
 	mode := gasnet.OnDemand
@@ -268,6 +295,23 @@ func main() {
 					r.ReachedSum, r.TraversedSum, r.ValidationOK)
 			}
 		}
+	case "traffic":
+		// The resource-churn driver: skewed put/get/fetch-add streams with
+		// a rotating hot set, the workload the churn soak runs under tight
+		// budgets. Fixed parameters keep the digest reproducible; rank 0
+		// prints its own digest so nightly runs diff clean unless the
+		// data plane drifts.
+		body = func(c *shmem.Ctx) {
+			r := traffic.Run(c, traffic.Params{
+				SlotsPerPE: 6, Ops: 300, Epochs: 3,
+				Pattern: "zipf", ZipfS: 1.3,
+				GetFrac: 0.2, AddFrac: 0.3, QuietEvery: 32, Seed: 77,
+			})
+			if c.Me() == 0 && !quiet {
+				fmt.Printf("traffic: digest %016x, %d puts %d gets %d adds, %d distinct peers\n",
+					r.Digest, r.Puts, r.Gets, r.Adds, r.DistinctPeers)
+			}
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "oshrun: unknown -app %q\n", *app)
 		os.Exit(2)
@@ -310,11 +354,14 @@ func main() {
 	cfg := cluster.Config{
 		NP: *np, PPN: *ppn, Mode: mode, BlockingPMI: *blockingPMI,
 		HeapSize: 8 << 20, Trace: *trace > 0, MaxLiveRC: *qpCap,
-		Faults:    faults,
-		PMIFaults: pmiFaults,
-		KillPEs:   killPEs,
-		WedgePEs:  wedgePEs,
-		Deadline:  int64(*deadline * float64(vclock.Second)),
+		QPBudget: *qpBudget, MRBudget: *mrBudget, RQDepth: *rqDepth,
+		FailQPAllocs: failQP,
+		FailMRAllocs: failMR,
+		Faults:       faults,
+		PMIFaults:    pmiFaults,
+		KillPEs:      killPEs,
+		WedgePEs:     wedgePEs,
+		Deadline:     int64(*deadline * float64(vclock.Second)),
 		Obs: obs.Config{
 			Events:  *trace > 0 || *traceOut != "",
 			Metrics: *jsonOut || *metrics,
@@ -388,6 +435,9 @@ func main() {
 			{"retransmits", c.Retransmits}, {"aborts propagated", c.AbortsPropagated},
 			{"pmi retries", c.PMIRetries}, {"pmi timeouts", c.PMITimeouts},
 			{"fallback exchanges", c.FallbackExchanges}, {"corrupt frames", c.CorruptFrames},
+			{"credit stalls", c.CreditStalls}, {"rnr naks", c.RNRNaks},
+			{"alloc failures", c.AllocFailures}, {"bounce fallbacks", c.BounceFallbacks},
+			{"admission rejects", c.AdmissionRejects},
 		}
 		fmt.Printf("\n--- resilience counters (all PEs) ---\n")
 		col := 0

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"goshmem/internal/ib"
 )
 
 func TestParsePEFaultsValid(t *testing.T) {
@@ -57,6 +59,69 @@ func TestParsePEFaultsErrors(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), "wedge-pe") {
 			t.Errorf("spec %q: error %q does not name the flag", tc.spec, err)
+		}
+	}
+}
+
+func TestCheckBudget(t *testing.T) {
+	for _, ok := range []int64{0, 1, 1 << 30} {
+		if err := checkBudget("qp-budget", ok); err != nil {
+			t.Errorf("checkBudget(%d) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []int64{-1, -1 << 20} {
+		err := checkBudget("mr-budget", bad)
+		if err == nil {
+			t.Errorf("checkBudget(%d) = nil, want error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "mr-budget") {
+			t.Errorf("checkBudget(%d): error %q does not name the flag", bad, err)
+		}
+	}
+}
+
+func TestParseAllocFaultsValid(t *testing.T) {
+	qp, mr, err := ib.ParseAllocFaults("qp:3, mr:2,qp:1")
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if len(qp) != 2 || qp[0] != 3 || qp[1] != 1 {
+		t.Fatalf("qp schedule = %v, want [3 1]", qp)
+	}
+	if len(mr) != 1 || mr[0] != 2 {
+		t.Fatalf("mr schedule = %v, want [2]", mr)
+	}
+}
+
+func TestParseAllocFaultsEmpty(t *testing.T) {
+	qp, mr, err := ib.ParseAllocFaults("")
+	if qp != nil || mr != nil || err != nil {
+		t.Fatalf("empty spec = (%v, %v, %v), want all nil", qp, mr, err)
+	}
+}
+
+func TestParseAllocFaultsErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string // substring of the diagnostic
+	}{
+		{"garbage", "kind:n"},
+		{"qp", "kind:n"},
+		{"qp:0", "positive integer"},
+		{"qp:-2", "positive integer"},
+		{"mr:abc", "positive integer"},
+		{"cq:3", "unknown kind"},
+		{"qp:1,mr:x", "positive integer"}, // error in later item still caught
+	}
+	for _, tc := range cases {
+		_, _, err := ib.ParseAllocFaults(tc.spec)
+		if err == nil {
+			t.Errorf("spec %q: expected error", tc.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("spec %q: error %q does not mention %q", tc.spec, err, tc.want)
 		}
 	}
 }

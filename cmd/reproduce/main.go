@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	reproduce [-exp all|fig1|fig2|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|table1|ablation|phases|topology] [-full]
+//	reproduce [-exp all|fig1|fig2|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|table1|ablation|phases|topology|credits] [-full]
 package main
 
 import (
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig1, fig2, fig5a, fig5b, fig6, fig7, fig8a, fig8b, fig9, table1, ablation, phases, topology)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig1, fig2, fig5a, fig5b, fig6, fig7, fig8a, fig8b, fig9, table1, ablation, phases, topology, credits)")
 	full := flag.Bool("full", false, "use paper-scale job sizes (slower; needs several GiB of RAM)")
 	maxStatic := flag.Int("maxstatic", 0, "largest job size for static (fully connected) sweeps; 0 = preset")
 	out := flag.String("o", "", "also write output to this file")
@@ -168,6 +168,13 @@ func main() {
 		rows, err := bench.Ablations(64, 8)
 		die(err)
 		emit(bench.AblationTable(rows))
+	}
+	if want("credits") {
+		// Not a paper figure: the resource plane's backpressure tax, burst
+		// put-with-signal latency as the receive-queue depth shrinks.
+		pts, err := bench.CreditStallLatency([]int{0, 16, 4, 1}, 32, 20)
+		die(err)
+		emit(bench.CreditTable(pts))
 	}
 	if want("topology") {
 		// Flow-telemetry reproduction of Table I: rerun the applications

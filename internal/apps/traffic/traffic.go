@@ -1,0 +1,196 @@
+// Package traffic is a synthetic irregular-workload driver: skewed, shifting
+// peer distributions (zipf, rotating hotspot, uniform) standing in for the
+// distributed KV / graph-serving traffic the paper's millions-of-users
+// argument is about, where each PE's instantaneous peer set is small but the
+// union over time is large. It is the load generator for resource-churn
+// soaks: under tight queue-pair and pinned-memory budgets it keeps the
+// eviction, admission and backpressure machinery permanently busy while its
+// results stay deterministic.
+//
+// Determinism under concurrency is by construction: puts land only in the
+// source's own region of the target's symmetric slot array (per-(src,target)
+// ownership, last-write-wins within one source's in-order stream), the
+// signal words each accumulate commutative adds from a single source, and
+// atomics are commutative fetch-adds, so the final symmetric state — and
+// hence the digest — depends only on the seeds, never on interleaving,
+// eviction schedules or retry timing.
+//
+// Puts are issued as put-with-signal: the signal active messages are the
+// only part of the workload that consumes receive-queue slots, so they are
+// what drives credit backpressure and RNR NAKs under a finite RQDepth.
+package traffic
+
+import (
+	"math/rand"
+
+	"goshmem/internal/shmem"
+)
+
+// Params configures a run.
+type Params struct {
+	// SlotsPerPE is the number of owned int64 put-slots each source has on
+	// every target (the put array is NPEs*SlotsPerPE slots per PE).
+	SlotsPerPE int
+	// Ops is the number of operations each PE issues.
+	Ops int
+	// Epochs shifts the peer distribution this many times over the run
+	// (rotating the zipf ranking / hotspot), modeling non-stationary load.
+	Epochs int
+	// Pattern selects the target distribution: "zipf", "hotspot", "uniform".
+	Pattern string
+	// ZipfS is the zipf skew exponent (> 1; default 1.3).
+	ZipfS float64
+	// HotFrac is the fraction of hotspot-pattern ops aimed at the epoch's
+	// hot PE (default 0.6); the rest are uniform.
+	HotFrac float64
+	// GetFrac and AddFrac are the fractions of gets and fetch-adds; the
+	// remainder are puts.
+	GetFrac, AddFrac float64
+	// QuietEvery bounds outstanding one-sided ops: a Quiet is issued every
+	// this many ops (default 64).
+	QuietEvery int
+	// Seed derives every PE's private stream.
+	Seed int64
+}
+
+// DefaultParams is a small mixed zipf workload.
+func DefaultParams() Params {
+	return Params{SlotsPerPE: 8, Ops: 400, Epochs: 4, Pattern: "zipf",
+		ZipfS: 1.3, HotFrac: 0.6, GetFrac: 0.2, AddFrac: 0.3, QuietEvery: 64,
+		Seed: 1}
+}
+
+// Result summarizes one PE's run.
+type Result struct {
+	// Digest folds this PE's final symmetric state (its put and fetch-add
+	// arrays). With every PE's traffic delivered, the per-rank digest vector
+	// is a pure function of Params.
+	Digest uint64
+	// Puts, Gets, Adds count the operations issued by this PE.
+	Puts, Gets, Adds int64
+	// DistinctPeers is the size of this PE's union peer set over the whole
+	// run — the quantity the paper's small-stable-peer-set claim bounds per
+	// epoch, and churn soaks drive past any queue-pair budget.
+	DistinctPeers int
+}
+
+// Run issues the workload on one PE and returns after the whole job's
+// traffic is globally visible (quiet + two barriers), so digests taken by
+// any PE are final.
+func Run(c *shmem.Ctx, p Params) Result {
+	np := c.NPEs()
+	me := c.Me()
+	if p.SlotsPerPE <= 0 {
+		p.SlotsPerPE = 8
+	}
+	if p.QuietEvery <= 0 {
+		p.QuietEvery = 64
+	}
+	if p.Epochs <= 0 {
+		p.Epochs = 1
+	}
+	if p.ZipfS <= 1 {
+		p.ZipfS = 1.3
+	}
+	if p.HotFrac <= 0 {
+		p.HotFrac = 0.6
+	}
+	putArr := c.Malloc(8 * np * p.SlotsPerPE) // region s: slots [s*SlotsPerPE, ...)
+	addArr := c.Malloc(8 * p.SlotsPerPE)
+	sigArr := c.Malloc(8 * np) // word s: puts delivered by source s
+	for i := 0; i < np*p.SlotsPerPE; i++ {
+		c.StoreInt64(putArr, i, 0)
+	}
+	for i := 0; i < p.SlotsPerPE; i++ {
+		c.StoreInt64(addArr, i, 0)
+	}
+	for i := 0; i < np; i++ {
+		c.StoreInt64(sigArr, i, 0)
+	}
+	c.BarrierAll()
+
+	// Every PE's stream is private and seeded; nothing about it depends on
+	// what the runtime does with the traffic.
+	rng := rand.New(rand.NewSource(p.Seed + int64(me)*1009))
+	zipf := rand.NewZipf(rng, p.ZipfS, 1, uint64(np-1))
+	perEpoch := (p.Ops + p.Epochs - 1) / p.Epochs
+	peers := make(map[int]bool)
+	var res Result
+
+	target := func(epoch int) int {
+		// The epoch rotates the identity of the popular PEs, shifting the
+		// distribution without changing its shape.
+		rot := int((p.Seed + int64(epoch)*7919) % int64(np))
+		if rot < 0 {
+			rot += np
+		}
+		switch p.Pattern {
+		case "hotspot":
+			if rng.Float64() < p.HotFrac {
+				return rot
+			}
+			return rng.Intn(np)
+		case "uniform":
+			return rng.Intn(np)
+		default: // zipf
+			return (int(zipf.Uint64()) + rot) % np
+		}
+	}
+
+	myRegion := shmem.SymAddr(8 * me * p.SlotsPerPE)
+	for i := 0; i < p.Ops; i++ {
+		epoch := i / perEpoch
+		tgt := target(epoch)
+		peers[tgt] = true
+		slot := rng.Intn(p.SlotsPerPE)
+		r := rng.Float64()
+		switch {
+		case r < p.GetFrac:
+			c.G64(addArr+shmem.SymAddr(8*slot), tgt)
+			res.Gets++
+		case r < p.GetFrac+p.AddFrac:
+			c.FetchAddInt64(addArr+shmem.SymAddr(8*slot), int64(me+1), tgt)
+			res.Adds++
+		default:
+			// Only this PE ever writes the slot: last-write-wins within one
+			// in-order stream is deterministic. The trailing signal add lands
+			// in this PE's own signal word on the target, so its final value
+			// (this PE's put count toward tgt) is deterministic too.
+			v := int64(me+1)*1_000_000 + int64(i)
+			c.P64Signal(putArr+myRegion+shmem.SymAddr(8*slot), v,
+				sigArr+shmem.SymAddr(8*me), 1, tgt)
+			res.Puts++
+		}
+		if (i+1)%p.QuietEvery == 0 {
+			c.Quiet()
+		}
+	}
+	c.Quiet()
+	// Two barriers: the first guarantees every PE finished issuing (and its
+	// quiet completed), the second that every PE observed the first — no
+	// straggler can still be mutating symmetric state while digests run.
+	c.BarrierAll()
+	c.BarrierAll()
+
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	d := uint64(fnvOffset)
+	fold := func(v int64) {
+		d ^= uint64(v)
+		d *= fnvPrime
+	}
+	for i := 0; i < np*p.SlotsPerPE; i++ {
+		fold(c.LoadInt64(putArr, i))
+	}
+	for i := 0; i < p.SlotsPerPE; i++ {
+		fold(c.LoadInt64(addArr, i))
+	}
+	for i := 0; i < np; i++ {
+		fold(c.LoadInt64(sigArr, i))
+	}
+	res.Digest = d
+	res.DistinctPeers = len(peers)
+	return res
+}

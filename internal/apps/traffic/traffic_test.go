@@ -1,0 +1,84 @@
+package traffic_test
+
+import (
+	"testing"
+
+	"goshmem/internal/apps/traffic"
+	"goshmem/internal/cluster"
+	"goshmem/internal/gasnet"
+	"goshmem/internal/shmem"
+)
+
+// runOnce executes the driver on a small fault-free job and returns the
+// per-rank results.
+func runOnce(t *testing.T, p traffic.Params) []traffic.Result {
+	t.Helper()
+	const np = 6
+	out := make([]traffic.Result, np)
+	_, err := cluster.Run(cluster.Config{
+		NP: np, PPN: 3, Mode: gasnet.OnDemand, HeapSize: 1 << 18,
+	}, func(c *shmem.Ctx) {
+		out[c.Me()] = traffic.Run(c, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDigestDeterministic: the per-rank digest vector is a pure function of
+// Params — two identical fault-free runs must agree slot for slot.
+func TestDigestDeterministic(t *testing.T) {
+	p := traffic.DefaultParams()
+	p.Ops = 200
+	a := runOnce(t, p)
+	b := runOnce(t, p)
+	for r := range a {
+		if a[r].Digest != b[r].Digest {
+			t.Errorf("rank %d digest diverged across identical runs: %x vs %x", r, a[r].Digest, b[r].Digest)
+		}
+		if a[r].Puts+a[r].Gets+a[r].Adds != int64(p.Ops) {
+			t.Errorf("rank %d issued %d ops, want %d", r,
+				a[r].Puts+a[r].Gets+a[r].Adds, p.Ops)
+		}
+		if a[r].Puts == 0 || a[r].Gets == 0 || a[r].Adds == 0 {
+			t.Errorf("rank %d op mix degenerate: %+v", r, a[r])
+		}
+	}
+}
+
+// TestPatternsCoverAndSkew: every pattern runs clean; the hotspot pattern
+// concentrates traffic (some PE's distinct peer set shrinks relative to
+// uniform is not guaranteed per rank, but every pattern must touch more than
+// one peer and no more than NPEs).
+func TestPatternsCoverAndSkew(t *testing.T) {
+	for _, pat := range []string{"zipf", "hotspot", "uniform"} {
+		p := traffic.DefaultParams()
+		p.Ops = 150
+		p.Pattern = pat
+		for r, res := range runOnce(t, p) {
+			if res.DistinctPeers < 1 || res.DistinctPeers > 6 {
+				t.Errorf("%s: rank %d distinct peers = %d out of range", pat, r, res.DistinctPeers)
+			}
+		}
+	}
+}
+
+// TestSeedChangesTraffic: a different seed must actually change the final
+// state (guards against the driver ignoring its seed).
+func TestSeedChangesTraffic(t *testing.T) {
+	p := traffic.DefaultParams()
+	p.Ops = 200
+	a := runOnce(t, p)
+	p.Seed += 17
+	b := runOnce(t, p)
+	same := true
+	for r := range a {
+		if a[r].Digest != b[r].Digest {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("digest vector identical across different seeds")
+	}
+}

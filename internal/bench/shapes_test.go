@@ -118,3 +118,25 @@ func TestShapeGraph500Parity(t *testing.T) {
 		t.Fatalf("hybrid graph500 differs %.1f%% at 16 PEs", pts[0].DiffPct)
 	}
 }
+
+func TestShapeCreditStallTaxGrows(t *testing.T) {
+	pts, err := CreditStallLatency([]int{0, 4, 1}, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, tight, tighter := pts[0], pts[1], pts[2]
+	if free.CreditStalls != 0 || free.RNRNaks != 0 {
+		t.Fatalf("unbounded RQ reported backpressure: %+v", free)
+	}
+	if tight.CreditStalls == 0 && tight.RNRNaks == 0 {
+		t.Fatalf("depth-4 RQ reported no backpressure: %+v", tight)
+	}
+	if tight.BurstPutNS <= free.BurstPutNS {
+		t.Fatalf("depth-4 burst latency %.1f not above unbounded %.1f",
+			tight.BurstPutNS, free.BurstPutNS)
+	}
+	if tighter.BurstPutNS <= tight.BurstPutNS {
+		t.Fatalf("depth-1 burst latency %.1f not above depth-4 %.1f",
+			tighter.BurstPutNS, tight.BurstPutNS)
+	}
+}

@@ -63,6 +63,26 @@ type Config struct {
 	// evicted peer reconnects on demand. Zero means unbounded; on-demand
 	// mode only (the fully connected baseline ignores it).
 	MaxLiveRC int
+
+	// Resource-exhaustion plane: finite per-adapter budgets. Unlike
+	// MaxLiveRC (a soft cap the connection manager polices), these are hard
+	// verbs-level limits the adapter itself enforces; the runtimes respond
+	// with their degradation ladders (eviction+retry, bounce-buffering,
+	// admission rejection) and abort with ExitResourceExhausted only when
+	// forward progress is provably impossible. Zero fields are unbounded.
+	//
+	// QPBudget caps live queue pairs (UD and RC) per HCA; MRBudget caps
+	// pinned bytes per HCA; RQDepth bounds each RC queue pair's receive
+	// queue (arming receiver-not-ready NAKs and sender credit windows).
+	QPBudget int
+	MRBudget int64
+	RQDepth  int
+	// FailQPAllocs / FailMRAllocs schedule injected allocation faults: the
+	// Nth (1-based, per adapter) QP or MR allocation attempt fails as if the
+	// budget were exhausted. Exercises the degradation ladders without
+	// needing a budget tight enough to trip organically.
+	FailQPAllocs []int
+	FailMRAllocs []int
 	// Retrans overrides the conduit's real-time retransmission timing
 	// (zero fields keep defaults); fault soaks compress it.
 	Retrans gasnet.RetransConfig
@@ -256,8 +276,14 @@ func RunEnvs(cfg Config, body func(env shmem.Env)) error {
 	nodes := (cfg.NP + cfg.PPN - 1) / cfg.PPN
 	hcas := make([]*ib.HCA, nodes)
 	bars := make([]*vclock.VBarrier, nodes)
+	limits := cfg.limits()
 	for i := 0; i < nodes; i++ {
 		hcas[i] = fab.AddHCA()
+		if limits != (ib.Limits{}) {
+			// Budgets are armed at setup time on a throwaway clock: the slab
+			// pre-registration is node bring-up, not any PE's critical path.
+			hcas[i].SetLimits(limits, vclock.NewClock(0))
+		}
 		ppn := cfg.PPN
 		if i == nodes-1 {
 			ppn = cfg.NP - i*cfg.PPN
@@ -316,6 +342,7 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 		model = vclock.Default()
 	}
 	applyPEFaults(&cfg)
+	applyAllocFaults(&cfg)
 
 	fab := ib.NewFabric(model, cfg.Faults)
 	srv := pmi.NewServer(cfg.NP, model)
@@ -323,8 +350,14 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 	nodes := (cfg.NP + cfg.PPN - 1) / cfg.PPN
 	hcas := make([]*ib.HCA, nodes)
 	bars := make([]*vclock.VBarrier, nodes)
+	limits := cfg.limits()
 	for i := 0; i < nodes; i++ {
 		hcas[i] = fab.AddHCA()
+		if limits != (ib.Limits{}) {
+			// Budgets are armed at setup time on a throwaway clock: the slab
+			// pre-registration is node bring-up, not any PE's critical path.
+			hcas[i].SetLimits(limits, vclock.NewClock(0))
+		}
 		ppn := cfg.PPN
 		if i == nodes-1 {
 			ppn = cfg.NP - i*cfg.PPN

@@ -33,6 +33,9 @@ const (
 	// retry budgets exhausted, no fallback left). Raised by the conduit;
 	// re-exported here so launcher-side code has all codes in one place.
 	ExitPMIFail = gasnet.ExitPMIFailure
+	// ExitResourceExhausted: a finite adapter budget left a PE with provably
+	// no path to forward progress after every degradation rung was tried.
+	ExitResourceExhausted = gasnet.ExitResourceExhausted
 )
 
 // exitCodeForErr classifies a liveness error into a per-PE exit code.
@@ -89,6 +92,13 @@ type Counters struct {
 	PMITimeouts       int // PMI ops that failed permanently
 	FallbackExchanges int // Iallgather exchanges degraded to Put-Fence-Get
 	CorruptFrames     int // UD control frames discarded by checksum
+
+	// Resource-exhaustion leg (finite adapter budgets and backpressure).
+	CreditStalls     int // sends that blocked on a zero receive-credit window
+	RNRNaks          int // sends NAKed receiver-not-ready and retried
+	AllocFailures    int // QP/MR allocations refused (budget or injected)
+	BounceFallbacks  int // heap registrations degraded to bounce-buffering
+	AdmissionRejects int // connection REQs rejected at a QP cap
 }
 
 // Counters sums the per-PE failure/resilience counters.
@@ -107,6 +117,11 @@ func (r *Result) Counters() Counters {
 		c.PMITimeouts += p.Stats.PMITimeouts
 		c.FallbackExchanges += p.Stats.FallbackExchanges
 		c.CorruptFrames += p.Stats.CorruptFrames
+		c.CreditStalls += p.Stats.CreditStalls
+		c.RNRNaks += p.Stats.RNRNaks
+		c.AllocFailures += p.Stats.AllocFailures
+		c.BounceFallbacks += p.Stats.BounceFallbacks
+		c.AdmissionRejects += p.Stats.AdmissionRejects
 	}
 	return c
 }
@@ -126,6 +141,25 @@ func applyPEFaults(cfg *Config) {
 	for _, f := range cfg.WedgePEs {
 		cfg.Faults.WedgePE(f.Rank, f.At)
 	}
+}
+
+// limits assembles the per-adapter budget block; the zero value leaves the
+// whole resource plane disarmed.
+func (cfg *Config) limits() ib.Limits {
+	return ib.Limits{MaxQPs: cfg.QPBudget, MaxMRBytes: cfg.MRBudget, RQDepth: cfg.RQDepth}
+}
+
+// applyAllocFaults installs the injected Nth-allocation fault schedules into
+// the fault injector, creating one if the config has none.
+func applyAllocFaults(cfg *Config) {
+	if len(cfg.FailQPAllocs)+len(cfg.FailMRAllocs) == 0 {
+		return
+	}
+	if cfg.Faults == nil {
+		cfg.Faults = ib.NewFaultInjector(1)
+	}
+	cfg.Faults.FailQPAllocOn(cfg.FailQPAllocs...)
+	cfg.Faults.FailMRAllocOn(cfg.FailMRAllocs...)
 }
 
 // watchdog is the hung-job detector: it fires when the job's virtual time

@@ -58,6 +58,11 @@ func mirrorCounters(plane *obs.Plane, res *Result) {
 		t.PMITimeouts += s.PMITimeouts
 		t.FallbackExchanges += s.FallbackExchanges
 		t.CorruptFrames += s.CorruptFrames
+		t.CreditStalls += s.CreditStalls
+		t.RNRNaks += s.RNRNaks
+		t.AllocFailures += s.AllocFailures
+		t.BounceFallbacks += s.BounceFallbacks
+		t.AdmissionRejects += s.AdmissionRejects
 	}
 	reg := plane.Registry()
 	reg.Counter("gasnet.qps_created").Add(int64(t.QPsCreated))
@@ -81,6 +86,11 @@ func mirrorCounters(plane *obs.Plane, res *Result) {
 	reg.Counter("pmi.timeouts").Add(int64(t.PMITimeouts))
 	reg.Counter("gasnet.fallback_exchanges").Add(int64(t.FallbackExchanges))
 	reg.Counter("gasnet.corrupt_frames").Add(int64(t.CorruptFrames))
+	reg.Counter("gasnet.credit_stalls").Add(int64(t.CreditStalls))
+	reg.Counter("gasnet.rnr_naks").Add(int64(t.RNRNaks))
+	reg.Counter("gasnet.alloc_failures").Add(int64(t.AllocFailures))
+	reg.Counter("gasnet.bounce_fallbacks").Add(int64(t.BounceFallbacks))
+	reg.Counter("gasnet.admission_rejects").Add(int64(t.AdmissionRejects))
 	for _, h := range res.HCA {
 		reg.Counter("ib.qps_created_ud").Add(h.QPsCreatedUD)
 		reg.Counter("ib.qps_created_rc").Add(h.QPsCreatedRC)
@@ -91,5 +101,8 @@ func mirrorCounters(plane *obs.Plane, res *Result) {
 		reg.Counter("ib.cache_misses").Add(h.CacheMisses)
 		reg.Counter("ib.mrs_registered").Add(h.MRsRegistered)
 		reg.Counter("ib.bytes_pinned").Add(h.BytesPinned)
+		reg.Counter("ib.alloc_failures").Add(h.AllocFailures)
+		reg.Counter("ib.rnr_naks").Add(h.RNRNaks)
+		reg.Counter("ib.bounced_mrs").Add(h.BouncedMRs)
 	}
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether this binary was built with the race detector.
+// A few tests assert byte-identical traces or exact failure classifications
+// that hold under production scheduling but not under the detector's heavy
+// scheduling perturbation; they skip themselves when this is set.
+const raceEnabled = true

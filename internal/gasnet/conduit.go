@@ -151,6 +151,14 @@ type Stats struct {
 	FallbackExchanges int // Iallgather exchanges degraded to Put-Fence-Get
 	CorruptFrames     int // UD control frames discarded by checksum
 
+	// Resource-pressure counters (finite adapter budgets, backpressure and
+	// degradation ladders). All zero on an unbudgeted fault-free run.
+	CreditStalls     int // sends that blocked on a zero receive-credit window
+	RNRNaks          int // sends NAKed receiver-not-ready and retried
+	AllocFailures    int // QP/MR allocations refused (budget or injected)
+	BounceFallbacks  int // heap registrations degraded to bounce-buffering
+	AdmissionRejects int // connection REQs this PE rejected at its QP cap
+
 	// Flows is this PE's row of the communication matrix: per-peer op and
 	// byte counts split by kind (put/get/atomic/am/coll/barrier/ctrl),
 	// sorted by peer. Nil unless obs.Config.Flows was enabled.
@@ -188,6 +196,23 @@ type conn struct {
 	epoch     uint64 // teardown generation, so racing fault reports are applied once
 	everReady bool   // has reached ready at least once (re-ready counts as a reconnect)
 	lastUse   uint64 // LRU stamp for idle-connection eviction
+
+	// creditRel is the sender-side receive-credit window against this peer:
+	// the virtual times at which in-flight messages release their receive
+	// slot at the target (mirror of the target QP's rqRel). Only maintained
+	// when Limits.RQDepth is set. Sorted: RC sends on one conn are monotone.
+	creditRel []int64
+	// rejCount counts admission REJs this client has absorbed for the slot
+	// across its lifetime (survives teardown/reuse); a runaway REJ loop is
+	// converted to a resource-exhaustion abort rather than spinning forever.
+	rejCount int
+	// rejWait marks a connecting client whose queue pair was released after
+	// an admission REJ (IB CM semantics: a rejected request frees resources
+	// on both sides — holding the QP through backoff would pin the very
+	// budget the server is waiting to see freed, deadlocking two mutually
+	// rejecting adapters). The retransmission timer re-allocates an endpoint
+	// and re-sends the REQ under a fresh attempt number.
+	rejWait bool
 }
 
 // Conduit is one PE's endpoint on the fabric.
@@ -294,7 +319,18 @@ func New(cfg Config) *Conduit {
 	} else {
 		c.connMap = make(map[int]*conn)
 	}
-	c.udQP = cfg.HCA.CreateQP(ib.UD, c.clk, nil, c.cq)
+	udQP, err := cfg.HCA.TryCreateQP(ib.UD, c.clk, nil, c.cq)
+	if err != nil {
+		// No control endpoint means no handshakes, no heartbeats, no in-band
+		// abort: the PE can never make progress. Report out-of-band (the only
+		// channel that exists yet) and die with the exhaustion code.
+		c.stats.AllocFailures++
+		ae := &AbortError{Origin: cfg.Rank, Dead: -1, Code: ExitResourceExhausted,
+			Reason: fmt.Sprintf("rank %d: UD control endpoint allocation failed: %v", cfg.Rank, err)}
+		cfg.PMI.RaiseAbort(pmi.AbortNotice{Origin: ae.Origin, Dead: ae.Dead, Code: ae.Code, Reason: ae.Reason})
+		panic(fmt.Errorf("gasnet: attach: %w", ae))
+	}
+	c.udQP = udQP
 	c.udQP.SetObs(c.obs)
 	c.obs.Emit(c.clk.Now(), obs.LayerIB, "qp-create-ud", -1, 0)
 	c.countQP(ib.UD)
@@ -579,6 +615,34 @@ func (c *Conduit) AMRequestKind(peer int, handler uint8, args [4]uint64, payload
 	return c.post(peer, ib.SendWR{Op: ib.OpSend, Data: data, NoSendCompletion: true}, false)
 }
 
+// AMRequestFenced is AMRequest with Quiet-fence semantics: the send counts
+// toward the outstanding-operation window until it has been posted to the
+// wire, so a Quiet issued afterwards cannot return while the message is
+// still queued behind an in-flight handshake. Put-with-signal uses it for
+// the signal message, whose delivery OpenSHMEM requires Quiet to fence.
+func (c *Conduit) AMRequestFenced(peer int, handler uint8, args [4]uint64, payload []byte) error {
+	if err := c.checkAlive(); err != nil {
+		return err
+	}
+	c.notePeer(peer)
+	c.statMu.Lock()
+	c.stats.AMsSent++
+	c.statMu.Unlock()
+	data := encodeAM(handler, c.cfg.Rank, args, payload)
+	c.obs.Flow(peer, obs.FlowAM, int64(len(data)))
+	c.outMu.Lock()
+	c.outstanding++
+	c.outMu.Unlock()
+	wr := ib.SendWR{Op: ib.OpSend, WRID: c.wrid.Add(1), Data: data}
+	if err := c.post(peer, wr, false); err != nil {
+		c.outMu.Lock()
+		c.outstanding--
+		c.outMu.Unlock()
+		return err
+	}
+	return nil
+}
+
 // Put issues a one-sided RDMA write of data into (raddr, rkey) at peer. It
 // returns once the source buffer is reusable; remote completion is deferred
 // to Quiet.
@@ -772,6 +836,34 @@ func log2ceil(n int) int {
 }
 
 // Stats returns a snapshot of the PE's resource and traffic counters.
+// RegisterHeap registers the PE's symmetric-heap backing with the adapter,
+// running the pinned-memory degradation ladder: a refused registration
+// (budget exceeded or injected allocation fault) falls back to a
+// bounce-buffered region staged through the adapter's pre-registered slab;
+// when even that path is closed the job aborts with ExitResourceExhausted —
+// an OpenSHMEM PE without a registered heap can never serve remote memory.
+func (c *Conduit) RegisterHeap(buf []byte) *ib.MR {
+	mr, err := c.cfg.HCA.TryRegisterMR(buf, c.clk)
+	if err == nil {
+		return mr
+	}
+	c.statMu.Lock()
+	c.stats.AllocFailures++
+	c.statMu.Unlock()
+	mr, berr := c.cfg.HCA.RegisterBounced(buf, c.clk)
+	if berr == nil {
+		c.statMu.Lock()
+		c.stats.BounceFallbacks++
+		c.statMu.Unlock()
+		c.event("mr-bounce", -1, c.clk.Now())
+		return mr
+	}
+	ae := &AbortError{Origin: c.cfg.Rank, Dead: -1, Code: ExitResourceExhausted,
+		Reason: fmt.Sprintf("rank %d: heap registration failed (%v) with no bounce path (%v)", c.cfg.Rank, err, berr)}
+	c.Abort(ae)
+	panic(fmt.Errorf("gasnet: heap registration: %w", ae))
+}
+
 func (c *Conduit) Stats() Stats {
 	c.statMu.Lock()
 	s := c.stats
@@ -921,6 +1013,9 @@ func (c *Conduit) progress() {
 		}
 		if comp.Op == ib.OpRDMAWrite {
 			c.putDone(comp)
+		}
+		if comp.Op == ib.OpSend && comp.WRID != 0 {
+			c.putDone(comp) // fenced AM: release its Quiet hold
 		}
 	}
 }

@@ -34,6 +34,8 @@ func msgName(kind uint8) string {
 		return "heartbeat-ack"
 	case msgAbort:
 		return "abort"
+	case msgConnRej:
+		return "conn-rej"
 	}
 	return "unknown"
 }
@@ -57,6 +59,23 @@ const (
 	// guarantees eventual convergence even for fault interleavings the
 	// message-level guards do not recognize.
 	recycleAttempts = 25
+
+	// rnrBackoffMaxShift caps the exponential virtual-time backoff applied
+	// to receiver-not-ready retries and zero-credit stalls (delay =
+	// RNRRetryDelay << min(attempt, rnrBackoffMaxShift)).
+	rnrBackoffMaxShift = 6
+
+	// qpAllocRetries bounds the client-side evict-and-retry ladder for a
+	// budget-refused queue-pair allocation before the job gives up with
+	// ExitResourceExhausted. Each retry re-runs idle eviction, so the bound
+	// is hit only when the cap stays consumed by unevictable connections.
+	qpAllocRetries = 256
+
+	// maxAdmissionRejects bounds how many admission rejections one
+	// connection slot absorbs across its lifetime before the client
+	// concludes the server will never admit it and aborts. Rejections are
+	// normally resolved long before this by the server's idle-LRU eviction.
+	maxAdmissionRejects = 100
 )
 
 // RetransConfig tunes the connection manager's real-time retransmission
@@ -161,6 +180,8 @@ func (c *Conduit) teardownLocked(cn *conn) {
 	}
 	cn.state = connNone
 	cn.epoch++
+	cn.creditRel = nil // the replacement connection starts with a full window
+	cn.rejWait = false
 }
 
 // noteLinkFault tears down the connection to peer if it is still the same
@@ -305,6 +326,69 @@ func (c *Conduit) consumePayloadLocked(cn *conn, peer int, payload []byte, at in
 	}
 }
 
+// creditGateLocked blocks — in virtual time — until the sender-side
+// receive-credit window against cn's peer has a free slot, then consumes one
+// with a conservative estimate of when the receiver reposts it (arrival plus
+// the receive-queue drain time). The window mirrors the target QP's finite
+// receive queue, so a well-behaved sender stalls locally instead of eating
+// NAK round trips; the receiver's RNR NAK (see postRNR) remains the ground
+// truth when the estimate runs early. Caller holds connMu.
+func (c *Conduit) creditGateLocked(cn *conn, depth, n int) {
+	prune := func() {
+		now := c.clk.Now()
+		i := 0
+		for i < len(cn.creditRel) && cn.creditRel[i] <= now {
+			i++
+		}
+		if i > 0 {
+			cn.creditRel = append(cn.creditRel[:0], cn.creditRel[i:]...)
+		}
+	}
+	prune()
+	stalls := 0
+	for len(cn.creditRel) >= depth {
+		// The oldest in-flight message frees its slot at creditRel[0]; sleep
+		// until then, backing off exponentially if the window stays shut.
+		shift := stalls
+		if shift > rnrBackoffMaxShift {
+			shift = rnrBackoffMaxShift
+		}
+		c.clk.AdvanceTo(cn.creditRel[0])
+		c.clk.Advance(c.model.RNRRetryDelay << shift)
+		stalls++
+		prune()
+	}
+	if stalls > 0 {
+		c.statMu.Lock()
+		c.stats.CreditStalls++
+		c.statMu.Unlock()
+	}
+	cn.creditRel = append(cn.creditRel,
+		c.clk.Now()+c.model.RCSendLatency+c.model.XferTime(n)+c.model.RQDrain)
+}
+
+// postRNR posts wr on qp, absorbing receiver-not-ready NAKs: each NAK backs
+// off exponentially on the work request's clock and retries, modeling the
+// HCA's RNR retry timer. The loop terminates because every retry departs
+// later, so its arrival eventually passes the receive queue's oldest
+// release time. Other errors — including link faults — return unchanged.
+func (c *Conduit) postRNR(qp *ib.QP, wr ib.SendWR) error {
+	for shift := 0; ; shift++ {
+		err := qp.PostSend(wr)
+		if !errors.Is(err, ib.ErrRNR) {
+			return err
+		}
+		c.statMu.Lock()
+		c.stats.RNRNaks++
+		c.statMu.Unlock()
+		s := shift
+		if s > rnrBackoffMaxShift {
+			s = rnrBackoffMaxShift
+		}
+		wr.Clk.Advance(c.model.RNRRetryDelay << s)
+	}
+}
+
 // post sends a work request to peer, establishing the connection on demand.
 // If the connection is still being established the request is queued and
 // flushed, in order, the moment the connection is ready. clonePending makes
@@ -332,9 +416,14 @@ func (c *Conduit) post(peer int, wr ib.SendWR, clonePending bool) error {
 			epoch := cn.epoch
 			c.useSeq++
 			cn.lastUse = c.useSeq
+			if wr.Op == ib.OpSend {
+				if depth := c.cfg.HCA.Limits().RQDepth; depth > 0 {
+					c.creditGateLocked(cn, depth, len(wr.Data))
+				}
+			}
 			c.connMu.Unlock()
 			wr.Clk = c.clk
-			err := qp.PostSend(wr)
+			err := c.postRNR(qp, wr)
 			if err == nil || !isLinkFault(err) {
 				return err
 			}
@@ -399,6 +488,62 @@ func (c *Conduit) EnsureConnected(peer int) error {
 	}
 }
 
+// allocRCQPLocked obtains an RC queue pair under the adapter's budget for a
+// handshake with peer, running the client-side degradation ladder: evict an
+// idle connection and retry — with exponential virtual-time backoff — while
+// the budget could still free up, and abort the job with
+// ExitResourceExhausted once forward progress is provably impossible: the
+// adapter reports allocation can never succeed, or qpAllocRetries consecutive
+// retries pass without a single queue pair being destroyed anywhere on the
+// adapter (no other conduit is releasing endpoints either, so waiting longer
+// cannot help). A busy adapter where other tenants churn endpoints resets the
+// stall count — losing allocation races is contention, not exhaustion.
+// Called with connMu held; the lock is dropped and reacquired around each
+// backoff and around the abort, so on return the caller must re-validate the
+// slot's state before using the queue pair.
+func (c *Conduit) allocRCQPLocked(peer int, clk *vclock.Clock) (*ib.QP, error) {
+	stalled := 0
+	lastDestroyed := c.cfg.HCA.Stats().QPsDestroyed
+	for {
+		c.maybeEvictLocked(peer, clk.Now())
+		qp, err := c.cfg.HCA.TryCreateQP(ib.RC, clk, c.cq, c.cq)
+		if err == nil {
+			return qp, nil
+		}
+		c.statMu.Lock()
+		c.stats.AllocFailures++
+		c.statMu.Unlock()
+		if d := c.cfg.HCA.Stats().QPsDestroyed; d != lastDestroyed {
+			lastDestroyed = d
+			stalled = 0
+		} else {
+			stalled++
+		}
+		if c.cfg.HCA.QPImpossible() || stalled >= qpAllocRetries {
+			ae := &AbortError{Origin: c.cfg.Rank, Dead: -1, Code: ExitResourceExhausted,
+				Reason: fmt.Sprintf("rank %d: RC endpoint for peer %d unobtainable after eviction and retry: %v",
+					c.cfg.Rank, peer, err)}
+			c.connMu.Unlock()
+			c.event("qp-alloc-fatal", peer, clk.Now())
+			c.Abort(ae)
+			c.connMu.Lock()
+			return nil, ae
+		}
+		shift := stalled
+		if shift > rnrBackoffMaxShift {
+			shift = rnrBackoffMaxShift
+		}
+		c.connMu.Unlock()
+		c.event("qp-alloc-retry", peer, clk.Now())
+		clk.Advance(c.model.RNRRetryDelay << shift)
+		// Give the manager thread real time to finish the in-flight
+		// handshakes that are pinning the budget; virtual time alone cannot
+		// release them.
+		time.Sleep(time.Millisecond)
+		c.connMu.Lock()
+	}
+}
+
 // initiate starts the client side of the two-phase handshake (paper Fig. 4):
 // resolve the peer's UD endpoint (completing the non-blocking PMI exchange
 // if needed), create an RC QP, move it to INIT, and send a ConnReq carrying
@@ -445,8 +590,21 @@ func (c *Conduit) initiate(peer int) error {
 		c.connMu.Unlock()
 		return err
 	}
-	c.maybeEvictLocked(peer, c.clk.Now())
-	qp := c.cfg.HCA.CreateQP(ib.RC, c.clk, c.cq, c.cq)
+	qp, aerr := c.allocRCQPLocked(peer, c.clk)
+	if aerr != nil {
+		if cn.state == connConnecting && cn.seq == seq {
+			cn.state = connNone
+		}
+		c.connMu.Unlock()
+		return aerr
+	}
+	if cn.state != connConnecting || cn.seq != seq {
+		// The slot changed while the allocation ladder had the lock dropped
+		// (collision: the peer's request won); release the unneeded QP.
+		qp.Destroy()
+		c.connMu.Unlock()
+		return nil
+	}
 	qp.SetObs(c.obs)
 	c.obs.Emit(c.clk.Now(), obs.LayerIB, "qp-create-rc", peer, 0)
 	c.countQP(ib.RC)
@@ -471,9 +629,22 @@ func (c *Conduit) initiate(peer int) error {
 // (OpenSHMEM semantics allow communication with one's own rank; the fully
 // connected baseline counts it too). Called with connMu held; unlocks.
 func (c *Conduit) connectSelfLocked(cn *conn) error {
-	c.maybeEvictLocked(c.cfg.Rank, c.clk.Now())
-	a := c.cfg.HCA.CreateQP(ib.RC, c.clk, c.cq, c.cq)
-	b := c.cfg.HCA.CreateQP(ib.RC, c.clk, c.cq, c.cq)
+	// Hold the slot across the allocation ladder's lock drops; concurrent
+	// posts to self queue behind it and are flushed below.
+	cn.state = connConnecting
+	a, aerr := c.allocRCQPLocked(c.cfg.Rank, c.clk)
+	if aerr != nil {
+		cn.state = connNone
+		c.connMu.Unlock()
+		return aerr
+	}
+	b, berr := c.allocRCQPLocked(c.cfg.Rank, c.clk)
+	if berr != nil {
+		a.Destroy()
+		cn.state = connNone
+		c.connMu.Unlock()
+		return berr
+	}
 	a.SetObs(c.obs)
 	b.SetObs(c.obs)
 	c.obs.Emit(c.clk.Now(), obs.LayerIB, "qp-create-rc", c.cfg.Rank, 0)
@@ -508,6 +679,9 @@ func (c *Conduit) connectSelfLocked(cn *conn) error {
 	if cn.readyVT > c.lastReadyVT {
 		c.lastReadyVT = cn.readyVT
 	}
+	// Posts to self that arrived while the allocation ladder had the lock
+	// dropped queued behind the slot; deliver them now.
+	c.flushLocked(cn, c.cfg.Rank)
 	c.connMu.Unlock()
 	c.statMu.Lock()
 	c.stats.ConnsEstablished++
@@ -581,6 +755,8 @@ func (c *Conduit) handleControl(comp ib.Completion) {
 		c.handleRep(m, svc)
 	case msgConnRTU:
 		c.handleRTU(m, svc)
+	case msgConnRej:
+		c.handleRej(m, svc)
 	case msgHeartbeat:
 		// Echo a liveness ack to the prober, on the manager thread.
 		c.sendControl(int(m.SrcRank), m.UD, connMsg{Kind: msgHeartbeatAck, SrcRank: int32(c.cfg.Rank),
@@ -686,7 +862,40 @@ func (c *Conduit) handleReq(m connMsg, at int64, svc *vclock.Clock) {
 	}
 
 	c.maybeEvictLocked(peer, svc.Now())
-	qp := c.cfg.HCA.CreateQP(ib.RC, svc, c.cq, c.cq)
+	qp, qerr := c.cfg.HCA.TryCreateQP(ib.RC, svc, c.cq, c.cq)
+	if qerr != nil {
+		// Admission control: the adapter is at its queue-pair cap and idle
+		// eviction freed nothing. Reject the request; the client retries
+		// after backoff (retry-after semantics that compose with eviction —
+		// each retry lands after more connections have gone idle), or aborts
+		// when we can prove no future attempt can ever be admitted.
+		fatal := c.cfg.HCA.QPImpossible()
+		c.statMu.Lock()
+		c.stats.AllocFailures++
+		c.stats.AdmissionRejects++
+		c.statMu.Unlock()
+		// The collision-loser branch above may have left the slot
+		// connConnecting with no QP; normalize it so a later local post
+		// restarts cleanly instead of queueing forever, and restart the
+		// handshake ourselves when traffic is already queued behind it.
+		if cn.state == connConnecting && cn.qp == nil {
+			cn.state = connNone
+		}
+		pend := cn.state == connNone && len(cn.pending) > 0
+		flag := byte(0)
+		if fatal {
+			flag = 1
+		}
+		rej := connMsg{Kind: msgConnRej, SrcRank: int32(c.cfg.Rank), Seq: m.Seq,
+			UD: c.udQP.Addr(), Payload: []byte{flag}}
+		c.connMu.Unlock()
+		c.event("conn-admission-rej", peer, svc.Now())
+		c.sendControl(peer, m.UD, rej, svc)
+		if pend {
+			go c.initiate(peer)
+		}
+		return
+	}
 	qp.SetObs(c.obs)
 	c.obs.Emit(svc.Now(), obs.LayerIB, "qp-create-rc", peer, 0)
 	c.countQP(ib.RC)
@@ -883,6 +1092,52 @@ func (c *Conduit) handleRTU(m connMsg, svc *vclock.Clock) {
 	c.connCond.Broadcast()
 }
 
+// handleRej is the client side of admission control: the server refused our
+// connection request at its queue-pair cap. A fatal rejection — the server
+// proved no future attempt can ever be admitted — aborts the job with
+// ExitResourceExhausted, as does a slot that keeps being rejected past
+// maxAdmissionRejects. Otherwise the attempt stays in connConnecting with
+// its backoff advanced and — crucially — its queue pair RELEASED (rejWait),
+// and the retransmission timer re-allocates an endpoint and re-sends the REQ
+// later: retry-after semantics, each retry landing after more of the
+// server's connections have had a chance to go idle and be evicted. The
+// release mirrors IB CM REJ semantics and breaks the mutual-pinning
+// livelock where two saturated adapters each hold a rejected half-open QP
+// the other needs freed before it can ever admit.
+func (c *Conduit) handleRej(m connMsg, svc *vclock.Clock) {
+	peer := int(m.SrcRank)
+	if peer < 0 || peer >= c.cfg.NProcs {
+		return
+	}
+	fatal := len(m.Payload) > 0 && m.Payload[0] != 0
+	c.connMu.Lock()
+	cn := c.peekConn(peer)
+	if cn == nil || cn.state != connConnecting || m.Seq != cn.seq {
+		c.connMu.Unlock()
+		return // rejection of an attempt we have since abandoned or completed
+	}
+	cn.rejCount++
+	if fatal || cn.rejCount > maxAdmissionRejects {
+		ae := &AbortError{Origin: c.cfg.Rank, Dead: -1, Code: ExitResourceExhausted,
+			Reason: fmt.Sprintf("rank %d: connection to peer %d rejected %d times (fatal=%v): peer's queue-pair budget exhausted",
+				c.cfg.Rank, peer, cn.rejCount, fatal)}
+		c.connMu.Unlock()
+		c.event("conn-rej-fatal", peer, svc.Now())
+		c.Abort(ae)
+		return
+	}
+	cn.attempt++
+	cn.lastTx = timeNow()
+	if cn.qp != nil {
+		cn.qp.Destroy()
+		cn.qp = nil
+	}
+	cn.rejWait = true
+	c.armTimerLocked()
+	c.connMu.Unlock()
+	c.event("conn-rejected", peer, svc.Now())
+}
+
 // flushLocked posts the traffic queued behind the handshake, in order. Each
 // queued request departs at max(its enqueue time, the connection-ready
 // time), accumulating post overheads on a dedicated flush clock.
@@ -907,7 +1162,7 @@ func (c *Conduit) flushLocked(cn *conn, peer int) bool {
 		fc.AdvanceTo(p.enq)
 		wr := p.wr
 		wr.Clk = fc
-		if err := cn.qp.PostSend(wr); err != nil {
+		if err := c.postRNR(cn.qp, wr); err != nil {
 			if !isLinkFault(err) {
 				// Non-recoverable local fault (e.g. MTU): drop the request as
 				// a direct post would, keep flushing the rest.
@@ -930,9 +1185,13 @@ func (c *Conduit) flushLocked(cn *conn, peer int) bool {
 }
 
 // armTimerLocked schedules a retransmission scan if one is not pending.
-// Retransmission exists for lossy fabrics only; see ib.Fabric.Lossy.
+// Retransmission exists for lossy fabrics (see ib.Fabric.Lossy) and for
+// budgeted adapters (see ib.HCA.Limited), where an admission-rejected
+// request must be re-sent after backoff; an unbudgeted lossless run never
+// arms the timer, keeping its trace byte-identical to the historical one.
 func (c *Conduit) armTimerLocked() {
-	if c.timerOn || c.closed.Load() || !c.cfg.HCA.Fabric().Lossy() {
+	if c.timerOn || c.closed.Load() ||
+		!(c.cfg.HCA.Fabric().Lossy() || c.cfg.HCA.Limited()) {
 		return
 	}
 	c.timerOn = true
@@ -966,7 +1225,7 @@ func (c *Conduit) retransScan() {
 		if cn.state != connConnecting && cn.state != connAccepted {
 			return
 		}
-		if cn.state == connConnecting && cn.qp == nil {
+		if cn.state == connConnecting && cn.qp == nil && !cn.rejWait {
 			return // still resolving the UD endpoint
 		}
 		deadAccept := cn.state == connAccepted && cn.qp != nil && !c.remoteQPAlive(cn.qp.Remote())
@@ -988,6 +1247,41 @@ func (c *Conduit) retransScan() {
 		}
 		if now.Sub(cn.lastTx) < c.rtoFor(cn.attempt) {
 			return // not yet stale; avoid duplicate floods during bulk setup
+		}
+		if cn.qp == nil {
+			// Re-arm a rejected attempt (rejWait): the endpoint was released
+			// while backing off; allocate a fresh one non-blockingly — if the
+			// budget is still full, charge the failure and let the next scan
+			// (or the recycle bound, whose re-initiate runs the full fatal
+			// ladder) try again.
+			c.maybeEvictLocked(peer, c.mgrClk.Now())
+			qp, err := c.cfg.HCA.TryCreateQP(ib.RC, c.mgrClk, c.cq, c.cq)
+			if err != nil {
+				c.statMu.Lock()
+				c.stats.AllocFailures++
+				c.statMu.Unlock()
+				cn.attempt++
+				cn.lastTx = now
+				return
+			}
+			qp.SetObs(c.obs)
+			c.obs.Emit(c.mgrClk.Now(), obs.LayerIB, "qp-create-rc", peer, 0)
+			c.countQP(ib.RC)
+			if e := qp.ToInit(); e != nil {
+				qp.Destroy()
+				return
+			}
+			// The re-sent REQ advertises a new queue pair, so it must carry a
+			// fresh attempt number: a server that admitted the old number's
+			// endpoint would otherwise bind to the QP we just destroyed.
+			if cn.seqHi > cn.seq {
+				cn.seq = cn.seqHi
+			}
+			cn.seq++
+			cn.seqHi = cn.seq
+			cn.qp = qp
+			cn.rejWait = false
+			c.event("conn-rearm", peer, c.mgrClk.Now())
 		}
 		cn.attempt++
 		cn.lastTx = now

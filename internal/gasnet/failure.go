@@ -22,6 +22,14 @@ var ErrPeerDead = errors.New("gasnet: peer confirmed dead")
 // codes 137 (PE killed), 134 (PE wedged) and 124 (watchdog).
 const ExitPMIFailure = 123
 
+// ExitResourceExhausted is the distinct launcher exit code for a job aborted
+// because a finite adapter budget (queue pairs or pinned memory) left a PE
+// with provably no path to forward progress: every degradation rung —
+// idle eviction, bounce-buffering, queued connects with backoff — was tried
+// and failed. Deliberately distinct from 124 (watchdog): exhaustion is
+// detected and reported, not a hang.
+const ExitResourceExhausted = 125
+
 // AbortError is the terminal job-abort error. It is raised by the PE that
 // confirms a peer dead, by an explicit GlobalExit, or by the cluster
 // watchdog, and propagated to every live PE in-band (a UD abort datagram)
@@ -535,7 +543,7 @@ func (c *Conduit) failPending(pending []pendingWR) {
 			ch <- ib.Completion{WRID: wrid, Op: p.wr.Op, Status: ib.StatusFlushed, VTime: c.mgrClk.Now()}
 			continue
 		}
-		if p.wr.Op == ib.OpRDMAWrite || nbi {
+		if p.wr.Op == ib.OpRDMAWrite || nbi || (p.wr.Op == ib.OpSend && wrid != 0) {
 			c.putDone(ib.Completion{VTime: c.mgrClk.Now()})
 		}
 	}

@@ -31,6 +31,7 @@ type jobOpts struct {
 	payloads    bool
 	model       *vclock.CostModel
 	maxLiveRC   int             // per-HCA live RC cap (0 = unbounded)
+	limits      ib.Limits       // per-HCA resource budgets (zero = unbudgeted)
 	retrans     RetransConfig   // retransmission timing override
 	heartbeat   HeartbeatConfig // failure-detector timing override
 
@@ -58,6 +59,9 @@ func startJob(t *testing.T, o jobOpts) ([]*pe, func(body func(p *pe))) {
 	bars := make([]*vclock.VBarrier, nodes)
 	for i := range hcas {
 		hcas[i] = fab.AddHCA()
+		if o.limits != (ib.Limits{}) {
+			hcas[i].SetLimits(o.limits, vclock.NewClock(0))
+		}
 		ppnHere := o.ppn
 		if i == nodes-1 {
 			ppnHere = o.n - i*o.ppn

@@ -27,6 +27,13 @@ const (
 	msgHeartbeat    uint8 = 4
 	msgHeartbeatAck uint8 = 5
 	msgAbort        uint8 = 6
+
+	// msgConnRej is the server's admission-control rejection of a connection
+	// request: the target adapter's queue-pair budget is exhausted and idle
+	// eviction freed nothing. Payload[0] is a fatality flag — 1 means the
+	// server proved forward progress impossible (cap reached with no live
+	// connection to ever evict), so the client must abort rather than retry.
+	msgConnRej uint8 = 7
 )
 
 // connMsg is the UD control datagram for connection establishment.

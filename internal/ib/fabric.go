@@ -251,6 +251,27 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 		if arrival <= dq.lastArr {
 			arrival = dq.lastArr + 1
 		}
+		if dq.rqDepth > 0 {
+			// Finite receive queue: each delivered message holds a slot until
+			// the receiver's software reposts it at arrival+RQDrain. Release
+			// what has drained by this arrival; if the queue is still full,
+			// NAK the send before any byte moves and without consuming the
+			// arrival slot — the clamp is untouched, so the retry (at a later
+			// virtual time, after the sender's backoff) preserves ordering.
+			i := 0
+			for i < len(dq.rqRel) && dq.rqRel[i] <= arrival {
+				i++
+			}
+			if i > 0 {
+				dq.rqRel = append(dq.rqRel[:0], dq.rqRel[i:]...)
+			}
+			if len(dq.rqRel) >= dq.rqDepth {
+				dh.stats.RNRNaks++
+				dh.mu.Unlock()
+				return ErrRNR
+			}
+			dq.rqRel = append(dq.rqRel, arrival+f.model.RQDrain)
+		}
 		dq.lastArr = arrival
 		recvCQ := dq.recvCQ
 		dh.mu.Unlock()
@@ -267,6 +288,11 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 		if !ok {
 			completeSend(Completion{Status: StatusRemoteAccessErr, VTime: depart + f.model.RCSendLatency})
 			return nil
+		}
+		// A bounced (unpinned) target region stages the payload through the
+		// adapter's bounce slab: one extra copy at intra-node bandwidth.
+		if mr.bounced {
+			clk.Advance(f.model.IntraXferTime(len(wr.Data)))
 		}
 		depart = clk.Advance(f.occupancy(q.hca, dh, len(wr.Data)))
 		arrival := depart + f.latencyOnly(q.hca, dh, f.model.RCSendLatency)
@@ -286,6 +312,9 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 			completeSend(Completion{Status: StatusRemoteAccessErr, VTime: depart + f.model.RCSendLatency})
 			return nil
 		}
+		if mr.bounced {
+			clk.Advance(f.model.IntraXferTime(wr.Len)) // stage through the slab
+		}
 		req := f.oneWay(q.hca, dh, f.model.RCSendLatency, 0)
 		data := make([]byte, wr.Len)
 		dh.memMu.Lock()
@@ -304,6 +333,9 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 		}
 		if wr.RemoteAddr%8 != 0 {
 			return ErrUnaligned
+		}
+		if mr.bounced {
+			clk.Advance(f.model.IntraXferTime(8)) // stage through the slab
 		}
 		req := f.oneWay(q.hca, dh, f.model.RCSendLatency, 8)
 		dh.memMu.Lock()

@@ -1,9 +1,43 @@
 package ib
 
 import (
+	"fmt"
 	"math/rand"
+	"strconv"
+	"strings"
 	"sync"
 )
+
+// ParseAllocFaults parses an allocation-failure specification: a
+// comma-separated list of kind:n items ("qp:3,mr:2"), each failing an
+// adapter's n-th allocation (1-based) of that kind. The launcher validates
+// specs with it up front and the cluster applies the result via
+// FailQPAllocOn/FailMRAllocOn.
+func ParseAllocFaults(s string) (qp, mr []int, err error) {
+	if s == "" {
+		return nil, nil, nil
+	}
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		kind, num, ok := strings.Cut(item, ":")
+		if !ok {
+			return nil, nil, fmt.Errorf("alloc-fault item %q: want kind:n (e.g. qp:3)", item)
+		}
+		n, nerr := strconv.Atoi(num)
+		if nerr != nil || n < 1 {
+			return nil, nil, fmt.Errorf("alloc-fault item %q: n must be a positive integer (1-based allocation index)", item)
+		}
+		switch kind {
+		case "qp":
+			qp = append(qp, n)
+		case "mr":
+			mr = append(mr, n)
+		default:
+			return nil, nil, fmt.Errorf("alloc-fault item %q: unknown kind %q (want qp or mr)", item, kind)
+		}
+	}
+	return qp, mr, nil
+}
 
 // UDVerdict is the decision a UDFilter returns for one datagram.
 type UDVerdict uint8
@@ -88,6 +122,14 @@ type FaultInjector struct {
 	slowdowns int
 	corrupts  int
 	held      []heldDelivery
+
+	// failQP and failMR schedule specific allocation attempts (1-based,
+	// counted per adapter) to fail with the matching exhaustion error, so
+	// tests can fail "the Nth registration" deterministically regardless of
+	// how big the budgets are. See FailQPAllocOn / FailMRAllocOn.
+	failQP     map[int]bool
+	failMR     map[int]bool
+	allocFails int
 
 	peSched  map[int]*peFault
 	peKills  int
@@ -272,6 +314,72 @@ func (fi *FaultInjector) PEWedges() int {
 	fi.mu.Lock()
 	defer fi.mu.Unlock()
 	return fi.peWedges
+}
+
+// FailQPAllocOn schedules the given queue-pair allocation attempts (1-based,
+// counted per adapter across all its PEs) to fail with ErrQPExhausted.
+func (fi *FaultInjector) FailQPAllocOn(ns ...int) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.failQP == nil {
+		fi.failQP = make(map[int]bool)
+	}
+	for _, n := range ns {
+		fi.failQP[n] = true
+	}
+}
+
+// FailMRAllocOn schedules the given memory-registration attempts (1-based,
+// counted per adapter) to fail with ErrMRExhausted.
+func (fi *FaultInjector) FailMRAllocOn(ns ...int) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.failMR == nil {
+		fi.failMR = make(map[int]bool)
+	}
+	for _, n := range ns {
+		fi.failMR[n] = true
+	}
+}
+
+// AllocFailsInjected reports how many scheduled allocation failures tripped.
+func (fi *FaultInjector) AllocFailsInjected() int {
+	if fi == nil {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.allocFails
+}
+
+// failQPAlloc reports whether the adapter's n-th QP allocation is scheduled
+// to fail.
+func (fi *FaultInjector) failQPAlloc(n int) bool {
+	if fi == nil {
+		return false
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.failQP[n] {
+		fi.allocFails++
+		return true
+	}
+	return false
+}
+
+// failMRAlloc reports whether the adapter's n-th MR registration is scheduled
+// to fail.
+func (fi *FaultInjector) failMRAlloc(n int) bool {
+	if fi == nil {
+		return false
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.failMR[n] {
+		fi.allocFails++
+		return true
+	}
+	return false
 }
 
 // udFate decides the fate of one UD datagram. hold means the delivery must

@@ -19,6 +19,12 @@ type HCA struct {
 	nextVA uint64
 	nextRK uint32
 
+	limits   Limits
+	slab     *MR // pre-registered bounce slab (see RegisterBounced)
+	liveQPs  int // QPs not yet destroyed, counted against Limits.MaxQPs
+	qpAllocs int // QP allocation attempts (drives injected Nth-alloc faults)
+	mrAllocs int // MR allocation attempts
+
 	// memMu serializes remote RDMA/atomic access to this HCA's registered
 	// memory, giving network atomics their atomicity guarantee.
 	memMu sync.Mutex
@@ -30,6 +36,7 @@ type HCA struct {
 type HCAStats struct {
 	QPsCreatedUD   int64
 	QPsCreatedRC   int64
+	QPsDestroyed   int64 // monotone; allocation ladders key retries to it
 	RCEstablished  int64 // RC QPs that reached RTS
 	LiveRC         int64 // RC QPs currently in RTS
 	MsgsDelivered  int64
@@ -37,6 +44,9 @@ type HCAStats struct {
 	CacheMisses    int64
 	MRsRegistered  int64
 	BytesPinned    int64
+	AllocFailures  int64 // QP/MR allocations refused (budget or injected)
+	RNRNaks        int64 // sends NAKed by a full receive queue
+	BouncedMRs     int64 // regions degraded to bounce-buffering
 }
 
 // LID returns the adapter's local identifier on the fabric.
@@ -64,33 +74,33 @@ func (h *HCA) LiveRC() int64 {
 // CreateQP creates a queue pair in the RESET state, charging the owner's
 // clock. sendCQ may be nil if the owner does not consume send completions
 // (e.g. a UD QP used only for datagram receive/transmit of control traffic);
-// recvCQ receives inbound messages once the QP reaches RTR.
+// recvCQ receives inbound messages once the QP reaches RTR. On a budgeted
+// adapter it panics when the budget is exhausted; callers that can degrade
+// use TryCreateQP instead.
 func (h *HCA) CreateQP(typ QPType, clk *vclock.Clock, sendCQ, recvCQ *CQ) *QP {
-	switch typ {
-	case UD:
-		clk.Advance(h.f.model.UDQPCreate)
-	case RC:
-		clk.Advance(h.f.model.RCQPCreate)
+	q, err := h.TryCreateQP(typ, clk, sendCQ, recvCQ)
+	if err != nil {
+		panic("ib: CreateQP: " + err.Error())
 	}
-	q := &QP{hca: h, typ: typ, clk: clk, sendCQ: sendCQ, recvCQ: recvCQ, state: StateReset}
-	h.mu.Lock()
-	h.qps = append(h.qps, q)
-	q.qpn = uint32(len(h.qps))
-	if typ == UD {
-		h.stats.QPsCreatedUD++
-	} else {
-		h.stats.QPsCreatedRC++
-	}
-	h.mu.Unlock()
 	return q
 }
 
 // RegisterMR registers (pins) buf with the adapter and returns the region.
-// The registration cost is charged on the buffer's declared size.
+// The registration cost is charged on the buffer's declared size. On a
+// budgeted adapter it panics when the budget is exhausted; callers that can
+// degrade use TryRegisterMR/RegisterBounced instead.
 func (h *HCA) RegisterMR(buf []byte, clk *vclock.Clock) *MR {
-	clk.Advance(h.f.model.MemRegTime(len(buf)))
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	m, err := h.TryRegisterMR(buf, clk)
+	if err != nil {
+		panic("ib: RegisterMR: " + err.Error())
+	}
+	return m
+}
+
+// registerLocked assigns a region of the adapter's virtual address space and
+// an rkey for buf. Bounced regions do not count against the pinned budget:
+// their remote traffic stages through the pre-registered slab instead.
+func (h *HCA) registerLocked(buf []byte, bounced bool) *MR {
 	if h.mrs == nil {
 		h.mrs = make(map[uint32]*MR)
 	}
@@ -98,14 +108,16 @@ func (h *HCA) RegisterMR(buf []byte, clk *vclock.Clock) *MR {
 	// Separate regions by a guard page in the fake virtual address space so
 	// out-of-bounds accesses cannot silently land in a neighbouring region.
 	h.nextVA += 0x1000
-	m := &MR{hca: h, base: h.nextVA, buf: buf, lkey: h.nextRK, rkey: h.nextRK | 0x80000000}
+	m := &MR{hca: h, base: h.nextVA, buf: buf, lkey: h.nextRK, rkey: h.nextRK | 0x80000000, bounced: bounced}
 	h.nextVA += uint64(len(buf))
 	if rem := h.nextVA % 0x1000; rem != 0 {
 		h.nextVA += 0x1000 - rem
 	}
 	h.mrs[m.rkey] = m
 	h.stats.MRsRegistered++
-	h.stats.BytesPinned += int64(len(buf))
+	if !bounced {
+		h.stats.BytesPinned += int64(len(buf))
+	}
 	return m
 }
 
@@ -116,7 +128,9 @@ func (h *HCA) DeregisterMR(m *MR) {
 	defer h.mu.Unlock()
 	m.dead = true
 	delete(h.mrs, m.rkey)
-	h.stats.BytesPinned -= int64(len(m.buf))
+	if !m.bounced {
+		h.stats.BytesPinned -= int64(len(m.buf))
+	}
 }
 
 // QP returns the queue pair with the given number, or nil.

@@ -140,6 +140,19 @@ var (
 	ErrLinkDown      = errors.New("ib: RC link fault (queue pair in Error state)")
 	ErrUnaligned     = errors.New("ib: atomic address not 8-byte aligned")
 	ErrOpUnsupported = errors.New("ib: operation not supported on this transport")
+
+	// Resource-exhaustion errors (finite adapter budgets, see Limits). They
+	// are returned by the Try* allocation paths; upper layers run their
+	// degradation ladders (eviction, bounce-buffering, queued connects) and
+	// abort only when forward progress is provably impossible.
+	ErrQPExhausted = errors.New("ib: queue-pair budget exhausted on adapter")
+	ErrMRExhausted = errors.New("ib: pinned-memory budget exhausted on adapter")
+
+	// ErrRNR is the receiver-not-ready NAK: the target queue pair's receive
+	// queue is full, so the send is refused before any byte moves (real RC
+	// returns an RNR NAK and the sender retries after a backoff). Only armed
+	// when Limits.RQDepth is set; an unbudgeted receive queue never NAKs.
+	ErrRNR = errors.New("ib: receiver not ready (receive queue full)")
 )
 
 // Status is the completion status.

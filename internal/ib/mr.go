@@ -16,6 +16,10 @@ type MR struct {
 	// called without the HCA memory lock held and must not block.
 	onWrite func(off, n int, vtime int64)
 	dead    bool
+	// bounced marks a degraded region registered past the pinned-memory
+	// budget: it has no pinned backing of its own, so remote traffic stages
+	// through the adapter's bounce slab and pays an extra copy per operation.
+	bounced bool
 }
 
 // Base returns the region's virtual base address.
@@ -35,6 +39,10 @@ func (m *MR) LKey() uint32 { return m.lkey }
 // bytes that remote atomics may touch should go through LoadUint64.
 func (m *MR) Bytes() []byte { return m.buf }
 
+// Bounced reports whether the region is a degraded (unpinned) registration
+// that stages remote traffic through the adapter's bounce slab.
+func (m *MR) Bounced() bool { return m.bounced }
+
 // SetOnWrite installs the remote-write notification callback.
 func (m *MR) SetOnWrite(fn func(off, n int, vtime int64)) { m.onWrite = fn }
 
@@ -51,6 +59,18 @@ func (m *MR) StoreUint64(off int, v uint64) {
 	m.hca.memMu.Lock()
 	putLeU64(m.buf[off:off+8], v)
 	m.hca.memMu.Unlock()
+}
+
+// AddUint64 atomically adds delta to the little-endian uint64 at the given
+// offset and returns the new value, serialized against remote atomics and
+// the word load/store helpers by the adapter's memory lock. Software-side
+// signal delivery (shmem_put_signal's SIGNAL_ADD) lands through this.
+func (m *MR) AddUint64(off int, delta uint64) uint64 {
+	m.hca.memMu.Lock()
+	v := leU64(m.buf[off:off+8]) + delta
+	putLeU64(m.buf[off:off+8], v)
+	m.hca.memMu.Unlock()
+	return v
 }
 
 func leU64(b []byte) uint64 {

@@ -19,6 +19,13 @@ type QP struct {
 	qpn     uint32
 	remote  Dest
 	lastArr int64 // monotone arrival clamp for ordered RC delivery
+	// rqDepth, when positive, bounds the receive queue: rqRel holds the
+	// virtual times at which delivered-but-unprocessed messages release
+	// their slot (arrival + RQDrain). A send arriving while rqDepth slots
+	// are held is NAKed with ErrRNR (see Fabric.sendRC). The list stays
+	// sorted because RC arrivals on one QP are monotone.
+	rqDepth int
+	rqRel   []int64
 	typ     QPType
 	state   QPState
 }
@@ -139,6 +146,8 @@ func (q *QP) Destroy() {
 		q.hca.stats.LiveRC--
 	}
 	q.state = StateDestroyed
+	q.hca.liveQPs--
+	q.hca.stats.QPsDestroyed++
 	q.obs.Emit(q.clk.Now(), obs.LayerIB, "qp-destroy", -1, 0)
 	if int(q.qpn) <= len(q.hca.qps) {
 		q.hca.qps[q.qpn-1] = nil

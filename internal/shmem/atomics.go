@@ -5,7 +5,11 @@ package shmem
 // network atomic on the same address, exactly like InfiniBand's fetch-add /
 // compare-swap verbs. Addresses must be 8-byte aligned symmetric addresses.
 
-import "goshmem/internal/obs"
+import (
+	"fmt"
+
+	"goshmem/internal/obs"
+)
 
 // atomicSpan closes an atomic op's observability span and feeds the latency
 // histogram.
@@ -24,11 +28,11 @@ func (c *Ctx) FetchAddInt64(addr SymAddr, delta int64, pe int) int64 {
 	start := c.clk.Now()
 	raddr, rkey, err := c.remoteAddr(pe, addr, 8)
 	if err != nil {
-		panic(err.Error())
+		panic(fmt.Errorf("shmem: fadd on pe %d: %w", pe, err))
 	}
 	old, err := c.conduit.FetchAdd(pe, raddr, rkey, uint64(delta))
 	if err != nil {
-		panic(err.Error())
+		panic(fmt.Errorf("shmem: fadd on pe %d: %w", pe, err))
 	}
 	c.atomicSpan("fadd", pe, start)
 	return int64(old)
@@ -56,11 +60,11 @@ func (c *Ctx) SwapInt64(addr SymAddr, value int64, pe int) int64 {
 	start := c.clk.Now()
 	raddr, rkey, err := c.remoteAddr(pe, addr, 8)
 	if err != nil {
-		panic(err.Error())
+		panic(fmt.Errorf("shmem: swap on pe %d: %w", pe, err))
 	}
 	old, err := c.conduit.Swap(pe, raddr, rkey, uint64(value))
 	if err != nil {
-		panic(err.Error())
+		panic(fmt.Errorf("shmem: swap on pe %d: %w", pe, err))
 	}
 	c.atomicSpan("swap", pe, start)
 	return int64(old)
@@ -72,11 +76,11 @@ func (c *Ctx) CompareSwapInt64(addr SymAddr, cond, value int64, pe int) int64 {
 	start := c.clk.Now()
 	raddr, rkey, err := c.remoteAddr(pe, addr, 8)
 	if err != nil {
-		panic(err.Error())
+		panic(fmt.Errorf("shmem: cswap on pe %d: %w", pe, err))
 	}
 	old, err := c.conduit.CompareSwap(pe, raddr, rkey, uint64(cond), uint64(value))
 	if err != nil {
-		panic(err.Error())
+		panic(fmt.Errorf("shmem: cswap on pe %d: %w", pe, err))
 	}
 	c.atomicSpan("cswap", pe, start)
 	return int64(old)

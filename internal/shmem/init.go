@@ -121,6 +121,9 @@ func Attach(env Env, opts Options) *Ctx {
 		// Explicit segment-info request (SegAMOnDemand ablation): reply.
 		_ = c.conduit.AMRequest(src, amSegInfo, [4]uint64{}, c.encodeOwnSeg())
 	})
+	c.conduit.RegisterHandler(amSignal, func(src int, args [4]uint64, payload []byte, at int64) {
+		c.applySignal(int64(args[0]), args[1], at)
+	})
 	mark(&c.breakdown.Other, "qp-setup")
 
 	// --- PMI exchange of UD endpoint info ---
@@ -135,7 +138,10 @@ func Attach(env Env, opts Options) *Ctx {
 	// --- Symmetric heap allocation and registration ---
 	c.heapBuf = make([]byte, opts.HeapSize)
 	c.heap = newHeap(opts.HeapSize)
-	c.mr = env.HCA.RegisterMR(c.heapBuf, c.clk)
+	// Registration goes through the conduit's degradation ladder: a refused
+	// pinning (budget or injected fault) falls back to a bounce-buffered
+	// region, and only a PE with no registered heap at all aborts.
+	c.mr = c.conduit.RegisterHeap(c.heapBuf)
 	if extra := c.model.MemRegTime(opts.DeclaredHeapSize) - c.model.MemRegTime(opts.HeapSize); extra > 0 {
 		c.clk.Advance(extra) // model the declared (paper-scale) heap size
 	}

@@ -2,6 +2,7 @@ package shmem
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math"
 
 	"goshmem/internal/obs"
@@ -48,10 +49,10 @@ func (c *Ctx) PutMem(dest SymAddr, src []byte, pe int) {
 	start := c.clk.Now()
 	addr, rkey, err := c.remoteAddr(pe, dest, len(src))
 	if err != nil {
-		panic(err.Error())
+		panic(fmt.Errorf("shmem: put to pe %d: %w", pe, err))
 	}
 	if err := c.conduit.Put(pe, addr, rkey, src); err != nil {
-		panic(err.Error())
+		panic(fmt.Errorf("shmem: put to pe %d: %w", pe, err))
 	}
 	if c.obs.Active() {
 		end := c.clk.Now()
@@ -69,10 +70,10 @@ func (c *Ctx) GetMem(dest []byte, src SymAddr, pe int) {
 	start := c.clk.Now()
 	addr, rkey, err := c.remoteAddr(pe, src, len(dest))
 	if err != nil {
-		panic(err.Error())
+		panic(fmt.Errorf("shmem: get from pe %d: %w", pe, err))
 	}
 	if err := c.conduit.Get(pe, addr, rkey, dest); err != nil {
-		panic(err.Error())
+		panic(fmt.Errorf("shmem: get from pe %d: %w", pe, err))
 	}
 	if c.obs.Active() {
 		end := c.clk.Now()

@@ -106,6 +106,7 @@ const (
 	amColl    uint8 = 1 // collective fragments
 	amSegInfo uint8 = 2 // segment-info broadcast / reply
 	amSegReq  uint8 = 3 // segment-info request (SegAMOnDemand)
+	amSignal  uint8 = 4 // put-with-signal delivery notification
 )
 
 // Ctx is one PE's OpenSHMEM context (the handle start_pes returns).

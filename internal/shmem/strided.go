@@ -1,6 +1,9 @@
 package shmem
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Strided transfers (shmem_iput/shmem_iget). Strides are in elements, as in
 // the OpenSHMEM specification. Each contiguous element is transferred
@@ -46,9 +49,9 @@ func (c *Ctx) GetMemNBI(dest []byte, src SymAddr, pe int) {
 	}
 	addr, rkey, err := c.remoteAddr(pe, src, len(dest))
 	if err != nil {
-		panic(err.Error())
+		panic(fmt.Errorf("shmem: get_nbi from pe %d: %w", pe, err))
 	}
 	if err := c.conduit.GetNBI(pe, addr, rkey, dest); err != nil {
-		panic(err.Error())
+		panic(fmt.Errorf("shmem: get_nbi from pe %d: %w", pe, err))
 	}
 }

@@ -64,6 +64,14 @@ type CostModel struct {
 	// ConnRetransmitTimeout is the virtual retransmission timeout for the
 	// UD-based connection handshake.
 	ConnRetransmitTimeout int64
+	// RQDrain is the time a received message occupies a receive-queue slot
+	// before the target's software reposts the buffer. With a finite
+	// per-QP receive-queue depth (Limits.RQDepth) a sender outpacing this
+	// drain rate gets receiver-not-ready NAKs.
+	RQDrain int64
+	// RNRRetryDelay is the sender's base backoff after a receiver-not-ready
+	// NAK or a zero-credit stall; retries back off exponentially from it.
+	RNRRetryDelay int64
 	// HeartbeatPeriod is the virtual time between failure-detector probe
 	// rounds; confirming a dead PE costs a bounded number of these periods.
 	HeartbeatPeriod int64
@@ -140,6 +148,8 @@ func Default() *CostModel {
 		AMProcess:             1 * Microsecond,
 		ConnReqProcess:        12 * Microsecond,
 		ConnRetransmitTimeout: 2 * Millisecond,
+		RQDrain:               5 * Microsecond,
+		RNRRetryDelay:         20 * Microsecond,
 		HeartbeatPeriod:       1 * Millisecond,
 
 		PMIPut:                  3 * Microsecond,
