@@ -1,7 +1,8 @@
 # Build/test entry points. Tier-1 is the gate every change must keep green
-# (see ROADMAP.md): build, the full test suite, and the full suite again
-# under the race detector. Tier-2 adds vet and the fixed-seed chaos soaks
-# (connection lifecycle, PE failure, control plane, resource churn).
+# (see ROADMAP.md): build, the full test suite, the full suite again under
+# the race detector, and a fast data-plane-integrity smoke. Tier-2 adds vet
+# and the fixed-seed chaos soaks (connection lifecycle, PE failure, control
+# plane, resource churn, data-plane integrity, combined).
 
 GO ?= go
 
@@ -9,11 +10,11 @@ GO ?= go
 # CHAOS_SEED=<seed> make soak (failures print the seed to replay).
 CHAOS_SEED ?= 1786034998553156286
 
-.PHONY: all tier1 tier2 build test vet race soak trace-demo bench clean
+.PHONY: all tier1 tier2 build test vet race soak smoke trace-demo bench clean
 
 all: tier1
 
-tier1: build test race
+tier1: build test race smoke
 
 build:
 	$(GO) build ./...
@@ -33,7 +34,15 @@ race:
 	$(GO) test -race -count=1 ./...
 
 soak:
-	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -count=1 -run 'TestChaosSoak|TestChaosRun|TestChaosPEFailureSoak|TestChaosControlPlaneSoak|TestResourceChurnSoak' ./internal/gasnet ./internal/cluster
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -count=1 -run 'TestChaosSoak|TestChaosRun|TestChaosPEFailureSoak|TestChaosControlPlaneSoak|TestResourceChurnSoak|TestIntegrityChaosSoak|TestChaosCombinedSoak' ./internal/gasnet ./internal/cluster
+
+# Fast end-to-end integrity smoke: one seeded traffic run with silent RC
+# corruption, torn RDMA writes and link flaps. The digest printed for this
+# seed is byte-identical to the fault-free run; the counters at the end must
+# show all three fault classes detected and recovered.
+smoke:
+	$(GO) run ./cmd/oshrun -np 8 -ppn 4 -app traffic \
+		-rc-corrupt 0.05 -torn-writes 0.05 -flap 0.02 -fault-seed 7
 
 # Write an 8-PE sample Perfetto trace (open trace-demo.json at
 # https://ui.perfetto.dev) plus the text report with phase breakdown,

@@ -6,8 +6,8 @@
 // Applications: hello, heat2d, ep, mg, bt, sp, graph500.
 // It reports the start_pes breakdown, total job time (virtual), and the
 // resource usage counters the paper studies. The fault plane is exposed for
-// resilience experiments: -drop/-dup/-flap/-slow/-corrupt inject fabric
-// faults, -kill-pe/-wedge-pe schedule PE failures,
+// resilience experiments: -drop/-dup/-flap/-slow/-corrupt/-rc-corrupt/
+// -torn-writes inject fabric faults, -kill-pe/-wedge-pe schedule PE failures,
 // -pmi-slow/-pmi-drop/-pmi-crash degrade the out-of-band control plane, and
 // -deadline arms the hung-job watchdog. See the README's fault-flag table.
 package main
@@ -183,6 +183,8 @@ func main() {
 	slow := flag.Float64("slow", 0, "probability an operation charges extra virtual time (PE slowdown)")
 	slowTime := flag.Float64("slow-time", 100, "slowdown charge in virtual microseconds (fabric and PMI)")
 	corrupt := flag.Float64("corrupt", 0, "probability a UD datagram has one bit flipped in flight (checksummed control frames recover via retransmission)")
+	rcCorrupt := flag.Float64("rc-corrupt", 0, "probability an RC payload has one bit flipped in flight (integrity trailers detect it; sends retransmit, RDMA replays over a reconnect)")
+	tornWrites := flag.Float64("torn-writes", 0, "probability a link fault tears an RDMA write mid-transfer, leaving a partial payload at the target until the clean replay overwrites it")
 	killPE := flag.String("kill-pe", "", "crash PEs at virtual times: rank@seconds[,rank@seconds...]")
 	wedgePE := flag.String("wedge-pe", "", "wedge PEs (stop progress, keep fabric ACKs) at virtual times: rank@seconds[,...]")
 	deadline := flag.Float64("deadline", 0, "virtual-time job deadline in seconds; the watchdog aborts the job past it (0 = none)")
@@ -203,7 +205,8 @@ func main() {
 		v    float64
 	}{
 		{"drop", *drop}, {"dup", *dup}, {"flap", *flap}, {"slow", *slow},
-		{"corrupt", *corrupt}, {"pmi-slow", *pmiSlow}, {"pmi-drop", *pmiDrop},
+		{"corrupt", *corrupt}, {"rc-corrupt", *rcCorrupt}, {"torn-writes", *tornWrites},
+		{"pmi-slow", *pmiSlow}, {"pmi-drop", *pmiDrop},
 	} {
 		if err := checkProb(p.name, p.v); err != nil {
 			fatalUsage(err)
@@ -305,7 +308,8 @@ func main() {
 			r := traffic.Run(c, traffic.Params{
 				SlotsPerPE: 6, Ops: 300, Epochs: 3,
 				Pattern: "zipf", ZipfS: 1.3,
-				GetFrac: 0.2, AddFrac: 0.3, QuietEvery: 32, Seed: 77,
+				GetFrac: 0.2, AddFrac: 0.3, QuietEvery: 32,
+				BulkEvery: 25, Seed: 77,
 			})
 			if c.Me() == 0 && !quiet {
 				fmt.Printf("traffic: digest %016x, %d puts %d gets %d adds, %d distinct peers\n",
@@ -318,7 +322,8 @@ func main() {
 	}
 
 	var faults *ib.FaultInjector
-	if *drop > 0 || *dup > 0 || *flap > 0 || *slow > 0 || *corrupt > 0 {
+	if *drop > 0 || *dup > 0 || *flap > 0 || *slow > 0 || *corrupt > 0 ||
+		*rcCorrupt > 0 || *tornWrites > 0 {
 		faults = ib.NewFaultInjector(*faultSeed)
 		faults.DropProb = *drop
 		faults.DupProb = *dup
@@ -326,6 +331,8 @@ func main() {
 		faults.SlowProb = *slow
 		faults.SlowTime = int64(*slowTime * float64(vclock.Microsecond))
 		faults.CorruptProb = *corrupt
+		faults.RCCorruptProb = *rcCorrupt
+		faults.TornWriteProb = *tornWrites
 	}
 	var pmiFaults *pmi.FaultInjector
 	if *pmiSlow > 0 || *pmiDrop > 0 || *pmiCrash >= 0 {
@@ -438,6 +445,8 @@ func main() {
 			{"credit stalls", c.CreditStalls}, {"rnr naks", c.RNRNaks},
 			{"alloc failures", c.AllocFailures}, {"bounce fallbacks", c.BounceFallbacks},
 			{"admission rejects", c.AdmissionRejects},
+			{"rc corrupt frames", c.RCCorruptFrames}, {"torn writes", c.TornWrites},
+			{"dup ops suppressed", c.DupOpsSuppressed}, {"integrity retransmits", c.IntegrityRetransmits},
 		}
 		fmt.Printf("\n--- resilience counters (all PEs) ---\n")
 		col := 0

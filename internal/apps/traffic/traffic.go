@@ -21,6 +21,7 @@
 package traffic
 
 import (
+	"encoding/binary"
 	"math/rand"
 
 	"goshmem/internal/shmem"
@@ -49,6 +50,16 @@ type Params struct {
 	// QuietEvery bounds outstanding one-sided ops: a Quiet is issued every
 	// this many ops (default 64).
 	QuietEvery int
+	// BulkEvery, when positive, issues a bulk put every this many ops: a
+	// multi-packet RDMA write of BulkWords int64s into the source's own
+	// region of the target's bulk array. One-sided data-plane faults (torn
+	// writes, dropped corrupt packets) act at link-packet granularity, so
+	// only writes spanning several packets exercise the partial-landing and
+	// replay-overwrite paths — the word-sized put/signal stream never can.
+	BulkEvery int
+	// BulkWords sizes the bulk put (default 1536 words = 12 KiB, three link
+	// packets).
+	BulkWords int
 	// Seed derives every PE's private stream.
 	Seed int64
 }
@@ -95,9 +106,19 @@ func Run(c *shmem.Ctx, p Params) Result {
 	if p.HotFrac <= 0 {
 		p.HotFrac = 0.6
 	}
+	if p.BulkWords <= 0 {
+		p.BulkWords = 1536
+	}
 	putArr := c.Malloc(8 * np * p.SlotsPerPE) // region s: slots [s*SlotsPerPE, ...)
 	addArr := c.Malloc(8 * p.SlotsPerPE)
 	sigArr := c.Malloc(8 * np) // word s: puts delivered by source s
+	var bulkArr shmem.SymAddr
+	if p.BulkEvery > 0 {
+		bulkArr = c.Malloc(8 * np * p.BulkWords) // region s: words [s*BulkWords, ...)
+		for i := 0; i < np*p.BulkWords; i++ {
+			c.StoreInt64(bulkArr, i, 0)
+		}
+	}
 	for i := 0; i < np*p.SlotsPerPE; i++ {
 		c.StoreInt64(putArr, i, 0)
 	}
@@ -138,6 +159,10 @@ func Run(c *shmem.Ctx, p Params) Result {
 	}
 
 	myRegion := shmem.SymAddr(8 * me * p.SlotsPerPE)
+	var bulkBuf []byte
+	if p.BulkEvery > 0 {
+		bulkBuf = make([]byte, 8*p.BulkWords)
+	}
 	for i := 0; i < p.Ops; i++ {
 		epoch := i / perEpoch
 		tgt := target(epoch)
@@ -159,6 +184,18 @@ func Run(c *shmem.Ctx, p Params) Result {
 			v := int64(me+1)*1_000_000 + int64(i)
 			c.P64Signal(putArr+myRegion+shmem.SymAddr(8*slot), v,
 				sigArr+shmem.SymAddr(8*me), 1, tgt)
+			res.Puts++
+		}
+		if p.BulkEvery > 0 && (i+1)%p.BulkEvery == 0 {
+			// Bulk leg: only this PE ever writes its region of the target's
+			// bulk array, so last-write-wins within one in-order stream keeps
+			// the final state deterministic even when a tear or dropped
+			// packet forces a replay over a partial landing.
+			for w := 0; w < p.BulkWords; w++ {
+				binary.LittleEndian.PutUint64(bulkBuf[8*w:],
+					uint64(int64(me+1)*1_000_000_000+int64(i)*1_000+int64(w)))
+			}
+			c.PutMem(bulkArr+shmem.SymAddr(8*me*p.BulkWords), bulkBuf, tgt)
 			res.Puts++
 		}
 		if (i+1)%p.QuietEvery == 0 {
@@ -189,6 +226,11 @@ func Run(c *shmem.Ctx, p Params) Result {
 	}
 	for i := 0; i < np; i++ {
 		fold(c.LoadInt64(sigArr, i))
+	}
+	if p.BulkEvery > 0 {
+		for i := 0; i < np*p.BulkWords; i++ {
+			fold(c.LoadInt64(bulkArr, i))
+		}
 	}
 	res.Digest = d
 	res.DistinctPeers = len(peers)

@@ -99,6 +99,12 @@ type Counters struct {
 	AllocFailures    int // QP/MR allocations refused (budget or injected)
 	BounceFallbacks  int // heap registrations degraded to bounce-buffering
 	AdmissionRejects int // connection REQs rejected at a QP cap
+
+	// Data-plane integrity leg (RC payload faults and exactly-once recovery).
+	RCCorruptFrames      int // RC payloads damaged in flight and detected
+	TornWrites           int // RDMA writes torn mid-transfer by link faults
+	DupOpsSuppressed     int // duplicate framed ops suppressed by dedup ledgers
+	IntegrityRetransmits int // framed sends replayed after NAK/RTO/reconnect
 }
 
 // Counters sums the per-PE failure/resilience counters.
@@ -122,6 +128,10 @@ func (r *Result) Counters() Counters {
 		c.AllocFailures += p.Stats.AllocFailures
 		c.BounceFallbacks += p.Stats.BounceFallbacks
 		c.AdmissionRejects += p.Stats.AdmissionRejects
+		c.RCCorruptFrames += p.Stats.RCCorruptFrames
+		c.TornWrites += p.Stats.TornWrites
+		c.DupOpsSuppressed += p.Stats.DupOpsSuppressed
+		c.IntegrityRetransmits += p.Stats.IntegrityRetransmits
 	}
 	return c
 }

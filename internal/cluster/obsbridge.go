@@ -63,6 +63,10 @@ func mirrorCounters(plane *obs.Plane, res *Result) {
 		t.AllocFailures += s.AllocFailures
 		t.BounceFallbacks += s.BounceFallbacks
 		t.AdmissionRejects += s.AdmissionRejects
+		t.RCCorruptFrames += s.RCCorruptFrames
+		t.TornWrites += s.TornWrites
+		t.DupOpsSuppressed += s.DupOpsSuppressed
+		t.IntegrityRetransmits += s.IntegrityRetransmits
 	}
 	reg := plane.Registry()
 	reg.Counter("gasnet.qps_created").Add(int64(t.QPsCreated))
@@ -91,6 +95,10 @@ func mirrorCounters(plane *obs.Plane, res *Result) {
 	reg.Counter("gasnet.alloc_failures").Add(int64(t.AllocFailures))
 	reg.Counter("gasnet.bounce_fallbacks").Add(int64(t.BounceFallbacks))
 	reg.Counter("gasnet.admission_rejects").Add(int64(t.AdmissionRejects))
+	reg.Counter("gasnet.rc_corrupt_frames").Add(int64(t.RCCorruptFrames))
+	reg.Counter("gasnet.torn_writes").Add(int64(t.TornWrites))
+	reg.Counter("gasnet.dup_ops_suppressed").Add(int64(t.DupOpsSuppressed))
+	reg.Counter("gasnet.integrity_retransmits").Add(int64(t.IntegrityRetransmits))
 	for _, h := range res.HCA {
 		reg.Counter("ib.qps_created_ud").Add(h.QPsCreatedUD)
 		reg.Counter("ib.qps_created_rc").Add(h.QPsCreatedRC)

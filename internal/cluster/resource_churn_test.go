@@ -27,8 +27,13 @@ const (
 )
 
 func churnParams() traffic.Params {
+	// BulkEvery keeps multi-packet RDMA writes in the stream: one-sided
+	// torn-write/dropped-packet faults act at link-packet granularity, so
+	// without a bulk leg the word-sized traffic could never exercise the
+	// partial-landing replay paths the integrity soaks assert on.
 	return traffic.Params{SlotsPerPE: 6, Ops: 300, Epochs: 3, Pattern: "zipf",
-		ZipfS: 1.3, GetFrac: 0.2, AddFrac: 0.3, QuietEvery: 32, Seed: 77}
+		ZipfS: 1.3, GetFrac: 0.2, AddFrac: 0.3, QuietEvery: 32,
+		BulkEvery: 25, Seed: 77}
 }
 
 // runChurn executes the irregular-traffic soak and returns the per-rank

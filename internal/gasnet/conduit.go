@@ -159,6 +159,14 @@ type Stats struct {
 	BounceFallbacks  int // heap registrations degraded to bounce-buffering
 	AdmissionRejects int // connection REQs this PE rejected at its QP cap
 
+	// Data-plane integrity counters (session.go/integrity.go): RC payload
+	// faults detected and the exactly-once recovery machinery that absorbed
+	// them. All zero on a fault-free run.
+	RCCorruptFrames      int // RC payloads damaged in flight (trailer/link CRC)
+	TornWrites           int // RDMA writes torn mid-transfer by a link fault
+	DupOpsSuppressed     int // duplicate framed ops suppressed by the dedup ledger
+	IntegrityRetransmits int // framed sends replayed after NAK, RTO or reconnect
+
 	// Flows is this PE's row of the communication matrix: per-peer op and
 	// byte counts split by kind (put/get/atomic/am/coll/barrier/ctrl),
 	// sorted by peer. Nil unless obs.Config.Flows was enabled.
@@ -213,6 +221,20 @@ type conn struct {
 	// rejecting adapters). The retransmission timer re-allocates an endpoint
 	// and re-sends the REQ under a fresh attempt number.
 	rejWait bool
+
+	// Data-plane session state (session.go; maintained only on lossy
+	// fabrics). Deliberately NOT reset by teardownLocked: sequences, retained
+	// frames and the dedup ledger span connection incarnations — that
+	// continuity is the whole point.
+	txSeq    uint64       // last transfer sequence framed to this peer
+	unacked  []retainedTx // framed sends awaiting cumulative ACK, in seq order
+	rxMax    uint64       // highest in-order sequence executed from this peer
+	lastData time.Time    // real time of last framed post (RTO baseline)
+	// dataAttempt counts consecutive RTO-driven replays without cumulative
+	// ACK progress; the timeout backs off exponentially on it (rtoFor), so a
+	// peer that will never acknowledge (wedged software, live hardware) does
+	// not generate fabric traffic forever and defeat stall detection.
+	dataAttempt int
 }
 
 // Conduit is one PE's endpoint on the fabric.
@@ -248,7 +270,15 @@ type Conduit struct {
 	outMu       sync.Mutex
 	outCond     *sync.Cond
 	outstanding int
+	unackedWin  int // framed sends retained but not yet cumulatively ACKed
 	lastPutVT   int64
+
+	// Data-plane session layer (session.go): armed only on lossy fabrics.
+	lossy      bool
+	qpPeer     map[uint32]int // local RC QPN -> peer rank (guarded by connMu)
+	atomicMu   sync.Mutex
+	atomicWait map[uint64]chan atomicResult
+	atomicTok  uint64
 
 	// udMu single-flights endpoint resolution: the app thread, handshake
 	// recovery goroutines and the heartbeat prober can all race into
@@ -308,6 +338,15 @@ func New(cfg Config) *Conduit {
 		closeCh: make(chan struct{}),
 		retrans: cfg.Retrans.withDefaults(),
 		obs:     cfg.Obs,
+		lossy:   cfg.HCA.Fabric().Lossy(),
+	}
+	if c.lossy {
+		c.qpPeer = make(map[uint32]int)
+		c.atomicWait = make(map[uint64]chan atomicResult)
+		// The session layer's own active messages (framed atomics) use the
+		// reserved handler ids; installed before the progress goroutine runs.
+		c.handlers[amAtomicReq] = c.handleAtomicReq
+		c.handlers[amAtomicRep] = c.handleAtomicRep
 	}
 	c.hConnect = c.obs.Hist("gasnet.connect_ns")
 	c.hFirstOp = c.obs.Hist("gasnet.first_op_penalty_ns")
@@ -338,6 +377,12 @@ func New(cfg Config) *Conduit {
 	mustQP(c.udQP.ToRTR(ib.Dest{}))
 	mustQP(c.udQP.ToRTS())
 	c.hbInit()
+	if cfg.Mode != Static {
+		// Cooperative adapter-wide eviction: siblings sharing this HCA may
+		// ask us to release an idle RC endpoint when their allocations stall.
+		// The static baseline has no reconnect path, so it never volunteers.
+		cfg.HCA.RegisterRelief(c.reliefEvict)
+	}
 	c.wg.Add(1)
 	go c.progress()
 	return c
@@ -581,6 +626,9 @@ type deferredAM struct {
 // RegisterHandler installs an active-message handler and replays any
 // messages for this id that arrived before registration.
 func (c *Conduit) RegisterHandler(id uint8, h Handler) {
+	if id >= amAtomicReq {
+		panic(fmt.Sprintf("gasnet: handler id %d is reserved for the conduit", id))
+	}
 	c.connMu.Lock()
 	c.handlers[id] = h
 	queued := c.deferredAM[id]
@@ -751,6 +799,12 @@ func (c *Conduit) atomicOp(peer int, wr ib.SendWR) (uint64, error) {
 	c.stats.AtomicsIssued++
 	c.statMu.Unlock()
 	c.obs.Flow(peer, obs.FlowAtomic, 8) // atomics operate on one uint64
+	if c.lossy {
+		// On a lossy fabric atomics ride framed active messages so the dedup
+		// ledger guards them: a fabric-level atomic whose ACK is lost would be
+		// re-executed by a replay, double-applying the side effect.
+		return c.atomicOverAM(peer, wr)
+	}
 	wr.WRID = c.wrid.Add(1)
 	comp, err := c.postWait(peer, wr)
 	if err != nil {
@@ -802,7 +856,7 @@ func (c *Conduit) Quiet() {
 		panic(err)
 	}
 	c.outMu.Lock()
-	for c.outstanding > 0 {
+	for c.outstanding > 0 || c.unackedWin > 0 {
 		if err := c.LivenessErr(); err != nil {
 			c.outMu.Unlock()
 			panic(err)
@@ -931,6 +985,38 @@ func (c *Conduit) Close() {
 			c.connCond.Wait()
 		}
 		c.connMu.Unlock()
+		// On a lossy fabric the retained session windows must drain too: a
+		// frame the peer NAKed (corrupt on delivery) has not executed, and
+		// the peer cannot finish its own final barrier without the replay —
+		// quitting now would take the RTO timer with us and strand it. The
+		// wait is progress-bounded rather than absolute: a peer that already
+		// executed everything (only the acknowledgements were lost) may have
+		// closed and gone deaf, so once the retained count stops moving for
+		// two maximum RTOs the leftover frames are presumed executed and
+		// teardown proceeds. With a live peer that still needs the data the
+		// count always moves: every RTO replays, the peer executes and acks.
+		if c.lossy {
+			patience := 2 * c.rtoFor(c.retrans.MaxShift)
+			if patience < 100*time.Millisecond {
+				patience = 100 * time.Millisecond
+			}
+			last, still := -1, time.Duration(0)
+			for c.Err() == nil {
+				c.outMu.Lock()
+				n := c.unackedWin
+				c.outMu.Unlock()
+				if n == 0 {
+					break
+				}
+				if n != last {
+					last, still = n, 0
+				} else if still >= patience {
+					break
+				}
+				time.Sleep(time.Millisecond)
+				still += time.Millisecond
+			}
+		}
 		c.closed.Store(true)
 		close(c.closeCh)
 		c.hbStop()
@@ -1031,12 +1117,22 @@ func (c *Conduit) putDone(comp ib.Completion) {
 }
 
 func (c *Conduit) handleAM(comp ib.Completion) {
-	handler, src, args, payload, err := decodeAM(comp.Data)
-	if err != nil {
-		return
-	}
 	if c.arrivalFate(comp.VTime) != selfAlive {
 		return // a killed or wedged PE's software dispatches nothing
+	}
+	data := comp.Data
+	if c.lossy {
+		// Session layer first: verify the integrity trailer and dedup before
+		// a single byte of the frame reaches a handler.
+		inner, ok := c.sessionAccept(comp)
+		if !ok {
+			return
+		}
+		data = inner
+	}
+	handler, src, args, payload, err := decodeAM(data)
+	if err != nil {
+		return
 	}
 	c.noteAlive(src)
 	at := comp.VTime + c.model.AMProcess

@@ -36,6 +36,12 @@ func msgName(kind uint8) string {
 		return "abort"
 	case msgConnRej:
 		return "conn-rej"
+	case msgDataAck:
+		return "data-ack"
+	case msgDataNak:
+		return "data-nak"
+	case msgDataProbe:
+		return "data-probe"
 	}
 	return "unknown"
 }
@@ -262,6 +268,13 @@ func (c *Conduit) maybeEvictLocked(excludePeer int, vt int64) {
 			return
 		}
 		c.teardownLocked(victim)
+		if len(victim.unacked) > 0 {
+			// A last-resort victim still retaining unacknowledged frames: its
+			// replay reconnect starts a full RTO out so the slot we just freed
+			// is not immediately reclaimed by the victim itself.
+			victim.lastData = timeNow()
+			victim.dataAttempt++
+		}
 		c.statMu.Lock()
 		c.stats.Evictions++
 		c.statMu.Unlock()
@@ -271,9 +284,15 @@ func (c *Conduit) maybeEvictLocked(excludePeer int, vt int64) {
 
 // pickVictimLocked returns the least-recently-used evictable connection:
 // ready, no queued traffic, not the excluded peer, not the self-loopback.
+// Connections retaining unacknowledged framed sends are kept as a last
+// resort: evicting one strands its retained window until the RTO-driven
+// reconnect replays it, delaying any Quiet waiting on the acknowledgements —
+// but refusing outright could leave the budget-constrained adapter with no
+// victim at all, turning a transient ACK delay into a spurious
+// resource-exhaustion abort.
 func (c *Conduit) pickVictimLocked(excludePeer int) (*conn, int) {
-	var victim *conn
-	vpeer := -1
+	var victim, dirty *conn
+	vpeer, dpeer := -1, -1
 	consider := func(peer int, cn *conn) {
 		if cn == nil || cn.state != connReady || len(cn.pending) > 0 {
 			return
@@ -286,6 +305,13 @@ func (c *Conduit) pickVictimLocked(excludePeer int) (*conn, int) {
 		// without the tie-break the map iteration order would pick the victim —
 		// making eviction (and everything downstream: reconnects, the flow
 		// matrix's ctrl column, lifecycle timelines) schedule-dependent.
+		if len(cn.unacked) > 0 {
+			if dirty == nil || cn.lastUse < dirty.lastUse ||
+				(cn.lastUse == dirty.lastUse && peer < dpeer) {
+				dirty, dpeer = cn, peer
+			}
+			return
+		}
 		if victim == nil || cn.lastUse < victim.lastUse ||
 			(cn.lastUse == victim.lastUse && peer < vpeer) {
 			victim, vpeer = cn, peer
@@ -300,7 +326,38 @@ func (c *Conduit) pickVictimLocked(excludePeer int) (*conn, int) {
 			consider(peer, cn)
 		}
 	}
+	if victim == nil {
+		return dirty, dpeer
+	}
 	return victim, vpeer
+}
+
+// reliefEvict is this conduit's pressure-relief hook, registered with the
+// shared adapter (ib.HCA.RegisterRelief): evict the least-recently-used idle
+// connection so a node-local sibling's stalled queue-pair allocation can
+// proceed. Unlike maybeEvictLocked it ignores the live-RC cap — the request
+// itself is the proof of pressure. The evicted peer reconnects on demand.
+func (c *Conduit) reliefEvict(vt int64) bool {
+	if c.closed.Load() {
+		return false
+	}
+	c.connMu.Lock()
+	victim, peer := c.pickVictimLocked(-1)
+	if victim == nil {
+		c.connMu.Unlock()
+		return false
+	}
+	c.teardownLocked(victim)
+	if len(victim.unacked) > 0 {
+		victim.lastData = timeNow()
+		victim.dataAttempt++
+	}
+	c.connMu.Unlock()
+	c.statMu.Lock()
+	c.stats.Evictions++
+	c.statMu.Unlock()
+	c.event("conn-evict", peer, vt)
+	return true
 }
 
 // payload returns the upper layer's connect payload, or nil.
@@ -397,8 +454,13 @@ func (c *Conduit) postRNR(qp *ib.QP, wr ib.SendWR) error {
 //
 // A post that fails because the connection died underneath it (link flap,
 // peer eviction) tears the connection down and loops: the work request is
-// queued behind a fresh handshake and delivered exactly once — the fabric
-// fails faulted operations before any byte moves.
+// queued behind a fresh handshake and re-executed there. For most faults the
+// fabric fails the operation before any byte moves; a torn or corrupted RDMA
+// payload (ib.ErrTornWrite, ib.ErrRCCorrupt) lands damage first — the clean
+// replay overwrites it before the operation ever completes, so Quiet never
+// observes the damage. Two-sided sends on a lossy fabric additionally go
+// through the framed session path (session.go) for end-to-end integrity and
+// exactly-once delivery.
 func (c *Conduit) post(peer int, wr ib.SendWR, clonePending bool) error {
 	if peer < 0 || peer >= c.cfg.NProcs {
 		return fmt.Errorf("gasnet: peer %d out of range [0,%d)", peer, c.cfg.NProcs)
@@ -421,12 +483,27 @@ func (c *Conduit) post(peer int, wr ib.SendWR, clonePending bool) error {
 					c.creditGateLocked(cn, depth, len(wr.Data))
 				}
 			}
+			if c.lossy && wr.Op == ib.OpSend {
+				// Framed session path: sequence, trailer and retention happen
+				// under connMu so wire order equals sequence order. wr.Data is
+				// never mutated (the framing reallocates), so the outer wr can
+				// be re-queued untouched if the link fails.
+				err := c.postFramedLocked(cn, wr, c.clk)
+				c.connMu.Unlock()
+				if err == nil || !isLinkFault(err) {
+					return err
+				}
+				c.noteDataFault(err)
+				c.noteLinkFault(peer, epoch)
+				continue
+			}
 			c.connMu.Unlock()
 			wr.Clk = c.clk
 			err := c.postRNR(qp, wr)
 			if err == nil || !isLinkFault(err) {
 				return err
 			}
+			c.noteDataFault(err)
 			c.noteLinkFault(peer, epoch)
 			// Loop: the slot is connNone now (or another poster already
 			// restarted the handshake); re-queue this request behind it.
@@ -535,6 +612,13 @@ func (c *Conduit) allocRCQPLocked(peer int, clk *vclock.Clock) (*ib.QP, error) {
 		}
 		c.connMu.Unlock()
 		c.event("qp-alloc-retry", peer, clk.Now())
+		// Our own idle connections are gone (maybeEvictLocked found no more
+		// victims); ask the adapter's other tenants to release one before
+		// backing off. Without this cross-process half of eviction, a PE
+		// whose node-local siblings pin the whole budget — but, being idle,
+		// never allocate and so never evict — reads the motionless destroy
+		// counter as exhaustion and aborts a perfectly recoverable job.
+		c.cfg.HCA.RequestRelief(clk.Now())
 		clk.Advance(c.model.RNRRetryDelay << shift)
 		// Give the manager thread real time to finish the in-flight
 		// handshakes that are pinning the budget; virtual time alone cannot
@@ -613,12 +697,13 @@ func (c *Conduit) initiate(peer int) error {
 		return e
 	}
 	cn.qp = qp
+	c.mapQPLocked(qp, peer)
 	cn.peerUD = ud
 	cn.firstTx = c.clk.Now()
 	cn.lastTx = timeNow()
 	cn.attempt = 0
 	req := connMsg{Kind: msgConnReq, SrcRank: int32(c.cfg.Rank), Seq: seq,
-		RC: qp.Addr(), UD: c.udQP.Addr(), Payload: c.payload()}
+		RC: qp.Addr(), UD: c.udQP.Addr(), Payload: c.connPayloadLocked(peer)}
 	c.armTimerLocked()
 	c.connMu.Unlock()
 	c.event("conn-initiate", peer, c.clk.Now())
@@ -670,6 +755,8 @@ func (c *Conduit) connectSelfLocked(cn *conn) error {
 	}
 	cn.qp = a
 	cn.loopbk = b
+	c.mapQPLocked(a, c.cfg.Rank)
+	c.mapQPLocked(b, c.cfg.Rank)
 	cn.readyVT = c.clk.Now()
 	c.consumePayloadLocked(cn, c.cfg.Rank, c.payload(), cn.readyVT)
 	cn.state = connReady
@@ -757,6 +844,12 @@ func (c *Conduit) handleControl(comp ib.Completion) {
 		c.handleRTU(m, svc)
 	case msgConnRej:
 		c.handleRej(m, svc)
+	case msgDataAck:
+		c.handleDataAck(int(m.SrcRank), m.Payload, false, svc)
+	case msgDataNak:
+		c.handleDataAck(int(m.SrcRank), m.Payload, true, svc)
+	case msgDataProbe:
+		c.handleDataProbe(int(m.SrcRank), svc)
 	case msgHeartbeat:
 		// Echo a liveness ack to the prober, on the manager thread.
 		c.sendControl(int(m.SrcRank), m.UD, connMsg{Kind: msgHeartbeatAck, SrcRank: int32(c.cfg.Rank),
@@ -811,7 +904,7 @@ func (c *Conduit) handleReq(m connMsg, at int64, svc *vclock.Clock) {
 			// processed the original reply to send RTU, but a stale duplicate
 			// is still answered; the client ignores replies when ready.)
 			rep := connMsg{Kind: msgConnRep, SrcRank: int32(c.cfg.Rank), Seq: cn.seq,
-				RC: cn.qp.Addr(), UD: c.udQP.Addr(), Payload: c.payload()}
+				RC: cn.qp.Addr(), UD: c.udQP.Addr(), Payload: c.connPayloadLocked(peer)}
 			ud := cn.peerUD
 			c.connMu.Unlock()
 			c.sendControl(peer, ud, rep, svc)
@@ -904,6 +997,7 @@ func (c *Conduit) handleReq(m connMsg, at int64, svc *vclock.Clock) {
 		return
 	}
 	cn.qp = qp
+	c.mapQPLocked(qp, peer)
 	cn.peerUD = m.UD
 	cn.seq = m.Seq
 	if m.Seq > cn.seqHi {
@@ -912,10 +1006,10 @@ func (c *Conduit) handleReq(m connMsg, at int64, svc *vclock.Clock) {
 	cn.firstTx = svc.Now()
 	cn.lastTx = timeNow()
 	cn.attempt = 0
-	c.consumePayloadLocked(cn, peer, m.Payload, svc.Now())
+	c.consumePayloadLocked(cn, peer, c.stripSessionPayloadLocked(cn, m.Payload), svc.Now())
 	cn.state = connAccepted
 	rep := connMsg{Kind: msgConnRep, SrcRank: int32(c.cfg.Rank), Seq: m.Seq,
-		RC: qp.Addr(), UD: c.udQP.Addr(), Payload: c.payload()}
+		RC: qp.Addr(), UD: c.udQP.Addr(), Payload: c.connPayloadLocked(peer)}
 	c.armTimerLocked()
 	c.connMu.Unlock()
 	c.event("conn-req-served", peer, svc.Now())
@@ -991,7 +1085,7 @@ func (c *Conduit) handleRep(m connMsg, svc *vclock.Clock) {
 		}
 		cn.peerUD = m.UD
 		cn.readyVT = svc.Now()
-		c.consumePayloadLocked(cn, peer, m.Payload, cn.readyVT)
+		c.consumePayloadLocked(cn, peer, c.stripSessionPayloadLocked(cn, m.Payload), cn.readyVT)
 		cn.state = connReady
 		c.nReady++
 		recon := cn.everReady
@@ -1147,6 +1241,15 @@ func (c *Conduit) handleRej(m connMsg, svc *vclock.Clock) {
 // and a fresh client handshake is kicked off, so every queued request is
 // still delivered exactly once. Returns false in that case.
 func (c *Conduit) flushLocked(cn *conn, peer int) bool {
+	if c.lossy && len(cn.unacked) > 0 {
+		// Replay the retained frames first, before anything newly queued: the
+		// receiver's dedup ledger suppresses what it already executed, and a
+		// delivery the old connection corrupted or tore is overwritten by this
+		// clean replay before any Quiet can complete.
+		if !c.resendUnackedLocked(cn, peer, vclock.NewClock(cn.readyVT)) {
+			return false
+		}
+	}
 	if len(cn.pending) == 0 {
 		return true
 	}
@@ -1162,7 +1265,15 @@ func (c *Conduit) flushLocked(cn *conn, peer int) bool {
 		fc.AdvanceTo(p.enq)
 		wr := p.wr
 		wr.Clk = fc
-		if err := c.postRNR(cn.qp, wr); err != nil {
+		var err error
+		if c.lossy && wr.Op == ib.OpSend {
+			// Queued sends were never framed (p.wr keeps the caller's bytes);
+			// they take a fresh sequence now, on the flush clock.
+			err = c.postFramedLocked(cn, wr, fc)
+		} else {
+			err = c.postRNR(cn.qp, wr)
+		}
+		if err != nil {
 			if !isLinkFault(err) {
 				// Non-recoverable local fault (e.g. MTU): drop the request as
 				// a direct post would, keep flushing the rest.
@@ -1212,8 +1323,13 @@ func (c *Conduit) retransScan() {
 		m    connMsg
 		at   int64 // virtual retransmission time (deterministic per attempt)
 	}
+	type windowProbe struct {
+		peer  int
+		txSeq uint64
+	}
 	var resend []tx
 	var reinit []int
+	var probes []windowProbe
 	recycled := false
 	c.connMu.Lock()
 	c.timerOn = false
@@ -1221,6 +1337,34 @@ func (c *Conduit) retransScan() {
 	scan := func(peer int, cn *conn) {
 		if cn == nil {
 			return
+		}
+		if c.lossy && len(cn.unacked) > 0 {
+			switch {
+			case cn.state == connReady && now.Sub(cn.lastData) >= c.rtoFor(cn.dataAttempt):
+				// RTO: no cumulative ACK progress since the last framed post.
+				// Either the frames or their acknowledgements were lost on the
+				// UD side; replay — the ledger absorbs any duplicates.
+				cn.lastData = now
+				cn.dataAttempt++
+				c.resendUnackedLocked(cn, peer, vclock.NewClock(c.mgrClk.Now()))
+			case cn.state == connNone && len(cn.pending) == 0 &&
+				now.Sub(cn.lastData) >= c.rtoFor(cn.dataAttempt):
+				// A torn-down connection retaining frames with nothing queued
+				// to trigger a reconnect. Left alone, the retained window (and
+				// any Quiet on it) would hang forever — but a post that
+				// succeeded was delivered (an errored post rolls its sequence
+				// back), so in the common case only the acknowledgement was
+				// the casualty and the frames need trimming, not resending.
+				// Probe the peer's cumulative sequence over UD: no queue-pair
+				// budget is consumed, and under eviction churn the probes
+				// cannot stampede the peer's admission control the way
+				// replay reconnects did. Only if the reply leaves frames
+				// retained — data genuinely missing — does handleDataAck
+				// restart the handshake. Throttled by the RTO backoff.
+				cn.lastData = now
+				cn.dataAttempt++
+				probes = append(probes, windowProbe{peer, cn.txSeq})
+			}
 		}
 		if cn.state != connConnecting && cn.state != connAccepted {
 			return
@@ -1239,7 +1383,7 @@ func (c *Conduit) retransScan() {
 			// interleavings the message-level guards don't cover.
 			c.teardownLocked(cn)
 			recycled = true
-			if len(cn.pending) > 0 {
+			if len(cn.pending) > 0 || len(cn.unacked) > 0 {
 				reinit = append(reinit, peer)
 			}
 			c.event("conn-recycle", peer, c.mgrClk.Now())
@@ -1280,6 +1424,7 @@ func (c *Conduit) retransScan() {
 			cn.seq++
 			cn.seqHi = cn.seq
 			cn.qp = qp
+			c.mapQPLocked(qp, peer)
 			cn.rejWait = false
 			c.event("conn-rearm", peer, c.mgrClk.Now())
 		}
@@ -1296,7 +1441,7 @@ func (c *Conduit) retransScan() {
 		}
 		resend = append(resend, tx{peer, cn.peerUD, connMsg{Kind: kind,
 			SrcRank: int32(c.cfg.Rank), Seq: cn.seq, RC: cn.qp.Addr(),
-			UD: c.udQP.Addr(), Payload: c.payload()}, at})
+			UD: c.udQP.Addr(), Payload: c.connPayloadLocked(peer)}, at})
 	}
 	if c.connSlice != nil {
 		for peer, cn := range c.connSlice {
@@ -1307,7 +1452,7 @@ func (c *Conduit) retransScan() {
 			scan(peer, cn)
 		}
 	}
-	if c.hasPendingLocked() {
+	if c.hasPendingLocked() || c.hasUnackedLocked() {
 		c.armTimerLocked()
 	}
 	if recycled {
@@ -1317,6 +1462,9 @@ func (c *Conduit) retransScan() {
 	c.connMu.Unlock()
 	for _, peer := range reinit {
 		c.initiate(peer)
+	}
+	for _, p := range probes {
+		c.sendDataCtl(p.peer, msgDataProbe, p.txSeq, c.mgrClk.Now())
 	}
 	if len(resend) > 0 {
 		c.statMu.Lock()

@@ -213,6 +213,7 @@ func (c *Conduit) enterKilled(now int64) {
 			c.teardownLocked(cn)
 		}
 		cn.pending = nil
+		c.dropUnackedLocked(cn)
 	}
 	if c.connSlice != nil {
 		for peer, cn := range c.connSlice {
@@ -375,6 +376,13 @@ func (c *Conduit) hbScan() {
 	// reaches a PE whose in-band abort datagram was lost — or that is wedged
 	// and no longer processes software messages.
 	if n, ok := c.cfg.PMI.Aborted(); ok && c.Err() == nil {
+		// Mark the dead rank before publishing the abort error, matching
+		// handleAbortMsg: once Err() is observable, PeerDead(dead) must
+		// already hold, so callers can fail-fast without a window where the
+		// job is aborted but the victim still looks alive.
+		if n.Dead >= 0 && n.Dead < c.cfg.NProcs && n.Dead != c.cfg.Rank {
+			c.markDead(n.Dead)
+		}
 		c.raiseLocal(&AbortError{Origin: n.Origin, Dead: n.Dead, Code: n.Code, Reason: n.Reason})
 	}
 	if c.Err() != nil {
@@ -516,6 +524,9 @@ func (c *Conduit) markDead(peer int) bool {
 		if cn.state != connNone {
 			c.teardownLocked(cn)
 		}
+		// Frames retained for a dead peer will never be acknowledged; release
+		// them so Quiet does not wait on a ghost.
+		c.dropUnackedLocked(cn)
 	}
 	c.connMu.Unlock()
 	c.connCond.Broadcast()

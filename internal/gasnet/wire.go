@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 
 	"goshmem/internal/ib"
 )
@@ -34,6 +33,23 @@ const (
 	// server proved forward progress impossible (cap reached with no live
 	// connection to ever evict), so the client must abort rather than retry.
 	msgConnRej uint8 = 7
+
+	// Data-plane session acknowledgements (integrity.go). Both carry the
+	// receiver's cumulative in-order sequence for the pair in the payload
+	// ([seq u64]): an ACK lets the sender release every retained frame up to
+	// and including seq; a NAK additionally asks it to retransmit everything
+	// past seq (a corrupt frame or a sequence gap was observed).
+	msgDataAck uint8 = 8
+	msgDataNak uint8 = 9
+
+	// msgDataProbe solicits a fresh cumulative ACK for the pair (payload is
+	// the prober's highest posted sequence, for the trace). A sender whose
+	// connection was torn down while frames were still retained probes over
+	// UD instead of reconnecting: posts that succeeded were delivered, so the
+	// usual case is that only the acknowledgement was lost and the reply
+	// trims the window without consuming any queue-pair budget. A reconnect
+	// happens only if the reply proves data is genuinely missing.
+	msgDataProbe uint8 = 10
 )
 
 // connMsg is the UD control datagram for connection establishment.
@@ -60,14 +76,6 @@ const connMsgCRCOff = connMsgHdr - 4
 // framing) verification. The receiver discards it; the sender's
 // retransmission timer re-delivers the content.
 var errCorruptFrame = errors.New("gasnet: corrupt control frame")
-
-// connMsgSum computes the frame checksum with the CRC field treated as zero.
-func connMsgSum(b []byte) uint32 {
-	var zero [4]byte
-	sum := crc32.ChecksumIEEE(b[:connMsgCRCOff])
-	sum = crc32.Update(sum, crc32.IEEETable, zero[:])
-	return crc32.Update(sum, crc32.IEEETable, b[connMsgHdr:])
-}
 
 func (m *connMsg) encode() []byte {
 	b := make([]byte, connMsgHdr+len(m.Payload))

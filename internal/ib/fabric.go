@@ -277,6 +277,14 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 		dh.mu.Unlock()
 
 		data := append([]byte(nil), wr.Data...)
+		// Injected RC payload corruption: the delivered copy is damaged while
+		// wr.Data stays pristine for any software retransmission. Two-sided
+		// sends carry a software integrity trailer in this runtime, so the
+		// flip is delivered silently and detection is the receiver's job.
+		if f.faults.rcCorruptData(data) {
+			q.obs.Emit(clk.Now(), obs.LayerIB, "fault-rc-corrupt", -1, int64(len(data)))
+			q.obs.Count("ib.fault.rc_corrupt", 1)
+		}
 		dh.countDelivery(len(data))
 		recvCQ.Push(Completion{QPN: q.remote.QPN, Src: q.Addr(), Op: OpSend, Recv: true,
 			Data: data, Imm: wr.Imm, Status: StatusOK, VTime: arrival})
@@ -296,6 +304,60 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 		}
 		depart = clk.Advance(f.occupancy(q.hca, dh, len(wr.Data)))
 		arrival := depart + f.latencyOnly(q.hca, dh, f.model.RCSendLatency)
+		errorBoth := func() {
+			dh.mu.Lock()
+			dq := dh.qpLocked(q.remote.QPN)
+			dh.mu.Unlock()
+			q.ToError()
+			if dq != nil && dq.typ == RC {
+				dq.ToError()
+			}
+		}
+		// Injected one-sided data-plane faults, at the link's packet
+		// granularity: the wire carries the message as ceil(n/RCMTU) packets,
+		// each protected by an invariant CRC the receiving adapter verifies
+		// before DMA, so what lands at the target is always a clean
+		// whole-packet prefix — never damaged bytes. A concurrent polling
+		// reader (flag waits, signal spins) can therefore observe stale or
+		// partially-updated memory, but never garbage.
+		pkts := (len(wr.Data) + RCMTU - 1) / RCMTU
+		// Torn write: a link fault between packets. The packets already
+		// delivered stay visible until the sender's reconnect replays the
+		// write; the rest never arrive.
+		if n := f.faults.tornWrite(pkts); n > 0 {
+			landed := n * RCMTU
+			q.obs.Emit(clk.Now(), obs.LayerIB, "fault-torn-write", -1, int64(landed))
+			q.obs.Count("ib.fault.torn_write", 1)
+			dh.memMu.Lock()
+			copy(mr.buf[off:off+landed], wr.Data[:landed])
+			dh.memMu.Unlock()
+			dh.countDelivery(landed)
+			if mr.onWrite != nil {
+				mr.onWrite(off, landed, arrival)
+			}
+			errorBoth()
+			return ErrTornWrite
+		}
+		// Payload corruption: the damaged packet fails the ICRC check and is
+		// dropped before DMA; the clean packets ahead of it (possibly none)
+		// have landed, then the link dies. wr.Data is never touched — the
+		// sender retains the pristine payload for replay.
+		if prefix, hit := f.faults.rcCorruptWrite(pkts); hit {
+			landed := prefix * RCMTU
+			q.obs.Emit(clk.Now(), obs.LayerIB, "fault-rc-corrupt", -1, int64(landed))
+			q.obs.Count("ib.fault.rc_corrupt", 1)
+			if landed > 0 {
+				dh.memMu.Lock()
+				copy(mr.buf[off:off+landed], wr.Data[:landed])
+				dh.memMu.Unlock()
+				dh.countDelivery(landed)
+				if mr.onWrite != nil {
+					mr.onWrite(off, landed, arrival)
+				}
+			}
+			errorBoth()
+			return ErrRCCorrupt
+		}
 		dh.memMu.Lock()
 		copy(mr.buf[off:], wr.Data)
 		dh.memMu.Unlock()
@@ -311,6 +373,22 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 		if !ok {
 			completeSend(Completion{Status: StatusRemoteAccessErr, VTime: depart + f.model.RCSendLatency})
 			return nil
+		}
+		// Injected corruption of the read response: no usable data reaches
+		// the requester; the link-CRC failure kills the connection and the
+		// requester re-issues the read after reconnect. Target memory is
+		// untouched — reads have no remote side effect to tear.
+		if f.faults.rcCorruptHit() {
+			q.obs.Emit(clk.Now(), obs.LayerIB, "fault-rc-corrupt", -1, int64(wr.Len))
+			q.obs.Count("ib.fault.rc_corrupt", 1)
+			dh.mu.Lock()
+			dq := dh.qpLocked(q.remote.QPN)
+			dh.mu.Unlock()
+			q.ToError()
+			if dq != nil && dq.typ == RC {
+				dq.ToError()
+			}
+			return ErrRCCorrupt
 		}
 		if mr.bounced {
 			clk.Advance(f.model.IntraXferTime(wr.Len)) // stage through the slab

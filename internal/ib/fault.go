@@ -110,18 +110,48 @@ type FaultInjector struct {
 	CorruptProb float64
 	MaxCorrupts int
 
+	// RCCorruptProb is the probability an RC payload is corrupted in flight.
+	// The two transport classes fail differently, matching real hardware. A
+	// two-sided send suffers the end-to-end-argument failure: the flip slips
+	// past the link CRCs (introduced before ICRC computation, or in switch
+	// buffer memory), the damaged copy is delivered silently, and detection
+	// is the job of the conduit's software integrity trailer. A one-sided
+	// RDMA write or read suffers an in-flight flip that the receiving
+	// adapter's per-packet ICRC catches before DMA: the damaged packet is
+	// dropped, both queue pairs die and the sender sees ErrRCCorrupt — no
+	// garbage ever lands, but the clean packets delivered before the fault
+	// have, so replay-after-reconnect must overwrite the partial landing.
+	// MaxRCCorrupts caps the number of injections (0 = unlimited).
+	RCCorruptProb float64
+	MaxRCCorrupts int
+
+	// TornWriteProb is the probability an RDMA write spanning more than one
+	// RCMTU packet suffers a link fault between packets: a deterministic
+	// whole-packet prefix of the payload (at least one packet, never all of
+	// them) is applied to the target memory region before both queue pairs
+	// error out and the sender sees ErrTornWrite. This is the partially-
+	// completed-RDMA failure mode of a torn-down QP; it breaks the
+	// all-or-nothing delivery the reconnect replay would otherwise assume.
+	// Single-packet writes cannot tear: a packet is the link's all-or-nothing
+	// delivery unit. MaxTornWrites caps the number of injections (0 =
+	// unlimited).
+	TornWriteProb float64
+	MaxTornWrites int
+
 	// UDFilter, if non-nil, inspects each UD datagram payload and may force
 	// its fate, overriding the probabilistic knobs. Tests use it to lose one
 	// specific protocol leg (e.g. exactly the first ConnRep).
 	UDFilter func(payload []byte) UDVerdict
 
-	drops     int
-	seen      int
-	reorders  int
-	flaps     int
-	slowdowns int
-	corrupts  int
-	held      []heldDelivery
+	drops      int
+	seen       int
+	reorders   int
+	flaps      int
+	slowdowns  int
+	corrupts   int
+	rcCorrupts int
+	tornWrites int
+	held       []heldDelivery
 
 	// failQP and failMR schedule specific allocation attempts (1-based,
 	// counted per adapter) to fail with the matching exhaustion error, so
@@ -240,6 +270,106 @@ func (fi *FaultInjector) corruptData(data []byte) bool {
 	data[bit/8] ^= 1 << (bit % 8)
 	fi.corrupts++
 	return true
+}
+
+// RCCorrupts reports how many RC payloads have been corrupted in flight.
+func (fi *FaultInjector) RCCorrupts() int {
+	if fi == nil {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.rcCorrupts
+}
+
+// TornWrites reports how many RDMA writes have been torn mid-transfer.
+func (fi *FaultInjector) TornWrites() int {
+	if fi == nil {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.tornWrites
+}
+
+// rcCorruptLocked is the shared RC-corruption decision: probability and cap
+// check plus the counter bump. Callers hold fi.mu.
+func (fi *FaultInjector) rcCorruptLocked() bool {
+	if fi.RCCorruptProb <= 0 || (fi.MaxRCCorrupts > 0 && fi.rcCorrupts >= fi.MaxRCCorrupts) {
+		return false
+	}
+	if fi.rng.Float64() >= fi.RCCorruptProb {
+		return false
+	}
+	fi.rcCorrupts++
+	return true
+}
+
+// rcCorruptData decides whether to corrupt one two-sided RC payload and, when
+// it does, flips a single random bit of data in place — the silent,
+// delivered-past-the-link-CRC flavor of corruption.
+func (fi *FaultInjector) rcCorruptData(data []byte) bool {
+	if fi == nil || len(data) == 0 {
+		return false
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if !fi.rcCorruptLocked() {
+		return false
+	}
+	bit := fi.rng.Intn(len(data) * 8)
+	data[bit/8] ^= 1 << (bit % 8)
+	return true
+}
+
+// rcCorruptHit is the decision-only form for operations with no sender-side
+// buffer to damage (RDMA reads: the corrupt response packet is dropped by
+// the requester's ICRC check, so the requester simply gets nothing back).
+func (fi *FaultInjector) rcCorruptHit() bool {
+	if fi == nil {
+		return false
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.rcCorruptLocked()
+}
+
+// rcCorruptWrite decides whether one packet of an RDMA write spanning pkts
+// link packets is corrupted in flight. The receiving adapter's ICRC check
+// drops the damaged packet before DMA, so the injection reports how many
+// clean packets preceded it — possibly 0 — and that prefix is all that lands
+// before the link dies.
+func (fi *FaultInjector) rcCorruptWrite(pkts int) (prefix int, hit bool) {
+	if fi == nil || pkts < 1 {
+		return 0, false
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if !fi.rcCorruptLocked() {
+		return 0, false
+	}
+	return fi.rng.Intn(pkts), true
+}
+
+// tornWrite decides whether an RDMA write spanning pkts link packets is torn
+// mid-transfer. It returns the number of whole packets that land at the
+// target — at least 1, strictly fewer than pkts — or 0 when no tear is
+// injected. Single-packet writes cannot tear: a packet is the link's
+// all-or-nothing delivery unit.
+func (fi *FaultInjector) tornWrite(pkts int) int {
+	if fi == nil || fi.TornWriteProb <= 0 || pkts < 2 {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.MaxTornWrites > 0 && fi.tornWrites >= fi.MaxTornWrites {
+		return 0
+	}
+	if fi.rng.Float64() >= fi.TornWriteProb {
+		return 0
+	}
+	fi.tornWrites++
+	return 1 + fi.rng.Intn(pkts-1)
 }
 
 // KillPE schedules rank to crash at virtual time at. The injection trips the

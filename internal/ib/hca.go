@@ -29,6 +29,14 @@ type HCA struct {
 	// memory, giving network atomics their atomicity guarantee.
 	memMu sync.Mutex
 
+	// Pressure-relief registry: each tenant (connection manager) sharing the
+	// adapter registers a callback that releases one idle endpoint on demand.
+	// Guarded by its own mutex — callbacks tear down queue pairs, which takes
+	// h.mu, so they must never be invoked under it.
+	reliefMu sync.Mutex
+	relief   []func(vt int64) bool
+	reliefRR int
+
 	stats HCAStats
 }
 
@@ -69,6 +77,37 @@ func (h *HCA) LiveRC() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.stats.LiveRC
+}
+
+// RegisterRelief registers a pressure-relief callback for one of the
+// adapter's tenants: invoked (vt is the requester's virtual time) when a
+// sibling process cannot allocate a queue pair, it should release one idle
+// endpoint and report whether it did. Callbacks must tolerate concurrent
+// invocation and must not call back into allocation.
+func (h *HCA) RegisterRelief(f func(vt int64) bool) {
+	h.reliefMu.Lock()
+	h.relief = append(h.relief, f)
+	h.reliefMu.Unlock()
+}
+
+// RequestRelief asks the adapter's tenants, round-robin, to release one idle
+// queue pair, returning true as soon as one does. A per-process connection
+// cache can only evict its own endpoints; on a shared adapter that is not
+// enough — a process with no idle connections of its own would starve while
+// its node-local siblings pin the whole budget with connections they may
+// never touch again. This is the cross-process half of on-demand eviction.
+func (h *HCA) RequestRelief(vt int64) bool {
+	h.reliefMu.Lock()
+	cbs := append([]func(vt int64) bool(nil), h.relief...)
+	start := h.reliefRR
+	h.reliefRR++
+	h.reliefMu.Unlock()
+	for i := range cbs {
+		if cbs[(start+i)%len(cbs)](vt) {
+			return true
+		}
+	}
+	return false
 }
 
 // CreateQP creates a queue pair in the RESET state, charging the owner's
@@ -167,6 +206,43 @@ func (h *HCA) cachePenalty() int64 {
 		return h.f.model.HCACacheMissPenalty
 	}
 	return 0
+}
+
+// AtomicRMW executes a fetching atomic (OpFetchAdd/OpCmpSwap/OpSwap) against
+// this adapter's registered memory on behalf of a software agent: the gasnet
+// conduit's active-message atomic path uses it when atomics ride framed sends
+// instead of fabric-level atomic work requests, so the exactly-once dedup
+// ledger can guard them. The memory effect and the onWrite notification are
+// identical to the fabric's atomic path; ok is false when the (rkey, addr)
+// pair does not resolve to an aligned uint64 inside a live region.
+func (h *HCA) AtomicRMW(op Opcode, addr uint64, rkey uint32, add, compare, swap uint64, vt int64) (old uint64, ok bool) {
+	mr := h.lookupMR(rkey)
+	if mr == nil || mr.dead || addr%8 != 0 ||
+		addr < mr.base || addr+8 > mr.base+uint64(len(mr.buf)) {
+		return 0, false
+	}
+	off := int(addr - mr.base)
+	h.memMu.Lock()
+	old = leU64(mr.buf[off : off+8])
+	switch op {
+	case OpFetchAdd:
+		putLeU64(mr.buf[off:off+8], old+add)
+	case OpCmpSwap:
+		if old == compare {
+			putLeU64(mr.buf[off:off+8], swap)
+		}
+	case OpSwap:
+		putLeU64(mr.buf[off:off+8], swap)
+	default:
+		h.memMu.Unlock()
+		return 0, false
+	}
+	h.memMu.Unlock()
+	if mr.onWrite != nil {
+		mr.onWrite(off, 8, vt)
+	}
+	h.countDelivery(8)
+	return old, true
 }
 
 func (h *HCA) countDelivery(bytes int) {
