@@ -10,11 +10,11 @@ GO ?= go
 # CHAOS_SEED=<seed> make soak (failures print the seed to replay).
 CHAOS_SEED ?= 1786034998553156286
 
-.PHONY: all tier1 tier2 build test vet race soak smoke trace-demo bench clean
+.PHONY: all tier1 tier2 build test vet race soak smoke incident-smoke trace-demo bench clean
 
 all: tier1
 
-tier1: build test race smoke
+tier1: build test race smoke incident-smoke
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,16 @@ soak:
 smoke:
 	$(GO) run ./cmd/oshrun -np 8 -ppn 4 -app traffic \
 		-rc-corrupt 0.05 -torn-writes 0.05 -flap 0.02 -fault-seed 7
+
+# Incident-reconciliation smoke: the same seeded fault mix plus UD loss and
+# duplication, with the incident ledger on. oshrun -incidents exits nonzero
+# unless every injected fault maps to exactly one resolved incident, so this
+# run failing means an injector fired without opening an incident or a
+# recovery path stopped closing one.
+incident-smoke:
+	$(GO) run ./cmd/oshrun -np 8 -ppn 4 -app traffic \
+		-drop 0.05 -dup 0.05 -rc-corrupt 0.05 -torn-writes 0.05 -flap 0.02 \
+		-fault-seed 7 -incidents
 
 # Write an 8-PE sample Perfetto trace (open trace-demo.json at
 # https://ui.perfetto.dev) plus the text report with phase breakdown,

@@ -11,7 +11,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"time"
 
 	"goshmem/internal/bench"
@@ -54,8 +56,113 @@ type doc struct {
 	PhasesOnDemand []bench.PhasePoint `json:"phases_ondemand"`
 }
 
+// regressPct is the latency-regression gate -check enforces: any put/get or
+// credit-stall point more than this much slower than the baseline fails CI.
+const regressPct = 10.0
+
+// loadBaseline decodes the lexically-latest BENCH_*.json in the current
+// directory other than the file this run just wrote — with date-stamped
+// names, lexical order is chronological order, so this is the most recent
+// committed trajectory point.
+func loadBaseline(exclude string) (*doc, string) {
+	matches, _ := filepath.Glob("BENCH_*.json")
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		p := matches[i]
+		if filepath.Clean(p) == filepath.Clean(exclude) {
+			continue
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		var d doc
+		if err := json.Unmarshal(b, &d); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: skipping unreadable baseline %s: %v\n", p, err)
+			continue
+		}
+		return &d, p
+	}
+	return nil, ""
+}
+
+// pctDelta is the relative change in percent; a zero baseline reports 0 so
+// newly-added points never fail the gate.
+func pctDelta(old, cur float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (cur - old) / old * 100
+}
+
+// reportDeltas prints the per-suite comparison against the baseline and
+// reports whether any latency suite regressed past the gate. Startup deltas
+// are informational: the on-demand design exists to trade startup time, and
+// its numbers move deliberately; the latency suites are the guarded ones.
+func reportDeltas(base, cur *doc, basePath string) bool {
+	fmt.Printf("\ndeltas vs %s (%s):\n", basePath, base.Date)
+	regressed := false
+	row := func(suite, point, metric string, old, new float64, gated bool) {
+		d := pctDelta(old, new)
+		verdict := ""
+		if gated && d > regressPct {
+			verdict = "  REGRESSION"
+			regressed = true
+		}
+		fmt.Printf("  %-20s %-10s %-12s %14.1f -> %14.1f  %+7.1f%%%s\n",
+			suite, point, metric, old, new, d, verdict)
+	}
+
+	startupByN := map[int]bench.StartupPoint{}
+	for _, p := range base.Startup {
+		startupByN[p.N] = p
+	}
+	for _, p := range cur.Startup {
+		b, ok := startupByN[p.N]
+		if !ok {
+			continue
+		}
+		id := fmt.Sprintf("np=%d", p.N)
+		row("startup", id, "init_od_s", b.InitOnDemand, p.InitOnDemand, false)
+		row("startup", id, "hello_od_s", b.HelloOnDemand, p.HelloOnDemand, false)
+	}
+
+	latBySize := map[int]bench.LatencyPoint{}
+	for _, p := range base.Latency {
+		latBySize[p.Size] = p
+	}
+	for _, p := range cur.Latency {
+		b, ok := latBySize[p.Size]
+		if !ok {
+			continue
+		}
+		id := fmt.Sprintf("size=%d", p.Size)
+		row("latency_put_get", id, "put_static", b.PutStatic, p.PutStatic, true)
+		row("latency_put_get", id, "put_od", b.PutOD, p.PutOD, true)
+		row("latency_put_get", id, "get_static", b.GetStatic, p.GetStatic, true)
+		row("latency_put_get", id, "get_od", b.GetOD, p.GetOD, true)
+	}
+
+	creditByDepth := map[int]bench.CreditPoint{}
+	for _, p := range base.CreditStall {
+		creditByDepth[p.RQDepth] = p
+	}
+	for _, p := range cur.CreditStall {
+		b, ok := creditByDepth[p.RQDepth]
+		if !ok {
+			continue
+		}
+		id := fmt.Sprintf("depth=%d", p.RQDepth)
+		row("latency_credit_stall", id, "burst_put_ns", b.BurstPutNS, p.BurstPutNS, true)
+	}
+
+	row("wall", "suite", "wall_ns", float64(base.WallNS), float64(cur.WallNS), false)
+	return regressed
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default BENCH_<yyyy-mm-dd>.json)")
+	check := flag.Bool("check", false, "compare against the most recent committed BENCH_*.json and exit nonzero when a latency suite regresses more than 10%")
 	flag.Parse()
 
 	path := *out
@@ -104,4 +211,15 @@ func main() {
 	die(enc.Encode(&d))
 	die(f.Close())
 	fmt.Printf("wrote %s (suite wall time %.1fs)\n", path, float64(d.WallNS)/1e9)
+
+	base, basePath := loadBaseline(path)
+	if base == nil {
+		fmt.Printf("no prior BENCH_*.json baseline found; skipping delta report\n")
+		return
+	}
+	regressed := reportDeltas(base, &d, basePath)
+	if regressed && *check {
+		fmt.Fprintf(os.Stderr, "bench: latency regression past %.0f%% vs %s\n", regressPct, basePath)
+		os.Exit(1)
+	}
 }

@@ -67,28 +67,34 @@ func printPhaseTable(res *cluster.Result) {
 	fmt.Printf("pmi exchange path: %s\n", res.ExchangePath())
 }
 
-// printMetricTables prints the generic counter and histogram registries;
-// all-zero counters and empty histograms are suppressed.
-func printMetricTables(res *cluster.Result) {
+// printMetricTables prints the generic counter and histogram registries.
+// All-zero counters and empty histograms are suppressed unless all is set
+// (-metrics-all), which prints the complete registry so a run's full metric
+// surface — including the zeros — is visible and diffable.
+func printMetricTables(res *cluster.Result, all bool) {
 	reg := res.Obs.Registry()
 	if reg == nil {
 		return
 	}
 	var cs []obs.CounterSnapshot
 	for _, c := range reg.Counters() {
-		if c.Value != 0 {
+		if all || c.Value != 0 {
 			cs = append(cs, c)
 		}
 	}
 	if len(cs) > 0 {
-		fmt.Printf("\n--- counters (job totals; zero rows suppressed) ---\n")
+		note := "zero rows suppressed"
+		if all {
+			note = "full registry"
+		}
+		fmt.Printf("\n--- counters (job totals; %s) ---\n", note)
 		for _, c := range cs {
 			fmt.Printf("%-28s %14d\n", c.Name, c.Value)
 		}
 	}
 	var hs []obs.HistSnapshot
 	for _, h := range reg.Hists() {
-		if h.Count > 0 {
+		if all || h.Count > 0 {
 			hs = append(hs, h)
 		}
 	}
@@ -100,6 +106,32 @@ func printMetricTables(res *cluster.Result) {
 			fmt.Printf("%-28s %10d %10.1f %10.1f %10.1f %10.1f\n",
 				h.Name, h.Count, us(h.P50), us(h.P95), us(h.P99), us(h.Max))
 		}
+	}
+}
+
+// instLabel renders a gauge instance key: PE rank, HCA lid, or the job.
+func instLabel(inst int) string {
+	switch {
+	case inst == obs.InstJob:
+		return "job"
+	case inst < obs.InstJob:
+		return fmt.Sprintf("hca%d", obs.InstLID(inst))
+	default:
+		return fmt.Sprintf("pe%d", inst)
+	}
+}
+
+// printGaugeTable prints each virtual-time gauge's min/max/final levels —
+// the -metrics summary of the series -timeseries-out exports in full.
+func printGaugeTable(res *cluster.Result) {
+	stats := res.Obs.Gauges().Stats()
+	if len(stats) == 0 {
+		return
+	}
+	fmt.Printf("\n--- gauges (level over virtual time) ---\n")
+	fmt.Printf("%-28s %8s %14s %14s %14s\n", "gauge", "inst", "min", "max", "final")
+	for _, g := range stats {
+		fmt.Printf("%-28s %8s %14d %14d %14d\n", g.Name, instLabel(g.Inst), g.Min, g.Max, g.Final)
 	}
 }
 
@@ -169,6 +201,9 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the full multi-layer event trace to FILE in Chrome trace-event (Perfetto) JSON")
 	jsonOut := flag.Bool("json", false, "emit the full job report (counters, histograms, startup phases) as JSON instead of text")
 	metrics := flag.Bool("metrics", false, "collect latency histograms and generic counters and print them in the text report")
+	metricsAll := flag.Bool("metrics-all", false, "like -metrics but print the full registry, including all-zero counters and empty histograms")
+	timeseriesOut := flag.String("timeseries-out", "", "write the virtual-time gauge series (live QPs, pinned bytes, retained frames, credits, RQ occupancy, suspects) to FILE as CSV, or JSON when FILE ends in .json")
+	incidents := flag.Bool("incidents", false, "record the causal incident ledger and print the per-fault-kind detection/MTTR summary plus the injector reconciliation; exit 1 when reconciliation fails on a completed job")
 	topology := flag.Bool("topology", false, "record the per-pair flow matrix and print the traffic heatmap, peer-degree table and QP waste attribution")
 	qpCap := flag.Int("qp-cap", 0, "cap live RC queue pairs per HCA; idle connections are LRU-evicted (0 = unbounded; on-demand mode only)")
 	qpBudget := flag.Int("qp-budget", 0, "hard per-HCA queue-pair budget (UD+RC) the adapter enforces; exhaustion triggers eviction+retry, admission rejection, and exit 125 when progress is impossible (0 = unbounded)")
@@ -358,6 +393,11 @@ func main() {
 		fatalUsage(err)
 	}
 
+	wantMetrics := *jsonOut || *metrics || *metricsAll
+	// Any configured fault source makes the incident ledger worth carrying in
+	// the JSON report; the text path keeps it opt-in via -incidents.
+	anyFaults := faults != nil || pmiFaults != nil ||
+		len(killPEs)+len(wedgePEs) > 0 || len(failQP)+len(failMR) > 0
 	cfg := cluster.Config{
 		NP: *np, PPN: *ppn, Mode: mode, BlockingPMI: *blockingPMI,
 		HeapSize: 8 << 20, Trace: *trace > 0, MaxLiveRC: *qpCap,
@@ -370,9 +410,11 @@ func main() {
 		WedgePEs:     wedgePEs,
 		Deadline:     int64(*deadline * float64(vclock.Second)),
 		Obs: obs.Config{
-			Events:  *trace > 0 || *traceOut != "",
-			Metrics: *jsonOut || *metrics,
-			Flows:   *topology || *jsonOut,
+			Events:    *trace > 0 || *traceOut != "",
+			Metrics:   wantMetrics,
+			Flows:     *topology || *jsonOut,
+			Gauges:    wantMetrics || *timeseriesOut != "",
+			Incidents: *incidents || (*jsonOut && anyFaults),
 		},
 	}
 	res, err := cluster.Run(cfg, body)
@@ -401,12 +443,37 @@ func main() {
 		}
 	}
 
+	if *timeseriesOut != "" {
+		f, err := os.Create(*timeseriesOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oshrun:", err)
+			os.Exit(1)
+		}
+		series := res.Obs.Gauges().Series(obs.DefaultGaugeTick)
+		if strings.HasSuffix(*timeseriesOut, ".json") {
+			err = obs.WriteGaugeJSON(f, series)
+		} else {
+			err = obs.WriteGaugeCSV(f, series)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oshrun: writing timeseries:", err)
+			os.Exit(1)
+		}
+	}
+
 	if *jsonOut {
-		if err := cluster.BuildReport(res).WriteJSON(os.Stdout); err != nil {
+		rep := cluster.BuildReport(res)
+		if err := rep.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "oshrun:", err)
 			os.Exit(1)
 		}
 		exitAbort(res)
+		if *incidents && rep.Incidents != nil && !rep.Incidents.Reconciled {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -466,7 +533,18 @@ func main() {
 
 	if res.Obs != nil {
 		printPhaseTable(res)
-		printMetricTables(res)
+		printMetricTables(res, *metricsAll)
+		printGaugeTable(res)
+	}
+
+	reconFailed := false
+	if *incidents {
+		fmt.Printf("\n--- incident ledger ---\n")
+		ir := cluster.BuildIncidentReport(res)
+		ir.WriteText(os.Stdout)
+		// An aborted job is allowed to leave incidents unreconciled (the
+		// abort tore recovery down mid-flight); a completed one is not.
+		reconFailed = !ir.Reconciled && !res.Aborted
 	}
 
 	if *topology {
@@ -488,5 +566,8 @@ func main() {
 			}
 		}
 		os.Exit(maxCode)
+	}
+	if reconFailed {
+		os.Exit(1)
 	}
 }

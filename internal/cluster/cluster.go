@@ -344,6 +344,25 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 	applyPEFaults(&cfg)
 	applyAllocFaults(&cfg)
 
+	obsCfg := cfg.Obs
+	if cfg.Trace {
+		obsCfg.Events = true
+	}
+	var plane *obs.Plane
+	if obsCfg.Enabled() {
+		plane = obs.NewPlane(cfg.NP, obsCfg)
+	}
+	// Scheduled PE faults open their incidents at setup: the injection time
+	// is the scheduled trigger, known before any PE runs. The failure
+	// detector's suspicion/confirmation stamps detection later; the sweep
+	// marks them aborted (detection + job abort IS the designed outcome).
+	for _, f := range cfg.KillPEs {
+		plane.Ledger().Open("pe", "kill", f.Rank, obs.InstJob, f.At)
+	}
+	for _, f := range cfg.WedgePEs {
+		plane.Ledger().Open("pe", "wedge", f.Rank, obs.InstJob, f.At)
+	}
+
 	fab := ib.NewFabric(model, cfg.Faults)
 	srv := pmi.NewServer(cfg.NP, model)
 	srv.SetFaults(cfg.PMIFaults)
@@ -353,6 +372,9 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 	limits := cfg.limits()
 	for i := 0; i < nodes; i++ {
 		hcas[i] = fab.AddHCA()
+		// Attach the adapter's gauge/ledger hooks before arming budgets so
+		// the slab pre-registration is visible to the pinned-bytes gauge.
+		hcas[i].AttachObs(plane.Gauges(), plane.Ledger())
 		if limits != (ib.Limits{}) {
 			// Budgets are armed at setup time on a throwaway clock: the slab
 			// pre-registration is node bring-up, not any PE's critical path.
@@ -368,15 +390,6 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 	launchVT := int64(0)
 	if !cfg.SkipLaunchCost {
 		launchVT = model.LaunchCost(cfg.NP, nodes)
-	}
-
-	obsCfg := cfg.Obs
-	if cfg.Trace {
-		obsCfg.Events = true
-	}
-	var plane *obs.Plane
-	if obsCfg.Enabled() {
-		plane = obs.NewPlane(cfg.NP, obsCfg)
 	}
 
 	res := &Result{Cfg: cfg, PEs: make([]PEResult, cfg.NP), Obs: plane}
@@ -526,7 +539,12 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 			}
 		}
 	}
+	// Resolve incidents still open at job end before any report is built:
+	// the sweep is what turns leftover-open into closed/aborted/unresolved,
+	// and the registry mirror below wants final timestamps.
+	plane.Ledger().Sweep(res.JobVT, res.Aborted)
 	mirrorCounters(plane, res)
+	mirrorIncidents(plane)
 	if cfg.NP >= 512 {
 		// Large static jobs leave O(NP^2) dead protocol objects behind;
 		// reclaim them before the caller starts the next sweep point.

@@ -148,7 +148,7 @@ func TestObsDisabledOverhead(t *testing.T) {
 
 	full, err := Run(Config{
 		NP: 16, PPN: 8, Mode: gasnet.OnDemand, HeapSize: 1 << 16,
-		Obs: obs.Config{Events: true, Metrics: true, RingCap: -1},
+		Obs: obs.Config{Events: true, Metrics: true, Gauges: true, Incidents: true, RingCap: -1},
 	}, app)
 	if err != nil {
 		t.Fatal(err)
@@ -157,6 +157,10 @@ func TestObsDisabledOverhead(t *testing.T) {
 	for _, h := range full.Obs.Registry().Hists() {
 		calls += h.Count
 	}
+	for _, s := range full.Obs.Gauges().Series(obs.DefaultGaugeTick) {
+		calls += int64(len(s.Points))
+	}
+	calls += int64(len(full.Obs.Ledger().Snapshot()))
 	calls *= 2 // headroom for Active() guards and counters that recorded nothing
 	if calls == 0 {
 		t.Fatal("instrumented run recorded nothing; the guard tested nothing")

@@ -114,3 +114,27 @@ func mirrorCounters(plane *obs.Plane, res *Result) {
 		reg.Counter("ib.bounced_mrs").Add(h.BouncedMRs)
 	}
 }
+
+// mirrorIncidents publishes the swept ledger's detection-latency and MTTR
+// samples into the metric registry as per-(class, kind) histograms, so the
+// generic -metrics machinery (and its JSON serialization) carries MTTR
+// attribution without a bespoke code path. Runs after Ledger.Sweep: only
+// resolved incidents have final timestamps.
+func mirrorIncidents(plane *obs.Plane) {
+	if plane == nil || !plane.Config().Metrics {
+		return
+	}
+	led := plane.Ledger()
+	if led == nil {
+		return
+	}
+	reg := plane.Registry()
+	for _, in := range led.Snapshot() {
+		if in.State != obs.IncidentClosed && in.State != obs.IncidentAborted {
+			continue
+		}
+		key := in.Class + "-" + in.Kind
+		reg.Hist("incident.detect_ns." + key).Record(in.DetectLatency())
+		reg.Hist("incident.mttr_ns." + key).Record(in.MTTR())
+	}
+}

@@ -60,6 +60,14 @@ type Report struct {
 	// Topology is the flow-telemetry section (communication matrix, degree
 	// distribution, QP waste attribution); present when flows were recorded.
 	Topology *TopologyReport `json:"topology,omitempty"`
+
+	// Gauges summarizes every virtual-time gauge (min/max/final) when the
+	// gauge plane was enabled; the full series goes to -timeseries-out.
+	Gauges []obs.GaugeStat `json:"gauges,omitempty"`
+
+	// Incidents is the causal-incident section (per-kind MTTR summary and
+	// injector-vs-ledger reconciliation) when the ledger was enabled.
+	Incidents *IncidentReport `json:"incidents,omitempty"`
 }
 
 // PEReport is one PE's slice of the report.
@@ -108,6 +116,8 @@ func BuildReport(res *Result) *Report {
 			rep.Counters = reg.Counters()
 			rep.Histograms = reg.Hists()
 		}
+		rep.Gauges = res.Obs.Gauges().Stats()
+		rep.Incidents = BuildIncidentReport(res)
 	}
 	rep.Topology = BuildTopology(res)
 	return rep

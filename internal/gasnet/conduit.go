@@ -301,6 +301,12 @@ type Conduit struct {
 	hConnect *obs.Hist // client-perceived connect latency (REQ tx -> ready)
 	hFirstOp *obs.Hist // queued-op penalty (enqueue -> connection ready)
 	hHBRTT   *obs.Hist // heartbeat probe -> ack round trip
+	// Gauge series (per-rank instances) and the job's incident ledger.
+	gRetFrames *obs.Gauge  // retained (unacked) session frames
+	gRetBytes  *obs.Gauge  // retained session frame bytes
+	gCredits   *obs.Gauge  // receive-credit slots in flight
+	gSuspect   *obs.Gauge  // peers currently under suspicion
+	led        *obs.Ledger // causal incident ledger (nil-safe)
 
 	// Failure detector and abort plane (failure.go).
 	hb        HeartbeatConfig // resolved heartbeat timing
@@ -351,6 +357,11 @@ func New(cfg Config) *Conduit {
 	c.hConnect = c.obs.Hist("gasnet.connect_ns")
 	c.hFirstOp = c.obs.Hist("gasnet.first_op_penalty_ns")
 	c.hHBRTT = c.obs.Hist("gasnet.heartbeat_rtt_ns")
+	c.gRetFrames = c.obs.Gauge("gasnet.retained_frames")
+	c.gRetBytes = c.obs.Gauge("gasnet.retained_bytes")
+	c.gCredits = c.obs.Gauge("gasnet.credits_in_flight")
+	c.gSuspect = c.obs.Gauge("gasnet.suspected_peers")
+	c.led = c.obs.Ledger()
 	c.connCond = sync.NewCond(&c.connMu)
 	c.outCond = sync.NewCond(&c.outMu)
 	if cfg.Mode == Static {
@@ -579,6 +590,7 @@ func (c *Conduit) fallbackExchangeLocked(cause error) error {
 	c.event("pmi-fallback", -1, now)
 	c.obs.Emit(now, obs.LayerPMI, "pmi-fallback", -1, 0,
 		obs.Attr{Key: "cause", Val: cause.Error()})
+	c.led.Act("pmi", c.cfg.Rank, now, "fallback-exchange")
 	val := encodeDest(c.udQP.Addr())
 	if err := c.cfg.PMI.Put(pmi.KeyFor("ud", c.cfg.Rank), val); err != nil {
 		return c.pmiFail("fallback endpoint exchange (put)", err)

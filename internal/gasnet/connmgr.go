@@ -279,6 +279,7 @@ func (c *Conduit) maybeEvictLocked(excludePeer int, vt int64) {
 		c.stats.Evictions++
 		c.statMu.Unlock()
 		c.event("conn-evict", peer, vt)
+		c.led.Act("alloc", obs.InstJob, vt, "conn-evict")
 	}
 }
 
@@ -357,6 +358,7 @@ func (c *Conduit) reliefEvict(vt int64) bool {
 	c.stats.Evictions++
 	c.statMu.Unlock()
 	c.event("conn-evict", peer, vt)
+	c.led.Act("alloc", obs.InstJob, vt, "relief-evict")
 	return true
 }
 
@@ -395,6 +397,9 @@ func (c *Conduit) creditGateLocked(cn *conn, depth, n int) {
 		now := c.clk.Now()
 		i := 0
 		for i < len(cn.creditRel) && cn.creditRel[i] <= now {
+			// Each credit's release is stamped at its own estimated repost
+			// time; the gauge fold sorts by VT, so late observation is exact.
+			c.gCredits.Add(cn.creditRel[i], -1)
 			i++
 		}
 		if i > 0 {
@@ -422,6 +427,7 @@ func (c *Conduit) creditGateLocked(cn *conn, depth, n int) {
 	}
 	cn.creditRel = append(cn.creditRel,
 		c.clk.Now()+c.model.RCSendLatency+c.model.XferTime(n)+c.model.RQDrain)
+	c.gCredits.Add(c.clk.Now(), 1)
 }
 
 // postRNR posts wr on qp, absorbing receiver-not-ready NAKs: each NAK backs
@@ -774,6 +780,7 @@ func (c *Conduit) connectSelfLocked(cn *conn) error {
 	c.stats.ConnsEstablished++
 	if recon {
 		c.stats.Reconnects++
+		c.led.Act("rc", c.cfg.Rank, c.clk.Now(), "reconnect")
 	}
 	c.statMu.Unlock()
 	c.connCond.Broadcast()
@@ -1006,7 +1013,7 @@ func (c *Conduit) handleReq(m connMsg, at int64, svc *vclock.Clock) {
 	cn.firstTx = svc.Now()
 	cn.lastTx = timeNow()
 	cn.attempt = 0
-	c.consumePayloadLocked(cn, peer, c.stripSessionPayloadLocked(cn, m.Payload), svc.Now())
+	c.consumePayloadLocked(cn, peer, c.stripSessionPayloadLocked(cn, m.Payload, svc.Now()), svc.Now())
 	cn.state = connAccepted
 	rep := connMsg{Kind: msgConnRep, SrcRank: int32(c.cfg.Rank), Seq: m.Seq,
 		RC: qp.Addr(), UD: c.udQP.Addr(), Payload: c.connPayloadLocked(peer)}
@@ -1085,7 +1092,7 @@ func (c *Conduit) handleRep(m connMsg, svc *vclock.Clock) {
 		}
 		cn.peerUD = m.UD
 		cn.readyVT = svc.Now()
-		c.consumePayloadLocked(cn, peer, c.stripSessionPayloadLocked(cn, m.Payload), cn.readyVT)
+		c.consumePayloadLocked(cn, peer, c.stripSessionPayloadLocked(cn, m.Payload, cn.readyVT), cn.readyVT)
 		cn.state = connReady
 		c.nReady++
 		recon := cn.everReady
@@ -1105,6 +1112,7 @@ func (c *Conduit) handleRep(m connMsg, svc *vclock.Clock) {
 		c.stats.ConnsEstablished++
 		if recon {
 			c.stats.Reconnects++
+			c.led.Act("rc", c.cfg.Rank, svc.Now(), "reconnect")
 		}
 		c.statMu.Unlock()
 		c.event("conn-ready-client", peer, svc.Now())
@@ -1180,6 +1188,7 @@ func (c *Conduit) handleRTU(m connMsg, svc *vclock.Clock) {
 	c.stats.ConnsEstablished++
 	if recon {
 		c.stats.Reconnects++
+		c.led.Act("rc", c.cfg.Rank, svc.Now(), "reconnect")
 	}
 	c.statMu.Unlock()
 	c.event("conn-ready-server", peer, svc.Now())
@@ -1473,6 +1482,7 @@ func (c *Conduit) retransScan() {
 	}
 	for _, t := range resend {
 		c.event("conn-retransmit", t.peer, t.at)
+		c.led.Act("ud", c.cfg.Rank, t.at, "retransmit")
 		c.sendControl(t.peer, t.ud, t.m, vclock.NewClock(t.at))
 	}
 }

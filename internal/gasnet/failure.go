@@ -213,7 +213,7 @@ func (c *Conduit) enterKilled(now int64) {
 			c.teardownLocked(cn)
 		}
 		cn.pending = nil
-		c.dropUnackedLocked(cn)
+		c.dropUnackedLocked(cn, now)
 	}
 	if c.connSlice != nil {
 		for peer, cn := range c.connSlice {
@@ -361,6 +361,7 @@ func (c *Conduit) noteAlive(peer int) {
 		c.stats.FalseSuspicions++
 		c.statMu.Unlock()
 		c.event("suspect-clear", peer, c.mgrClk.Now())
+		c.gSuspect.Add(c.mgrClk.Now(), -1)
 	}
 }
 
@@ -418,6 +419,8 @@ func (c *Conduit) hbScan() {
 			probes = append(probes, ping{peer, h.suspect})
 			if h.suspect {
 				c.event("suspect", peer, c.mgrClk.Now())
+				c.gSuspect.Add(c.mgrClk.Now(), 1)
+				c.led.Detect("pe", peer, c.mgrClk.Now(), "suspect")
 			}
 			continue
 		}
@@ -526,7 +529,7 @@ func (c *Conduit) markDead(peer int) bool {
 		}
 		// Frames retained for a dead peer will never be acknowledged; release
 		// them so Quiet does not wait on a ghost.
-		c.dropUnackedLocked(cn)
+		c.dropUnackedLocked(cn, c.mgrClk.Now())
 	}
 	c.connMu.Unlock()
 	c.connCond.Broadcast()
@@ -570,6 +573,8 @@ func (c *Conduit) confirmDead(peer int) {
 	c.stats.PEFailures++
 	c.statMu.Unlock()
 	c.event("confirm-dead", peer, c.mgrClk.Now())
+	c.gSuspect.Add(c.mgrClk.Now(), -1)
+	c.led.Act("pe", peer, c.mgrClk.Now(), "confirm-dead")
 	c.raiseAbort(&AbortError{Origin: c.cfg.Rank, Dead: peer, Code: 1,
 		Reason: fmt.Sprintf("rank %d confirmed dead by rank %d's failure detector", peer, c.cfg.Rank)}, true)
 }
@@ -620,6 +625,9 @@ func (c *Conduit) raiseAbort(ae *AbortError, propagate bool) {
 		return
 	}
 	c.event("abort", ae.Dead, c.mgrClk.Now())
+	if ae.Dead >= 0 {
+		c.led.Act("pe", ae.Dead, c.mgrClk.Now(), "abort")
+	}
 	if !propagate {
 		return
 	}

@@ -87,6 +87,8 @@ func (c *Conduit) postFramedLocked(cn *conn, wr ib.SendWR, clk *vclock.Clock) er
 	}
 	cn.unacked = append(cn.unacked, retainedTx{seq: cn.txSeq, data: framed})
 	cn.lastData = timeNow()
+	c.gRetFrames.Add(clk.Now(), 1)
+	c.gRetBytes.Add(clk.Now(), int64(len(framed)))
 	c.outMu.Lock()
 	c.unackedWin++
 	c.outMu.Unlock()
@@ -96,16 +98,21 @@ func (c *Conduit) postFramedLocked(cn *conn, wr ib.SendWR, clk *vclock.Clock) er
 
 // trimAckedLocked releases retained frames up to and including the peer's
 // cumulative sequence and wakes Quiet waiters. Cumulative ACKs are monotone,
-// so a stale (duplicated or reordered) acknowledgement trims nothing. Caller
-// holds connMu.
-func (c *Conduit) trimAckedLocked(cn *conn, seq uint64) {
+// so a stale (duplicated or reordered) acknowledgement trims nothing. vt is
+// the acknowledgement's virtual arrival time, stamping the retained-window
+// gauge release. Caller holds connMu.
+func (c *Conduit) trimAckedLocked(cn *conn, seq uint64, vt int64) {
 	i := 0
+	var bytes int64
 	for i < len(cn.unacked) && cn.unacked[i].seq <= seq {
+		bytes += int64(len(cn.unacked[i].data))
 		i++
 	}
 	if i == 0 {
 		return
 	}
+	c.gRetFrames.Add(vt, int64(-i))
+	c.gRetBytes.Add(vt, -bytes)
 	cn.unacked = append(cn.unacked[:0], cn.unacked[i:]...)
 	cn.dataAttempt = 0 // ACK progress resets the RTO backoff
 	c.outMu.Lock()
@@ -116,11 +123,17 @@ func (c *Conduit) trimAckedLocked(cn *conn, seq uint64) {
 
 // dropUnackedLocked discards a dead peer's retained frames so Quiet cannot
 // wait forever on acknowledgements that will never come. Caller holds connMu.
-func (c *Conduit) dropUnackedLocked(cn *conn) {
+func (c *Conduit) dropUnackedLocked(cn *conn, vt int64) {
 	n := len(cn.unacked)
 	if n == 0 {
 		return
 	}
+	var bytes int64
+	for _, tx := range cn.unacked {
+		bytes += int64(len(tx.data))
+	}
+	c.gRetFrames.Add(vt, int64(-n))
+	c.gRetBytes.Add(vt, -bytes)
 	cn.unacked = nil
 	c.outMu.Lock()
 	c.unackedWin -= n
@@ -159,6 +172,7 @@ func (c *Conduit) resendUnackedLocked(cn *conn, peer int, clk *vclock.Clock) boo
 		c.statMu.Lock()
 		c.stats.IntegrityRetransmits += sent
 		c.statMu.Unlock()
+		c.led.Act("rc", c.cfg.Rank, clk.Now(), "integrity-retransmit")
 	}
 	return ok
 }
@@ -233,6 +247,11 @@ func (c *Conduit) sessionAccept(comp ib.Completion) ([]byte, bool) {
 	if evt != "" {
 		c.event(evt, peer, comp.VTime)
 	}
+	if evt == "rc-corrupt" {
+		// Detection moment for the sender's rc-corrupt incident: our trailer
+		// check caught the damage and the NAK below starts the replay.
+		c.led.Detect("rc", peer, comp.VTime, "nak-sent")
+	}
 	c.sendDataCtl(peer, kind, ackSeq, comp.VTime)
 	return inner, accept
 }
@@ -292,7 +311,7 @@ func (c *Conduit) handleDataAck(peer int, payload []byte, nak bool, svc *vclock.
 		c.connMu.Unlock()
 		return
 	}
-	c.trimAckedLocked(cn, seq)
+	c.trimAckedLocked(cn, seq, svc.Now())
 	switch {
 	case nak && cn.state == connReady && len(cn.unacked) > 0:
 		c.resendUnackedLocked(cn, peer, svc)
@@ -316,11 +335,13 @@ func (c *Conduit) noteDataFault(err error) {
 		c.stats.TornWrites++
 		c.statMu.Unlock()
 		c.event("torn-write", -1, c.clk.Now())
+		c.led.Detect("rc", c.cfg.Rank, c.clk.Now(), "torn-write-detected")
 	case errors.Is(err, ib.ErrRCCorrupt):
 		c.statMu.Lock()
 		c.stats.RCCorruptFrames++
 		c.statMu.Unlock()
 		c.event("rc-corrupt", -1, c.clk.Now())
+		c.led.Detect("rc", c.cfg.Rank, c.clk.Now(), "icrc-drop")
 	}
 }
 
@@ -349,14 +370,14 @@ func (c *Conduit) connPayloadLocked(peer int) []byte {
 // returns the upper layer's portion. The trim runs on every REQ/REP (not just
 // the first), since cumulative sequences make stale prefixes harmless. Caller
 // holds connMu.
-func (c *Conduit) stripSessionPayloadLocked(cn *conn, payload []byte) []byte {
+func (c *Conduit) stripSessionPayloadLocked(cn *conn, payload []byte, vt int64) []byte {
 	if !c.lossy {
 		return payload
 	}
 	if len(payload) < 8 {
 		return nil
 	}
-	c.trimAckedLocked(cn, binary.LittleEndian.Uint64(payload))
+	c.trimAckedLocked(cn, binary.LittleEndian.Uint64(payload), vt)
 	return payload[8:]
 }
 

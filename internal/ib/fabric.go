@@ -109,10 +109,17 @@ func (f *Fabric) sendUD(q *QP, wr SendWR) error {
 	if wr.Clk != nil {
 		clk = wr.Clk
 	}
+	// Incident lane for this datagram: (sender rank, packed dest address).
+	// Every injected UD fault opens (or instantly absorbs) an incident on the
+	// lane; the next clean delivery on the same lane closes whatever is open.
+	led := q.hca.ledger
+	rank := q.obs.Rank()
+	destKey := int(wr.Dest.LID)<<20 | int(wr.Dest.QPN)
 	if extra := f.faults.slowdown(); extra > 0 {
 		clk.Advance(extra)
 		q.obs.Emit(clk.Now(), obs.LayerIB, "fault-slow", -1, int64(len(wr.Data)))
 		q.obs.Count("ib.fault.slowdown", 1)
+		led.OpenAbsorbed("ud", "slow", rank, destKey, clk.Now(), "latency-absorbed")
 	}
 	depart := clk.Advance(f.model.SendPostOverhead)
 	if q.sendCQ != nil && !wr.NoSendCompletion {
@@ -129,6 +136,9 @@ func (f *Fabric) sendUD(q *QP, wr SendWR) error {
 	if drop {
 		q.obs.Emit(clk.Now(), obs.LayerIB, "fault-drop", -1, int64(len(wr.Data)))
 		q.obs.Count("ib.fault.drop", 1)
+		// Open until the conduit's retransmission lands a clean datagram on
+		// this lane (or, for fire-and-forget traffic, the end-of-job sweep).
+		led.Open("ud", "drop", rank, destKey, clk.Now())
 		return nil
 	}
 	dh := f.HCA(wr.Dest.LID)
@@ -149,19 +159,29 @@ func (f *Fabric) sendUD(q *QP, wr SendWR) error {
 	data := append([]byte(nil), wr.Data...)
 	// Bit-flip corruption hits only the primary delivered copy: a duplicate
 	// below re-copies the pristine wr.Data, modeling an independent flight.
-	if f.faults.corruptData(data) {
+	corrupted := f.faults.corruptData(data)
+	if corrupted {
 		q.obs.Emit(clk.Now(), obs.LayerIB, "fault-corrupt", -1, int64(len(data)))
 		q.obs.Count("ib.fault.corrupt", 1)
+		// Open until the receiver's checksum rejects this copy and the
+		// sender's retransmission lands a clean one.
+		led.Open("ud", "corrupt", rank, destKey, clk.Now())
 	}
 	src := q.Addr()
 	deliver := func() {
 		dh.countDelivery(len(data))
 		recvCQ.Push(Completion{QPN: wr.Dest.QPN, Src: src, Op: OpSend, Recv: true,
 			Data: data, Imm: wr.Imm, Status: StatusOK, VTime: arrival})
+		// A clean delivery repairs the lane; the delivery that carries an
+		// injected corruption must not close its own incident.
+		if !corrupted {
+			led.CloseAll("ud", nil, rank, destKey, arrival, "delivered")
+		}
 	}
 	if hold {
 		q.obs.Emit(clk.Now(), obs.LayerIB, "fault-reorder", -1, int64(len(data)))
 		q.obs.Count("ib.fault.reorder", 1)
+		led.OpenAbsorbed("ud", "reorder", rank, destKey, clk.Now(), "late-delivery")
 		f.faults.holdDelivery(deliver)
 		return nil
 	}
@@ -169,6 +189,7 @@ func (f *Fabric) sendUD(q *QP, wr SendWR) error {
 	if dup {
 		q.obs.Emit(clk.Now(), obs.LayerIB, "fault-dup", -1, int64(len(wr.Data)))
 		q.obs.Count("ib.fault.dup", 1)
+		led.OpenAbsorbed("ud", "dup", rank, destKey, clk.Now(), "dedup-absorbed")
 		dupData := append([]byte(nil), wr.Data...)
 		dh.countDelivery(len(dupData))
 		recvCQ.Push(Completion{QPN: wr.Dest.QPN, Src: src, Op: OpSend, Recv: true,
@@ -188,10 +209,17 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 	if wr.Clk != nil {
 		clk = wr.Clk
 	}
+	// Incident lane for this connection: (sender rank, destination LID). The
+	// lane survives QP teardown, so the reconnect's first clean completion
+	// closes the flap/corruption incident that killed the old queue pair.
+	led := q.hca.ledger
+	rank := q.obs.Rank()
+	destLID := int(q.remote.LID)
 	if extra := f.faults.slowdown(); extra > 0 {
 		clk.Advance(extra)
 		q.obs.Emit(clk.Now(), obs.LayerIB, "fault-slow", -1, int64(len(wr.Data)))
 		q.obs.Count("ib.fault.slowdown", 1)
+		led.OpenAbsorbed("rc", "slow", rank, destLID, clk.Now(), "latency-absorbed")
 	}
 	depart := clk.Advance(f.model.SendPostOverhead)
 	dh := f.HCA(q.remote.LID)
@@ -203,6 +231,7 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 		// this operation's payload moves, so no byte is delivered twice.
 		q.obs.Emit(clk.Now(), obs.LayerIB, "fault-flap", -1, 0)
 		q.obs.Count("ib.fault.flap", 1)
+		led.Open("rc", "flap", rank, destLID, clk.Now())
 		dh.mu.Lock()
 		dq := dh.qpLocked(q.remote.QPN)
 		dh.mu.Unlock()
@@ -260,6 +289,9 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 			// virtual time, after the sender's backoff) preserves ordering.
 			i := 0
 			for i < len(dq.rqRel) && dq.rqRel[i] <= arrival {
+				// Each slot's release is recorded at its own drain time; the
+				// gauge fold sorts by VT, so observing it late is harmless.
+				dh.gRQOcc.Add(dq.rqRel[i], -1)
 				i++
 			}
 			if i > 0 {
@@ -271,6 +303,7 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 				return ErrRNR
 			}
 			dq.rqRel = append(dq.rqRel, arrival+f.model.RQDrain)
+			dh.gRQOcc.Add(arrival, 1)
 		}
 		dq.lastArr = arrival
 		recvCQ := dq.recvCQ
@@ -281,14 +314,23 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 		// wr.Data stays pristine for any software retransmission. Two-sided
 		// sends carry a software integrity trailer in this runtime, so the
 		// flip is delivered silently and detection is the receiver's job.
-		if f.faults.rcCorruptData(data) {
+		corrupted := f.faults.rcCorruptData(data)
+		if corrupted {
 			q.obs.Emit(clk.Now(), obs.LayerIB, "fault-rc-corrupt", -1, int64(len(data)))
 			q.obs.Count("ib.fault.rc_corrupt", 1)
+			// Open until the receiver's integrity trailer rejects the copy
+			// and a clean (software-retransmitted) send completes.
+			led.Open("rc", "rc-corrupt", rank, destLID, clk.Now())
 		}
 		dh.countDelivery(len(data))
 		recvCQ.Push(Completion{QPN: q.remote.QPN, Src: q.Addr(), Op: OpSend, Recv: true,
 			Data: data, Imm: wr.Imm, Status: StatusOK, VTime: arrival})
 		completeSend(Completion{Status: StatusOK, VTime: arrival + f.model.RCAckLatency})
+		// The completion that carried an injected corruption cannot vouch for
+		// the lane; only a clean completion closes open incidents on it.
+		if !corrupted {
+			led.CloseAll("rc", nil, rank, destLID, arrival+f.model.RCAckLatency, "completed")
+		}
 		return nil
 
 	case OpRDMAWrite:
@@ -328,6 +370,7 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 			landed := n * RCMTU
 			q.obs.Emit(clk.Now(), obs.LayerIB, "fault-torn-write", -1, int64(landed))
 			q.obs.Count("ib.fault.torn_write", 1)
+			led.Open("rc", "torn-write", rank, destLID, clk.Now())
 			dh.memMu.Lock()
 			copy(mr.buf[off:off+landed], wr.Data[:landed])
 			dh.memMu.Unlock()
@@ -346,6 +389,7 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 			landed := prefix * RCMTU
 			q.obs.Emit(clk.Now(), obs.LayerIB, "fault-rc-corrupt", -1, int64(landed))
 			q.obs.Count("ib.fault.rc_corrupt", 1)
+			led.Open("rc", "rc-corrupt", rank, destLID, clk.Now())
 			if landed > 0 {
 				dh.memMu.Lock()
 				copy(mr.buf[off:off+landed], wr.Data[:landed])
@@ -366,6 +410,7 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 			mr.onWrite(off, len(wr.Data), arrival)
 		}
 		completeSend(Completion{Status: StatusOK, VTime: arrival + f.model.RCAckLatency})
+		led.CloseAll("rc", nil, rank, destLID, arrival+f.model.RCAckLatency, "completed")
 		return nil
 
 	case OpRDMARead:
@@ -381,6 +426,7 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 		if f.faults.rcCorruptHit() {
 			q.obs.Emit(clk.Now(), obs.LayerIB, "fault-rc-corrupt", -1, int64(wr.Len))
 			q.obs.Count("ib.fault.rc_corrupt", 1)
+			led.Open("rc", "rc-corrupt", rank, destLID, clk.Now())
 			dh.mu.Lock()
 			dq := dh.qpLocked(q.remote.QPN)
 			dh.mu.Unlock()
@@ -401,6 +447,7 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 		resp := f.oneWay(dh, q.hca, f.model.RCSendLatency, wr.Len)
 		dh.countDelivery(wr.Len)
 		completeSend(Completion{Status: StatusOK, Data: data, VTime: depart + req + resp})
+		led.CloseAll("rc", nil, rank, destLID, depart+req+resp, "completed")
 		return nil
 
 	case OpFetchAdd, OpCmpSwap, OpSwap:
@@ -436,6 +483,7 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 		}
 		resp := f.oneWay(dh, q.hca, f.model.RCSendLatency, 8)
 		completeSend(Completion{Status: StatusOK, Old: old, VTime: arrival + resp})
+		led.CloseAll("rc", nil, rank, destLID, arrival+resp, "completed")
 		return nil
 	}
 	return ErrOpUnsupported

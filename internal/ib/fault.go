@@ -144,6 +144,7 @@ type FaultInjector struct {
 	UDFilter func(payload []byte) UDVerdict
 
 	drops      int
+	dups       int
 	seen       int
 	reorders   int
 	flaps      int
@@ -208,6 +209,16 @@ func (fi *FaultInjector) Drops() int {
 	fi.mu.Lock()
 	defer fi.mu.Unlock()
 	return fi.drops
+}
+
+// Dups reports how many datagrams have been delivered twice.
+func (fi *FaultInjector) Dups() int {
+	if fi == nil {
+		return 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.dups
 }
 
 // Reorders reports how many datagrams have been held for late delivery.
@@ -545,6 +556,7 @@ func (fi *FaultInjector) udFate(payload []byte) (drop, dup, hold bool) {
 		return false, false, true
 	}
 	if fi.DupProb > 0 && fi.rng.Float64() < fi.DupProb {
+		fi.dups++
 		return false, true, false
 	}
 	return false, false, false

@@ -3,6 +3,7 @@ package ib
 import (
 	"sync"
 
+	"goshmem/internal/obs"
 	"goshmem/internal/vclock"
 )
 
@@ -36,6 +37,14 @@ type HCA struct {
 	reliefMu sync.Mutex
 	relief   []func(vt int64) bool
 	reliefRR int
+
+	// Telemetry (AttachObs): adapter-level gauge series keyed by lid, and the
+	// job's incident ledger for injected allocation failures. All nil-safe —
+	// an unattached adapter records nothing.
+	gLiveQPs *obs.Gauge
+	gPinned  *obs.Gauge
+	gRQOcc   *obs.Gauge
+	ledger   *obs.Ledger
 
 	stats HCAStats
 }
@@ -77,6 +86,20 @@ func (h *HCA) LiveRC() int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.stats.LiveRC
+}
+
+// AttachObs wires the adapter to the job's gauge registry and incident
+// ledger. Call it at setup, before any QP or MR is allocated (including
+// SetLimits' bounce slab), so the gauge series start from zero. Either
+// argument may be nil: gauges and incidents enable independently.
+func (h *HCA) AttachObs(gs *obs.GaugeSet, led *obs.Ledger) {
+	inst := obs.InstHCA(h.lid)
+	h.mu.Lock()
+	h.gLiveQPs = gs.Gauge("ib.live_qps", inst)
+	h.gPinned = gs.Gauge("ib.pinned_bytes", inst)
+	h.gRQOcc = gs.Gauge("ib.rq_occupancy", inst)
+	h.ledger = led
+	h.mu.Unlock()
 }
 
 // RegisterRelief registers a pressure-relief callback for one of the

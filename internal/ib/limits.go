@@ -1,6 +1,7 @@
 package ib
 
 import (
+	"goshmem/internal/obs"
 	"goshmem/internal/vclock"
 )
 
@@ -52,8 +53,10 @@ func (h *HCA) SetLimits(l Limits, clk *vclock.Clock) {
 	buf := make([]byte, slab)
 	h.mu.Lock()
 	h.slab = h.registerLocked(buf, false)
+	g := h.gPinned
 	h.mu.Unlock()
 	clk.Advance(h.f.model.MemRegTime(len(buf)))
+	g.Add(clk.Now(), int64(len(buf)))
 }
 
 // Limits returns the adapter's budgets (zero value when unbudgeted).
@@ -106,8 +109,15 @@ func (h *HCA) TryCreateQP(typ QPType, clk *vclock.Clock, sendCQ, recvCQ *CQ) (*Q
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.qpAllocs++
-	if h.f.faults.failQPAlloc(h.qpAllocs) ||
-		(h.limits.MaxQPs > 0 && h.liveQPs >= h.limits.MaxQPs) {
+	// Injected failures open a detected "alloc" incident (they are budgeted
+	// faults the ledger must reconcile); ordinary budget refusals are the
+	// resource plane working as designed and stay off the ledger.
+	if h.f.faults.failQPAlloc(h.qpAllocs) {
+		h.stats.AllocFailures++
+		h.ledger.OpenDetected("alloc", "qp", obs.InstJob, obs.InstHCA(h.lid), clk.Now(), "alloc-refused")
+		return nil, ErrQPExhausted
+	}
+	if h.limits.MaxQPs > 0 && h.liveQPs >= h.limits.MaxQPs {
 		h.stats.AllocFailures++
 		return nil, ErrQPExhausted
 	}
@@ -129,6 +139,8 @@ func (h *HCA) TryCreateQP(typ QPType, clk *vclock.Clock, sendCQ, recvCQ *CQ) (*Q
 	} else {
 		h.stats.QPsCreatedRC++
 	}
+	h.gLiveQPs.Add(clk.Now(), 1)
+	h.ledger.CloseAll("alloc", []string{"qp"}, obs.InstJob, obs.InstHCA(h.lid), clk.Now(), "alloc-ok")
 	return q, nil
 }
 
@@ -139,15 +151,23 @@ func (h *HCA) TryCreateQP(typ QPType, clk *vclock.Clock, sendCQ, recvCQ *CQ) (*Q
 func (h *HCA) TryRegisterMR(buf []byte, clk *vclock.Clock) (*MR, error) {
 	h.mu.Lock()
 	h.mrAllocs++
-	if h.f.faults.failMRAlloc(h.mrAllocs) ||
-		(h.limits.MaxMRBytes > 0 && h.stats.BytesPinned+int64(len(buf)) > h.limits.MaxMRBytes) {
+	if h.f.faults.failMRAlloc(h.mrAllocs) {
+		h.stats.AllocFailures++
+		h.mu.Unlock()
+		h.ledger.OpenDetected("alloc", "mr", obs.InstJob, obs.InstHCA(h.lid), clk.Now(), "alloc-refused")
+		return nil, ErrMRExhausted
+	}
+	if h.limits.MaxMRBytes > 0 && h.stats.BytesPinned+int64(len(buf)) > h.limits.MaxMRBytes {
 		h.stats.AllocFailures++
 		h.mu.Unlock()
 		return nil, ErrMRExhausted
 	}
 	m := h.registerLocked(buf, false)
+	g := h.gPinned
 	h.mu.Unlock()
 	clk.Advance(h.f.model.MemRegTime(len(buf)))
+	g.Add(clk.Now(), int64(len(buf)))
+	h.ledger.CloseAll("alloc", []string{"mr"}, obs.InstJob, obs.InstHCA(h.lid), clk.Now(), "alloc-ok")
 	return m, nil
 }
 
@@ -167,5 +187,6 @@ func (h *HCA) RegisterBounced(buf []byte, clk *vclock.Clock) (*MR, error) {
 	h.stats.BouncedMRs++
 	h.mu.Unlock()
 	clk.Advance(h.f.model.MemRegBase) // descriptor only: nothing is pinned
+	h.ledger.CloseAll("alloc", []string{"mr"}, obs.InstJob, obs.InstHCA(h.lid), clk.Now(), "bounced")
 	return m, nil
 }

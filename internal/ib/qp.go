@@ -148,6 +148,7 @@ func (q *QP) Destroy() {
 	q.state = StateDestroyed
 	q.hca.liveQPs--
 	q.hca.stats.QPsDestroyed++
+	q.hca.gLiveQPs.Add(q.clk.Now(), -1)
 	q.obs.Emit(q.clk.Now(), obs.LayerIB, "qp-destroy", -1, 0)
 	if int(q.qpn) <= len(q.hca.qps) {
 		q.hca.qps[q.qpn-1] = nil

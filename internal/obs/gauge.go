@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Gauge time-series: instantaneous resource levels (live QPs, pinned bytes,
+// retained session windows, credits, suspected peers) sampled over virtual
+// time. Instrumentation sites record signed deltas stamped with the virtual
+// time of the change; because deltas commute, the export-time fold (sort by
+// VT, accumulate) is independent of the goroutine schedule the deltas were
+// recorded under — a fixed-seed fault-free run produces a byte-identical
+// series every time. The "sampler" is the export-side quantization onto a
+// fixed virtual-tick grid, not a wall-clock thread: each tick that saw
+// activity yields one point carrying the level at the end of that tick.
+
+// DefaultGaugeTick is the virtual-time quantization grid for exported gauge
+// series, in nanoseconds. Min/max/final are computed from the full-resolution
+// delta log before quantization, so the grid only bounds export size.
+const DefaultGaugeTick = int64(10_000) // 10 µs of virtual time
+
+// maxGaugePoints bounds one gauge's delta log. Overflow stops recording and
+// counts the dropped deltas (visible as Dropped in the series): a truncated
+// series stays deterministic, a lossy one would not.
+const maxGaugePoints = 1 << 17
+
+type gaugeDelta struct {
+	vt    int64
+	delta int64
+}
+
+// Gauge is one instrumented level. A nil *Gauge is the disabled plane: Add is
+// a nil-check and return, so call sites need no conditionals.
+type Gauge struct {
+	mu      sync.Mutex
+	log     []gaugeDelta
+	dropped int64
+}
+
+// Add records a level change of delta at virtual time vt.
+func (g *Gauge) Add(vt, delta int64) {
+	if g == nil || delta == 0 {
+		return
+	}
+	g.mu.Lock()
+	if len(g.log) >= maxGaugePoints {
+		g.dropped++
+	} else {
+		g.log = append(g.log, gaugeDelta{vt, delta})
+	}
+	g.mu.Unlock()
+}
+
+// GaugePoint is one exported sample: the gauge's level at the end of the
+// virtual tick containing VT.
+type GaugePoint struct {
+	VT    int64 `json:"vt_ns"`
+	Value int64 `json:"value"`
+}
+
+// GaugeSeries is one gauge's exported time-series plus its exact extrema.
+type GaugeSeries struct {
+	Name    string       `json:"name"`
+	Inst    int          `json:"inst"` // PE rank or HCA lid; -1 for job-level
+	Min     int64        `json:"min"`
+	Max     int64        `json:"max"`
+	Final   int64        `json:"final"`
+	Dropped int64        `json:"dropped,omitempty"`
+	Points  []GaugePoint `json:"points"`
+}
+
+// series folds the delta log into a quantized time-series. tick <= 0 takes
+// DefaultGaugeTick.
+func (g *Gauge) series(tick int64) (pts []GaugePoint, min, max, final, dropped int64) {
+	if g == nil {
+		return nil, 0, 0, 0, 0
+	}
+	if tick <= 0 {
+		tick = DefaultGaugeTick
+	}
+	g.mu.Lock()
+	log := append([]gaugeDelta(nil), g.log...)
+	dropped = g.dropped
+	g.mu.Unlock()
+	sort.SliceStable(log, func(i, j int) bool { return log[i].vt < log[j].vt })
+	var v int64
+	for i, d := range log {
+		v += d.delta
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		bucket := d.vt - d.vt%tick
+		end := bucket + tick - 1
+		if i+1 < len(log) && log[i+1].vt-log[i+1].vt%tick == bucket {
+			continue // more deltas land in this tick; emit its final level only
+		}
+		pts = append(pts, GaugePoint{VT: end, Value: v})
+	}
+	return pts, min, max, v, dropped
+}
+
+// InstJob is the gauge/incident instance for job-level series.
+const InstJob = -1
+
+// InstHCA encodes an adapter LID as a gauge instance, disjoint from PE ranks
+// (non-negative) and the job-level instance (-1). InstLID decodes it.
+func InstHCA(lid uint16) int { return -2 - int(lid) }
+
+// InstLID recovers the adapter LID from an InstHCA-encoded instance.
+func InstLID(inst int) uint16 { return uint16(-2 - inst) }
+
+type gaugeKey struct {
+	name string
+	inst int
+}
+
+// GaugeSet is the job-level registry of gauges, keyed by (name, instance). A
+// nil *GaugeSet is the disabled plane: Gauge returns nil and the nil *Gauge
+// absorbs every Add.
+type GaugeSet struct {
+	mu sync.Mutex
+	m  map[gaugeKey]*Gauge
+}
+
+// NewGaugeSet creates an empty gauge registry.
+func NewGaugeSet() *GaugeSet {
+	return &GaugeSet{m: make(map[gaugeKey]*Gauge)}
+}
+
+// Gauge returns (creating if needed) the gauge for (name, inst). inst is the
+// PE rank for per-PE gauges, the HCA lid for adapter gauges, -1 for
+// job-level.
+func (s *GaugeSet) Gauge(name string, inst int) *Gauge {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := gaugeKey{name, inst}
+	g := s.m[k]
+	if g == nil {
+		g = &Gauge{}
+		s.m[k] = g
+	}
+	return g
+}
+
+// Series exports every gauge's quantized time-series, sorted by (name, inst).
+func (s *GaugeSet) Series(tick int64) []GaugeSeries {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	keys := make([]gaugeKey, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].inst < keys[j].inst
+	})
+	out := make([]GaugeSeries, 0, len(keys))
+	for _, k := range keys {
+		s.mu.Lock()
+		g := s.m[k]
+		s.mu.Unlock()
+		pts, min, max, final, dropped := g.series(tick)
+		out = append(out, GaugeSeries{
+			Name: k.name, Inst: k.inst,
+			Min: min, Max: max, Final: final, Dropped: dropped, Points: pts,
+		})
+	}
+	return out
+}
+
+// GaugeStat is the min/max/final summary row for one gauge (the `-metrics`
+// and `-json` view; the full series goes to `-timeseries-out`).
+type GaugeStat struct {
+	Name  string `json:"name"`
+	Inst  int    `json:"inst"`
+	Min   int64  `json:"min"`
+	Max   int64  `json:"max"`
+	Final int64  `json:"final"`
+}
+
+// Stats summarizes every gauge, sorted by (name, inst).
+func (s *GaugeSet) Stats() []GaugeStat {
+	series := s.Series(DefaultGaugeTick)
+	if series == nil {
+		return nil
+	}
+	out := make([]GaugeStat, len(series))
+	for i, sr := range series {
+		out[i] = GaugeStat{Name: sr.Name, Inst: sr.Inst, Min: sr.Min, Max: sr.Max, Final: sr.Final}
+	}
+	return out
+}
+
+// WriteGaugeCSV renders series as stable CSV: a header comment, then one
+// `gauge,inst,vt_ns,value` row per point, in (name, inst, vt) order. The
+// render is a pure function of the series, so byte-comparing two files
+// compares the underlying resource histories.
+func WriteGaugeCSV(w io.Writer, series []GaugeSeries) error {
+	if _, err := fmt.Fprintln(w, "gauge,inst,vt_ns,value"); err != nil {
+		return err
+	}
+	for i := range series {
+		sr := &series[i]
+		for _, p := range sr.Points {
+			if _, err := fmt.Fprintf(w, "%s,%d,%d,%d\n", sr.Name, sr.Inst, p.VT, p.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteGaugeJSON renders series as one JSON array, stable field order.
+func WriteGaugeJSON(w io.Writer, series []GaugeSeries) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(series)
+}

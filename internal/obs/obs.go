@@ -74,6 +74,12 @@ type Config struct {
 	// Flows enables the per-PE, per-peer flow matrix (required for
 	// -topology and the report's topology section; see flow.go).
 	Flows bool
+	// Gauges enables the virtual-time gauge time-series (required for
+	// -timeseries-out and the gauge columns of -metrics; see gauge.go).
+	Gauges bool
+	// Incidents enables the causal incident ledger (required for -incidents
+	// and the report's incident section; see incident.go).
+	Incidents bool
 	// RingCap bounds each PE's event ring. 0 means DefaultRingCap;
 	// negative means unbounded (needed when a complete trace must be
 	// exported). When a bounded ring overflows the oldest events are
@@ -85,15 +91,19 @@ type Config struct {
 const DefaultRingCap = 1 << 16
 
 // Enabled reports whether any plane is live.
-func (c Config) Enabled() bool { return c.Events || c.Metrics || c.Flows }
+func (c Config) Enabled() bool {
+	return c.Events || c.Metrics || c.Flows || c.Gauges || c.Incidents
+}
 
 // Plane is the job-level observability state: one recorder per PE plus the
 // shared metric registry.
 type Plane struct {
-	cfg   Config
-	reg   *Registry
-	pes   []*PE
-	start time.Time
+	cfg    Config
+	reg    *Registry
+	gauges *GaugeSet
+	ledger *Ledger
+	pes    []*PE
+	start  time.Time
 }
 
 // NewPlane creates a plane for np PEs. If cfg disables both events and
@@ -106,6 +116,12 @@ func NewPlane(np int, cfg Config) *Plane {
 	p := &Plane{cfg: cfg, start: time.Now()}
 	if cfg.Metrics {
 		p.reg = NewRegistry()
+	}
+	if cfg.Gauges {
+		p.gauges = NewGaugeSet()
+	}
+	if cfg.Incidents {
+		p.ledger = NewLedger()
 	}
 	p.pes = make([]*PE, np)
 	for r := range p.pes {
@@ -136,6 +152,22 @@ func (pl *Plane) Registry() *Registry {
 		return nil
 	}
 	return pl.reg
+}
+
+// Gauges returns the gauge registry, or nil when gauges are disabled.
+func (pl *Plane) Gauges() *GaugeSet {
+	if pl == nil {
+		return nil
+	}
+	return pl.gauges
+}
+
+// Ledger returns the incident ledger, or nil when incidents are disabled.
+func (pl *Plane) Ledger() *Ledger {
+	if pl == nil {
+		return nil
+	}
+	return pl.ledger
 }
 
 // Events returns all recorded events merged across PEs in deterministic
@@ -262,6 +294,25 @@ func (p *PE) Span(startVT, endVT int64, layer, kind string, peer int, bytes int6
 		VT: startVT, Wall: p.wall(), Rank: p.rank,
 		Layer: layer, Kind: kind, Peer: peer, Bytes: bytes, Dur: d, Attrs: attrs,
 	})
+}
+
+// Gauge resolves the named gauge for this PE's rank (nil when gauges are
+// disabled). Resolve once at setup and keep the pointer; Gauge.Add is
+// nil-safe.
+func (p *PE) Gauge(name string) *Gauge {
+	if p == nil || p.plane.gauges == nil {
+		return nil
+	}
+	return p.plane.gauges.Gauge(name, p.rank)
+}
+
+// Ledger returns the job's incident ledger (nil when incidents are
+// disabled); every Ledger method is nil-safe.
+func (p *PE) Ledger() *Ledger {
+	if p == nil {
+		return nil
+	}
+	return p.plane.ledger
 }
 
 // Counter resolves a named counter, or nil when metrics are disabled.

@@ -43,18 +43,35 @@ const (
 )
 
 // WritePerfetto writes the plane's merged events as a Perfetto-loadable
-// Chrome trace.
+// Chrome trace, including counter tracks for any recorded gauges and spans
+// for any ledgered incidents.
 func (pl *Plane) WritePerfetto(w io.Writer) error {
 	if pl == nil {
 		return WriteTraceEvents(w, nil, 0)
 	}
-	return WriteTraceEvents(w, pl.Events(), len(pl.pes))
+	return WriteTraceEventsFull(w, pl.Events(), len(pl.pes),
+		pl.gauges.Series(DefaultGaugeTick), pl.ledger.Snapshot())
 }
 
 // WriteTraceEvents writes events (already in deterministic order — callers
 // should use SortEvents) as Chrome trace-event JSON. np sizes the process
 // metadata; ranks outside [0,np) still render, just without a name record.
 func WriteTraceEvents(w io.Writer, evs []Event, np int) error {
+	return WriteTraceEventsFull(w, evs, np, nil, nil)
+}
+
+// perfettoIncidentTID hosts incident spans inside the victim's process,
+// above the conn sub-tracks (which use tid 16+peer).
+const perfettoIncidentTID = 15
+
+// WriteTraceEventsFull is WriteTraceEvents plus gauge counter tracks ("C"
+// events) and incident spans. Per-PE gauges (inst in [0,np)) render as
+// counter tracks inside the rank's process; job- and adapter-level gauges
+// (inst == -1, or an HCA lid at/above np) render in a dedicated "job"
+// process with pid np. Incidents render as "X" spans named class/kind on a
+// per-process "incidents" thread of the victim rank (the job process for
+// rank -1), covering inject -> repair.
+func WriteTraceEventsFull(w io.Writer, evs []Event, np int, gauges []GaugeSeries, incidents []Incident) error {
 	// Synthesize the per-pair lifecycle slices (timeline.go) and merge them
 	// into the stream; SortEvents keeps the merged order deterministic.
 	tls := BuildConnTimelines(evs)
@@ -88,6 +105,25 @@ func WriteTraceEvents(w io.Writer, evs []Event, np int) error {
 			bw.WriteString(",\n")
 		}
 	}
+	// The "job" process (pid = np) hosts job-level gauges (inst == -1),
+	// adapter gauges (inst at/above np is an HCA lid), and incidents with no
+	// victim rank.
+	jobPID := np
+	needJob := false
+	for i := range gauges {
+		if gauges[i].Inst < 0 || gauges[i].Inst >= np {
+			needJob = true
+		}
+	}
+	incRanks := make(map[int]bool)
+	for i := range incidents {
+		r := incidents[i].Rank
+		if r < 0 || r >= np {
+			r = jobPID
+			needJob = true
+		}
+		incRanks[r] = true
+	}
 	for rank := 0; rank < np; rank++ {
 		sep()
 		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"name":"process_name","args":{"name":"PE %d"}}`, rank, rank)
@@ -100,6 +136,20 @@ func WriteTraceEvents(w io.Writer, evs []Event, np int) error {
 			sep()
 			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
 				rank, perfettoConnTIDBase+peer, strconv.Quote(fmt.Sprintf("conn peer %d", peer)))
+		}
+		if incRanks[rank] {
+			sep()
+			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"incidents"}}`,
+				rank, perfettoIncidentTID)
+		}
+	}
+	if needJob {
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"name":"process_name","args":{"name":"job"}}`, jobPID)
+		if incRanks[jobPID] {
+			sep()
+			fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":"incidents"}}`,
+				jobPID, perfettoIncidentTID)
 		}
 	}
 	for i := range evs {
@@ -138,6 +188,39 @@ func WriteTraceEvents(w io.Writer, evs []Event, np int) error {
 			arg(a.Key, strconv.Quote(a.Val))
 		}
 		bw.WriteString("}}")
+	}
+	for i := range gauges {
+		sr := &gauges[i]
+		pid, name := sr.Inst, sr.Name
+		if sr.Inst == InstJob {
+			pid = jobPID
+		} else if sr.Inst < InstJob {
+			// Adapter gauge: the instance encodes an HCA lid (InstHCA).
+			pid = jobPID
+			name = fmt.Sprintf("%s/hca%d", sr.Name, InstLID(sr.Inst))
+		}
+		for _, p := range sr.Points {
+			sep()
+			fmt.Fprintf(bw, `{"ph":"C","pid":%d,"ts":%s,"name":%s,"args":{"value":%d}}`,
+				pid, usec(p.VT), strconv.Quote(name), p.Value)
+		}
+	}
+	for i := range incidents {
+		in := &incidents[i]
+		pid := in.Rank
+		if pid < 0 || pid >= np {
+			pid = jobPID
+		}
+		name := strconv.Quote(in.Class + "/" + in.Kind)
+		sep()
+		if in.RepairVT > in.InjectVT {
+			fmt.Fprintf(bw, `{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%s`,
+				pid, perfettoIncidentTID, usec(in.InjectVT), usec(in.RepairVT-in.InjectVT), name)
+		} else {
+			fmt.Fprintf(bw, `{"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"name":%s`,
+				pid, perfettoIncidentTID, usec(in.InjectVT), name)
+		}
+		fmt.Fprintf(bw, `,"args":{"state":%s,"inst":%d}}`, strconv.Quote(in.State), in.Inst)
 	}
 	bw.WriteString("]}\n")
 	return bw.Flush()

@@ -91,6 +91,110 @@ func TestSynthConnSpans(t *testing.T) {
 	}
 }
 
+// TestBuildConnTimelinesEvictionRacesHandshake covers the eviction-vs-
+// reconnect race: the LRU evicts a pair at the same virtual time its owner's
+// next handshake event lands. The reducer must not lose either event, must
+// order same-VT states deterministically (by state name), and must keep the
+// counts consistent — the in-flight handshake that completes after the
+// eviction is a re-establishment.
+func TestBuildConnTimelinesEvictionRacesHandshake(t *testing.T) {
+	evs := []Event{
+		connEvent(100, 0, "conn-initiate", 1),
+		connEvent(400, 0, "conn-ready-client", 1),
+		// Eviction and the reconnect's initiate land on the same VT tick.
+		connEvent(900, 0, "conn-evict", 1),
+		connEvent(900, 0, "conn-initiate", 1),
+		connEvent(1300, 0, "conn-ready-client", 1),
+	}
+	// The reducer accepts any input order; feed it the racy order reversed.
+	rev := make([]Event, len(evs))
+	for i := range evs {
+		rev[len(evs)-1-i] = evs[i]
+	}
+	a, b := BuildConnTimelines(evs), BuildConnTimelines(rev)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("timelines depend on input order:\n%+v\nvs\n%+v", a, b)
+	}
+	tl := a[0]
+	if tl.Attempts != 2 || tl.Established != 2 || tl.Evictions != 1 || tl.Reconnects != 1 {
+		t.Fatalf("racy eviction counts: %+v", tl)
+	}
+	// Same-VT transitions sort by state name: evict before initiate.
+	want := []TimelinePoint{
+		{100, "initiate"}, {400, "ready-client"},
+		{900, "evict"}, {900, "initiate"}, {1300, "ready-client"},
+	}
+	if !reflect.DeepEqual(tl.States, want) {
+		t.Fatalf("racy eviction states: %+v", tl.States)
+	}
+}
+
+// TestBuildConnTimelinesReconnectWithoutEstablish covers streams whose
+// beginning is missing (ring truncation, or a server that only ever saw the
+// reconnect): a ready with no prior initiate, or an evict with no prior
+// ready. Counts must stay non-negative and reconnects must derive only from
+// observed establishments.
+func TestBuildConnTimelinesReconnectWithoutEstablish(t *testing.T) {
+	// Evict-first: the establishment predates the captured window.
+	tls := BuildConnTimelines([]Event{
+		connEvent(900, 0, "conn-evict", 1),
+		connEvent(1200, 0, "conn-initiate", 1),
+		connEvent(1600, 0, "conn-ready-client", 1),
+	})
+	if len(tls) != 1 {
+		t.Fatalf("timelines: %+v", tls)
+	}
+	tl := tls[0]
+	if tl.Established != 1 || tl.Reconnects != 0 {
+		t.Fatalf("evict-first window: est=%d recon=%d, want 1/0 (no observed prior establish)",
+			tl.Established, tl.Reconnects)
+	}
+	if tl.Evictions != 1 || tl.Attempts != 1 {
+		t.Fatalf("evict-first window counts: %+v", tl)
+	}
+
+	// Ready-only: not even the reconnect's initiate survived truncation.
+	tls = BuildConnTimelines([]Event{connEvent(1600, 3, "conn-ready-server", 7)})
+	tl = tls[0]
+	if tl.Attempts != 0 || tl.Established != 1 || tl.Reconnects != 0 || tl.Evictions != 0 {
+		t.Fatalf("ready-only window counts: %+v", tl)
+	}
+}
+
+// TestBuildConnTimelinesTruncatedRing drives a real plane with a ring small
+// enough to overflow: the reducer must work from the surviving suffix of the
+// stream, and the plane's dropped-event counter must make the truncation
+// visible so a consumer never mistakes a partial timeline for a complete one.
+func TestBuildConnTimelinesTruncatedRing(t *testing.T) {
+	pl := NewPlane(1, Config{Events: true, RingCap: 4})
+	pe := pl.PE(0)
+	// Ten full lifecycles; only the last 4 events fit the ring.
+	for i := 0; i < 10; i++ {
+		base := int64(1000 * (i + 1))
+		pe.Emit(base, LayerGasnet, "conn-initiate", 1, 0)
+		pe.Emit(base+100, LayerGasnet, "conn-ready-client", 1, 0)
+		pe.Emit(base+500, LayerGasnet, "conn-evict", 1, 0)
+	}
+	if pl.Dropped() != 30-4 {
+		t.Fatalf("dropped = %d, want %d", pl.Dropped(), 30-4)
+	}
+	tls := BuildConnTimelines(pl.Events())
+	if len(tls) != 1 {
+		t.Fatalf("timelines: %+v", tls)
+	}
+	tl := tls[0]
+	// Surviving window: evict@9500, initiate@10000, ready@10100, evict@10500.
+	want := []TimelinePoint{
+		{9500, "evict"}, {10000, "initiate"}, {10100, "ready-client"}, {10500, "evict"},
+	}
+	if !reflect.DeepEqual(tl.States, want) {
+		t.Fatalf("truncated states: %+v", tl.States)
+	}
+	if tl.Attempts != 1 || tl.Established != 1 || tl.Evictions != 2 || tl.Reconnects != 0 {
+		t.Fatalf("truncated counts: %+v", tl)
+	}
+}
+
 // TestPerfettoConnTracks checks the exporter materializes per-peer conn
 // tracks: a thread-name metadata row at tid base+peer and the synthesized
 // handshake/live/episode slices, only for pairs that completed a handshake.

@@ -87,6 +87,7 @@ type opFate struct {
 	crash   bool  // this op trips the armed crash (caller applies KVS loss)
 	unavail bool  // server unreachable right now (transient, retryable)
 	drop    bool  // request or reply lost (observed as a timeout, retryable)
+	dup     bool  // request applied twice (idempotent: counted, not applied)
 }
 
 // fate evaluates the fault plane for one client op at virtual time now.
@@ -145,6 +146,7 @@ func (fi *FaultInjector) fate(opName string, now int64) opFate {
 	}
 	if fi.DupProb > 0 && fi.rng.Float64() < fi.DupProb {
 		fi.dups++ // ops are idempotent: duplicates are counted, not applied
+		f.dup = true
 	}
 	return f
 }

@@ -125,6 +125,9 @@ func (c *Client) withRetry(op, key string) error {
 			c.retries.Add(1)
 			c.obs.Emit(c.clk.Now(), obs.LayerPMI, "pmi-retry", -1, 0,
 				obs.Attr{Key: "op", Val: op})
+			// The retry is the client-side detection of the previous try's
+			// silent failure (a dropped request or an unreachable server).
+			c.obs.Ledger().Detect("pmi", c.rank, c.clk.Now(), "retry")
 		}
 		f := c.s.admit(c, op)
 		if f == nil {
@@ -138,6 +141,7 @@ func (c *Client) withRetry(op, key string) error {
 	c.timeouts.Add(1)
 	c.obs.Emit(c.clk.Now(), obs.LayerPMI, "pmi-timeout", -1, 0,
 		obs.Attr{Key: "op", Val: op})
+	c.obs.Ledger().Act("pmi", c.rank, c.clk.Now(), "op-timeout")
 	return &OpError{
 		Op: op, Key: key, Rank: c.rank, Attempts: rc.Attempts,
 		Cause: ErrTimeout, Last: last,
@@ -147,21 +151,35 @@ func (c *Client) withRetry(op, key string) error {
 // admit consults the fault plane for one client op, applying crash damage
 // to the KVS when the op trips an armed crash. A nil return admits the op.
 func (s *Server) admit(c *Client, op string) error {
+	led := c.obs.Ledger()
 	f := s.faults.fate(op, c.clk.Now())
 	if f.slow > 0 {
 		c.clk.Advance(f.slow)
 		c.obs.Emit(c.clk.Now(), obs.LayerPMI, "pmi-fault-slow", -1, 0,
 			obs.Attr{Key: "op", Val: op})
+		led.OpenAbsorbed("pmi", "slow", c.rank, obs.InstJob, c.clk.Now(), "latency-absorbed")
 	}
 	if f.crash {
 		s.crashNow(c)
+		// The crash is job-wide (every client sees the lost epoch), detected
+		// synchronously by the op that trips it.
+		led.OpenDetected("pmi", "crash", obs.InstJob, obs.InstJob, c.clk.Now(), "server-crash")
+	}
+	if f.dup {
+		led.OpenAbsorbed("pmi", "dup", c.rank, obs.InstJob, c.clk.Now(), "idempotent")
 	}
 	if f.unavail {
+		led.Open("pmi", "unavail", c.rank, obs.InstJob, c.clk.Now())
 		return ErrUnavailable
 	}
 	if f.drop {
+		led.Open("pmi", "drop", c.rank, obs.InstJob, c.clk.Now())
 		return errDropped
 	}
+	// An admitted op proves the control plane reachable again: close this
+	// client's open incidents and any job-wide crash incident.
+	led.CloseAll("pmi", nil, c.rank, obs.InstJob, c.clk.Now(), "op-admitted")
+	led.CloseAll("pmi", nil, obs.InstJob, obs.InstJob, c.clk.Now(), "op-admitted")
 	return nil
 }
 
