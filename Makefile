@@ -10,11 +10,11 @@ GO ?= go
 # CHAOS_SEED=<seed> make soak (failures print the seed to replay).
 CHAOS_SEED ?= 1786034998553156286
 
-.PHONY: all tier1 tier2 build test vet race soak smoke incident-smoke trace-demo bench clean
+.PHONY: all tier1 tier2 build test vet race soak smoke incident-smoke rail-smoke trace-demo bench clean
 
 all: tier1
 
-tier1: build test race smoke incident-smoke
+tier1: build test race smoke incident-smoke rail-smoke
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,23 @@ incident-smoke:
 	$(GO) run ./cmd/oshrun -np 8 -ppn 4 -app traffic \
 		-drop 0.05 -dup 0.05 -rc-corrupt 0.05 -torn-writes 0.05 -flap 0.02 \
 		-fault-seed 7 -incidents
+
+# Multi-rail failover smoke: the same seeded traffic workload on a two-rail
+# fabric, clean and with rail 0 killed mid-workload (0.16s virtual lands in
+# the RC traffic phase, after handshake-time rail selection is done, so the
+# recovery is live-QP path migration). The faulted run must finish with a
+# digest byte-identical to the clean run's and reconcile its incident
+# (-incidents exits nonzero otherwise).
+rail-smoke:
+	@clean=$$($(GO) run ./cmd/oshrun -np 8 -ppn 4 -rails 2 -app traffic \
+		| grep -o 'digest [0-9a-f]*'); \
+	out=$$($(GO) run ./cmd/oshrun -np 8 -ppn 4 -rails 2 -app traffic \
+		-fail-rail "0@0.16" -incidents) || \
+		{ echo "rail-smoke: faulted run failed (incident reconciliation?)"; exit 1; }; \
+	faulted=$$(echo "$$out" | grep -o 'digest [0-9a-f]*'); \
+	echo "rail-smoke: clean $$clean / rail-failure $$faulted"; \
+	test -n "$$clean" && test "$$clean" = "$$faulted" || \
+		{ echo "rail-smoke: DIGEST MISMATCH after rail failure"; exit 1; }
 
 # Write an 8-PE sample Perfetto trace (open trace-demo.json at
 # https://ui.perfetto.dev) plus the text report with phase breakdown,

@@ -214,6 +214,15 @@ func main() {
 
 	base, basePath := loadBaseline(path)
 	if base == nil {
+		if *check {
+			// A -check run with nothing to check against must be loud: a CI
+			// lane that silently passes because the baseline artifact went
+			// missing would mask every future regression. Exit 0 so a fresh
+			// checkout can still bootstrap its first baseline.
+			fmt.Fprintf(os.Stderr, "bench: WARNING: -check requested but no prior BENCH_*.json baseline exists; "+
+				"regression gate NOT applied (wrote %s as the new baseline)\n", path)
+			return
+		}
 		fmt.Printf("no prior BENCH_*.json baseline found; skipping delta report\n")
 		return
 	}

@@ -8,6 +8,8 @@
 // resource usage counters the paper studies. The fault plane is exposed for
 // resilience experiments: -drop/-dup/-flap/-slow/-corrupt/-rc-corrupt/
 // -torn-writes inject fabric faults, -kill-pe/-wedge-pe schedule PE failures,
+// -rails/-fail-port/-fail-rail/-partition exercise the multi-rail fault plane
+// (automatic path migration, rail failover, partition suspend/heal),
 // -pmi-slow/-pmi-drop/-pmi-crash degrade the out-of-band control plane, and
 // -deadline arms the hung-job watchdog. See the README's fault-flag table.
 package main
@@ -109,11 +111,14 @@ func printMetricTables(res *cluster.Result, all bool) {
 	}
 }
 
-// instLabel renders a gauge instance key: PE rank, HCA lid, or the job.
+// instLabel renders a gauge instance key: PE rank, HCA lid, fabric rail, or
+// the job.
 func instLabel(inst int) string {
 	switch {
 	case inst == obs.InstJob:
 		return "job"
+	case inst <= obs.InstRail(0):
+		return fmt.Sprintf("rail%d", obs.InstRailIndex(inst))
 	case inst < obs.InstJob:
 		return fmt.Sprintf("hca%d", obs.InstLID(inst))
 	default:
@@ -163,6 +168,128 @@ func parsePEFaults(flagName, s string, np int) ([]cluster.PEFault, error) {
 			return nil, fmt.Errorf("-%s wants a non-negative time, got %q", flagName, item)
 		}
 		out = append(out, cluster.PEFault{Rank: rank, At: int64(at * float64(vclock.Second))})
+	}
+	return out, nil
+}
+
+// parsePortFaults parses a comma-separated list of "lid:rail@seconds" port
+// failure schedules, validating the LID names a real node and the rail index
+// is within the configured rail count.
+func parsePortFaults(s string, rails, nodes int) ([]cluster.PortFault, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []cluster.PortFault
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		spec, atStr, ok := strings.Cut(item, "@")
+		lidStr, railStr, ok2 := strings.Cut(spec, ":")
+		if !ok || !ok2 {
+			return nil, fmt.Errorf("-fail-port wants lid:rail@seconds, got %q", item)
+		}
+		lid, err1 := strconv.Atoi(lidStr)
+		rail, err2 := strconv.Atoi(railStr)
+		at, err3 := strconv.ParseFloat(atStr, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("-fail-port wants lid:rail@seconds, got %q", item)
+		}
+		if lid < 1 || lid > nodes {
+			return nil, fmt.Errorf("-fail-port lid %d out of range [1,%d] in %q (LIDs number the nodes from 1)", lid, nodes, item)
+		}
+		if rail < 0 || rail >= rails {
+			return nil, fmt.Errorf("-fail-port rail %d out of range [0,%d) in %q", rail, rails, item)
+		}
+		if at < 0 {
+			return nil, fmt.Errorf("-fail-port wants a non-negative time, got %q", item)
+		}
+		out = append(out, cluster.PortFault{LID: uint16(lid), Rail: rail, At: int64(at * float64(vclock.Second))})
+	}
+	return out, nil
+}
+
+// parseRailFaults parses a comma-separated list of "rail@seconds" whole-rail
+// failure schedules.
+func parseRailFaults(s string, rails int) ([]cluster.RailFault, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []cluster.RailFault
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		railStr, atStr, ok := strings.Cut(item, "@")
+		if !ok {
+			return nil, fmt.Errorf("-fail-rail wants rail@seconds, got %q", item)
+		}
+		rail, err1 := strconv.Atoi(railStr)
+		at, err2 := strconv.ParseFloat(atStr, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("-fail-rail wants rail@seconds, got %q", item)
+		}
+		if rail < 0 || rail >= rails {
+			return nil, fmt.Errorf("-fail-rail rail %d out of range [0,%d) in %q", rail, rails, item)
+		}
+		if at < 0 {
+			return nil, fmt.Errorf("-fail-rail wants a non-negative time, got %q", item)
+		}
+		out = append(out, cluster.RailFault{Rail: rail, At: int64(at * float64(vclock.Second))})
+	}
+	return out, nil
+}
+
+// parsePartitions parses a semicolon-separated list of partition windows,
+// each "ranks:ranks@start[-heal]" with comma-separated rank lists and times
+// in virtual seconds. An omitted heal means the partition never heals (the
+// job exits with the partition code once the detector's patience runs out).
+func parsePartitions(s string, np int) ([]cluster.PartitionFault, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parseRanks := func(list, item string) ([]int, error) {
+		var out []int
+		for _, rs := range strings.Split(list, ",") {
+			r, err := strconv.Atoi(strings.TrimSpace(rs))
+			if err != nil {
+				return nil, fmt.Errorf("-partition wants ranks:ranks@start[-heal], got %q", item)
+			}
+			if r < 0 || r >= np {
+				return nil, fmt.Errorf("-partition rank %d out of range [0,%d) in %q", r, np, item)
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+	var out []cluster.PartitionFault
+	for _, item := range strings.Split(s, ";") {
+		item = strings.TrimSpace(item)
+		spec, window, ok := strings.Cut(item, "@")
+		aStr, bStr, ok2 := strings.Cut(spec, ":")
+		if !ok || !ok2 {
+			return nil, fmt.Errorf("-partition wants ranks:ranks@start[-heal], got %q", item)
+		}
+		a, err := parseRanks(aStr, item)
+		if err != nil {
+			return nil, err
+		}
+		b, err := parseRanks(bStr, item)
+		if err != nil {
+			return nil, err
+		}
+		startStr, healStr, hasHeal := strings.Cut(window, "-")
+		start, err := strconv.ParseFloat(startStr, 64)
+		if err != nil || start < 0 {
+			return nil, fmt.Errorf("-partition wants a non-negative start time, got %q", item)
+		}
+		heal := int64(-1)
+		if hasHeal {
+			h, err := strconv.ParseFloat(healStr, 64)
+			if err != nil || h < start {
+				return nil, fmt.Errorf("-partition heal must not precede start in %q", item)
+			}
+			heal = int64(h * float64(vclock.Second))
+		}
+		out = append(out, cluster.PartitionFault{
+			A: a, B: b, At: int64(start * float64(vclock.Second)), Heal: heal,
+		})
 	}
 	return out, nil
 }
@@ -222,6 +349,10 @@ func main() {
 	tornWrites := flag.Float64("torn-writes", 0, "probability a link fault tears an RDMA write mid-transfer, leaving a partial payload at the target until the clean replay overwrites it")
 	killPE := flag.String("kill-pe", "", "crash PEs at virtual times: rank@seconds[,rank@seconds...]")
 	wedgePE := flag.String("wedge-pe", "", "wedge PEs (stop progress, keep fabric ACKs) at virtual times: rank@seconds[,...]")
+	rails := flag.Int("rails", 1, "independent network rails (ports per HCA, each its own fault domain); >1 arms RC automatic path migration")
+	failPort := flag.String("fail-port", "", "fail HCA ports at virtual times: lid:rail@seconds[,...]; the port goes dark permanently")
+	failRail := flag.String("fail-rail", "", "fail whole rails (switch planes) at virtual times: rail@seconds[,...]")
+	partition := flag.String("partition", "", "sever rank sets on every rail: ranks:ranks@start[-heal][;...] in virtual seconds; omitted heal = permanent (exit 126)")
 	deadline := flag.Float64("deadline", 0, "virtual-time job deadline in seconds; the watchdog aborts the job past it (0 = none)")
 	pmiSlow := flag.Float64("pmi-slow", 0, "probability a PMI op is served with inflated latency (slow launcher)")
 	pmiDrop := flag.Float64("pmi-drop", 0, "probability a PMI op (or its reply) is dropped; the client retries with backoff")
@@ -392,12 +523,29 @@ func main() {
 	if err != nil {
 		fatalUsage(err)
 	}
+	if *rails < 1 {
+		fatalUsage(fmt.Errorf("-rails wants at least one rail, got %d", *rails))
+	}
+	nodes := (*np + *ppn - 1) / *ppn
+	failPorts, err := parsePortFaults(*failPort, *rails, nodes)
+	if err != nil {
+		fatalUsage(err)
+	}
+	failRails, err := parseRailFaults(*failRail, *rails)
+	if err != nil {
+		fatalUsage(err)
+	}
+	partitions, err := parsePartitions(*partition, *np)
+	if err != nil {
+		fatalUsage(err)
+	}
 
 	wantMetrics := *jsonOut || *metrics || *metricsAll
 	// Any configured fault source makes the incident ledger worth carrying in
 	// the JSON report; the text path keeps it opt-in via -incidents.
 	anyFaults := faults != nil || pmiFaults != nil ||
-		len(killPEs)+len(wedgePEs) > 0 || len(failQP)+len(failMR) > 0
+		len(killPEs)+len(wedgePEs) > 0 || len(failQP)+len(failMR) > 0 ||
+		len(failPorts)+len(failRails)+len(partitions) > 0
 	cfg := cluster.Config{
 		NP: *np, PPN: *ppn, Mode: mode, BlockingPMI: *blockingPMI,
 		HeapSize: 8 << 20, Trace: *trace > 0, MaxLiveRC: *qpCap,
@@ -408,6 +556,10 @@ func main() {
 		PMIFaults:    pmiFaults,
 		KillPEs:      killPEs,
 		WedgePEs:     wedgePEs,
+		Rails:        *rails,
+		FailPorts:    failPorts,
+		FailRails:    failRails,
+		Partitions:   partitions,
 		Deadline:     int64(*deadline * float64(vclock.Second)),
 		Obs: obs.Config{
 			Events:    *trace > 0 || *traceOut != "",
@@ -514,6 +666,8 @@ func main() {
 			{"admission rejects", c.AdmissionRejects},
 			{"rc corrupt frames", c.RCCorruptFrames}, {"torn writes", c.TornWrites},
 			{"dup ops suppressed", c.DupOpsSuppressed}, {"integrity retransmits", c.IntegrityRetransmits},
+			{"path migrations", c.PathMigrations}, {"rail failovers", c.RailFailovers},
+			{"partition suspends", c.PartitionSuspensions}, {"partition heals", c.PartitionHeals},
 		}
 		fmt.Printf("\n--- resilience counters (all PEs) ---\n")
 		col := 0

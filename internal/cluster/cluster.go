@@ -92,6 +92,22 @@ type Config struct {
 	// software progress while its HCA still ACKs at the fabric level.
 	KillPEs  []PEFault
 	WedgePEs []PEFault
+
+	// Rails is the number of independent network rails (ports per HCA, each
+	// on its own switch plane — an independent fault domain). Default 1.
+	// Multi-rail enables automatic path migration: RC queue pairs carry a
+	// primary and an alternate path, and the connection manager migrates on
+	// path error without tearing the connection down.
+	Rails int
+	// FailPorts, FailRails and Partitions schedule rail-scoped network
+	// faults: one HCA port going dark, a whole switch plane dying, and a
+	// partition window severing two rank sets on every rail (both sides
+	// stay alive but cannot talk until the window heals). All three are
+	// virtual-time-scheduled and deterministic, so each injection opens
+	// exactly one ledger incident at setup.
+	FailPorts  []PortFault
+	FailRails  []RailFault
+	Partitions []PartitionFault
 	// Heartbeat configures the conduit's UD failure detector (zero value:
 	// armed automatically only when PE faults are scheduled).
 	Heartbeat gasnet.HeartbeatConfig
@@ -270,7 +286,9 @@ func RunEnvs(cfg Config, body func(env shmem.Env)) error {
 	if model == nil {
 		model = vclock.Default()
 	}
+	applyRailFaults(&cfg)
 	fab := ib.NewFabric(model, cfg.Faults)
+	fab.SetRails(cfg.railCount())
 	srv := pmi.NewServer(cfg.NP, model)
 	srv.SetFaults(cfg.PMIFaults)
 	nodes := (cfg.NP + cfg.PPN - 1) / cfg.PPN
@@ -343,6 +361,7 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 	}
 	applyPEFaults(&cfg)
 	applyAllocFaults(&cfg)
+	applyRailFaults(&cfg)
 
 	obsCfg := cfg.Obs
 	if cfg.Trace {
@@ -362,8 +381,10 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 	for _, f := range cfg.WedgePEs {
 		plane.Ledger().Open("pe", "wedge", f.Rank, obs.InstJob, f.At)
 	}
+	seedRailTelemetry(plane, &cfg)
 
 	fab := ib.NewFabric(model, cfg.Faults)
+	fab.SetRails(cfg.railCount())
 	srv := pmi.NewServer(cfg.NP, model)
 	srv.SetFaults(cfg.PMIFaults)
 	nodes := (cfg.NP + cfg.PPN - 1) / cfg.PPN

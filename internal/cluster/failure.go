@@ -36,6 +36,11 @@ const (
 	// ExitResourceExhausted: a finite adapter budget left a PE with provably
 	// no path to forward progress after every degradation rung was tried.
 	ExitResourceExhausted = gasnet.ExitResourceExhausted
+	// ExitPartitioned: a peer was unreachable on every rail with no scheduled
+	// heal, and the failure detector's bounded patience ran out. Distinct from
+	// 1 (peer confirmed dead) and 124 (watchdog): the peer was alive but
+	// unreachable, and the job chose to exit rather than wait forever.
+	ExitPartitioned = gasnet.ExitPartitioned
 )
 
 // exitCodeForErr classifies a liveness error into a per-PE exit code.
@@ -105,6 +110,12 @@ type Counters struct {
 	TornWrites           int // RDMA writes torn mid-transfer by link faults
 	DupOpsSuppressed     int // duplicate framed ops suppressed by dedup ledgers
 	IntegrityRetransmits int // framed sends replayed after NAK/RTO/reconnect
+
+	// Multi-rail leg (path migration and partition tolerance).
+	PathMigrations       int // RC paths migrated to the alternate rail (APM)
+	RailFailovers        int // connections rebuilt on another rail after APM failed
+	PartitionSuspensions int // peers suspended as partitioned instead of declared dead
+	PartitionHeals       int // suspended peers that came back after their partition healed
 }
 
 // Counters sums the per-PE failure/resilience counters.
@@ -132,6 +143,10 @@ func (r *Result) Counters() Counters {
 		c.TornWrites += p.Stats.TornWrites
 		c.DupOpsSuppressed += p.Stats.DupOpsSuppressed
 		c.IntegrityRetransmits += p.Stats.IntegrityRetransmits
+		c.PathMigrations += p.Stats.PathMigrations
+		c.RailFailovers += p.Stats.RailFailovers
+		c.PartitionSuspensions += p.Stats.PartitionSuspensions
+		c.PartitionHeals += p.Stats.PartitionHeals
 	}
 	return c
 }
@@ -387,6 +402,9 @@ func (w *watchdog) buildDump(reason string) string {
 		}
 		if len(s.Suspects) > 0 {
 			state += fmt.Sprintf(" suspects=%v", s.Suspects)
+		}
+		if len(s.Suspended) > 0 {
+			state += fmt.Sprintf(" partitioned=%v", s.Suspended)
 		}
 		if len(s.Dead) > 0 {
 			state += fmt.Sprintf(" dead=%v", s.Dead)

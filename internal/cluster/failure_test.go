@@ -15,6 +15,13 @@ import (
 // PE failure never hangs the launcher.
 func runBounded(t *testing.T, cfg Config, app func(c *shmem.Ctx)) *Result {
 	t.Helper()
+	return runBoundedFor(t, cfg, 30*time.Second, app)
+}
+
+// runBoundedFor is runBounded with an explicit real-time bound, for soaks
+// whose workload legitimately needs longer under the race detector.
+func runBoundedFor(t *testing.T, cfg Config, bound time.Duration, app func(c *shmem.Ctx)) *Result {
+	t.Helper()
 	type outcome struct {
 		res *Result
 		err error
@@ -30,8 +37,8 @@ func runBounded(t *testing.T, cfg Config, app func(c *shmem.Ctx)) *Result {
 			t.Fatalf("Run: %v", o.err)
 		}
 		return o.res
-	case <-time.After(30 * time.Second):
-		t.Fatal("job hung: Run did not terminate within 30s despite injected PE failure")
+	case <-time.After(bound):
+		t.Fatalf("job hung: Run did not terminate within %v despite injected fault", bound)
 		return nil
 	}
 }

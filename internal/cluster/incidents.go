@@ -80,6 +80,9 @@ func BuildIncidentReport(res *Result) *IncidentReport {
 		{"alloc", "qp+mr", fi.AllocFailsInjected(), [][2]string{{"alloc", "qp"}, {"alloc", "mr"}}},
 		{"pe", "kill", len(res.Cfg.KillPEs), [][2]string{{"pe", "kill"}}},
 		{"pe", "wedge", len(res.Cfg.WedgePEs), [][2]string{{"pe", "wedge"}}},
+		{"net", "port-down", fi.PortFaultsInjected(), [][2]string{{"net", "port-down"}}},
+		{"net", "rail-down", fi.RailFaultsInjected(), [][2]string{{"net", "rail-down"}}},
+		{"net", "partition", fi.PartitionsInjected(), [][2]string{{"net", "partition"}}},
 		{"pmi", "drop", pf.Drops(), [][2]string{{"pmi", "drop"}}},
 		{"pmi", "dup", pf.Dups(), [][2]string{{"pmi", "dup"}}},
 		{"pmi", "slow", pf.Slowdowns(), [][2]string{{"pmi", "slow"}}},

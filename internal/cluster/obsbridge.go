@@ -19,7 +19,9 @@ func isConnLifecycle(e obs.Event) bool {
 		return true
 	}
 	switch e.Kind {
-	case "pe-fail", "suspect", "suspect-clear", "confirm-dead", "abort":
+	case "pe-fail", "suspect", "suspect-clear", "confirm-dead", "abort",
+		"path-migrate", "rail-failover",
+		"partition-suspend", "partition-heal", "partition-fatal":
 		return true
 	}
 	return false
@@ -67,6 +69,10 @@ func mirrorCounters(plane *obs.Plane, res *Result) {
 		t.TornWrites += s.TornWrites
 		t.DupOpsSuppressed += s.DupOpsSuppressed
 		t.IntegrityRetransmits += s.IntegrityRetransmits
+		t.PathMigrations += s.PathMigrations
+		t.RailFailovers += s.RailFailovers
+		t.PartitionSuspensions += s.PartitionSuspensions
+		t.PartitionHeals += s.PartitionHeals
 	}
 	reg := plane.Registry()
 	reg.Counter("gasnet.qps_created").Add(int64(t.QPsCreated))
@@ -99,6 +105,10 @@ func mirrorCounters(plane *obs.Plane, res *Result) {
 	reg.Counter("gasnet.torn_writes").Add(int64(t.TornWrites))
 	reg.Counter("gasnet.dup_ops_suppressed").Add(int64(t.DupOpsSuppressed))
 	reg.Counter("gasnet.integrity_retransmits").Add(int64(t.IntegrityRetransmits))
+	reg.Counter("gasnet.path_migrations").Add(int64(t.PathMigrations))
+	reg.Counter("gasnet.rail_failovers").Add(int64(t.RailFailovers))
+	reg.Counter("gasnet.partition_suspensions").Add(int64(t.PartitionSuspensions))
+	reg.Counter("gasnet.partition_heals").Add(int64(t.PartitionHeals))
 	for _, h := range res.HCA {
 		reg.Counter("ib.qps_created_ud").Add(h.QPsCreatedUD)
 		reg.Counter("ib.qps_created_rc").Add(h.QPsCreatedRC)

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"goshmem/internal/apps/traffic"
+	"goshmem/internal/gasnet"
+	"goshmem/internal/obs"
+	"goshmem/internal/shmem"
+	"goshmem/internal/vclock"
+)
+
+// railCfg is the common scaffold for the multi-rail soaks: the churn traffic
+// dimensions on a two-rail fabric, compressed real-time retransmission and
+// heartbeat timing (fault soaks must not wait out production timeouts), the
+// watchdog as a bounded-termination backstop, and the incident ledger armed
+// so every run can be reconciled.
+func railCfg() Config {
+	return Config{
+		NP: churnNP, PPN: churnPPN, Mode: gasnet.OnDemand,
+		HeapSize:     churnHeap,
+		Rails:        2,
+		Deadline:     60 * vclock.Second,
+		StallTimeout: 30 * time.Second,
+		Retrans: gasnet.RetransConfig{
+			Interval: time.Millisecond, BaseRTO: 2 * time.Millisecond, MaxShift: 3,
+		},
+		Heartbeat: gasnet.HeartbeatConfig{
+			Interval: time.Millisecond, SuspectAfter: 2, ConfirmAfter: 2,
+		},
+		Obs: obs.Config{Metrics: true, Gauges: true, Incidents: true},
+	}
+}
+
+// runRail executes the zipf traffic workload under cfg and returns the
+// per-rank digests.
+func runRail(t *testing.T, cfg Config) ([churnNP]uint64, *Result) {
+	t.Helper()
+	var digests [churnNP]uint64
+	// A partitioned run rides many real-time retransmission and probe
+	// backoffs; under the race detector one run can take tens of seconds, so
+	// the bound is generous — it guards against hanging, not against slow.
+	res := runBoundedFor(t, cfg, 120*time.Second, func(c *shmem.Ctx) {
+		digests[c.Me()] = traffic.Run(c, churnParams()).Digest
+	})
+	return digests, res
+}
+
+// TestRailFailoverTransparent kills a whole rail mid-workload on a two-rail
+// fabric and asserts full transparency: the job completes with per-rank
+// digests byte-identical to the clean two-rail run, the recovery was APM or
+// rail failover (never a peer-death abort), and the ledger reconciles the
+// injected rail fault to exactly one resolved incident.
+func TestRailFailoverTransparent(t *testing.T) {
+	clean, cleanRes := runRail(t, railCfg())
+	if cleanRes.Aborted {
+		t.Fatalf("clean two-rail run aborted: %s", cleanRes.AbortReason)
+	}
+	cc := cleanRes.Counters()
+	if cc.PathMigrations != 0 || cc.RailFailovers != 0 || cc.PartitionSuspensions != 0 {
+		t.Fatalf("fault-free two-rail run shows rail fault-plane activity: %+v", cc)
+	}
+
+	// Launch fan-out runs to ~157ms of virtual time and the RC traffic
+	// phase spans roughly 158-170ms, so 160ms lands mid-workload with
+	// connections established over both rails — the window where APM (not
+	// handshake-time rail selection) is the recovery that fires.
+	cfg := railCfg()
+	cfg.FailRails = []RailFault{{Rail: 0, At: 160 * vclock.Millisecond}}
+	dig, res := runRail(t, cfg)
+	if res.Aborted {
+		t.Fatalf("rail-failure run aborted: %s", res.AbortReason)
+	}
+	for r := range clean {
+		if dig[r] != clean[r] {
+			t.Errorf("rank %d digest diverged after rail failure: %x vs clean %x", r, dig[r], clean[r])
+		}
+	}
+	c := res.Counters()
+	if c.PathMigrations+c.RailFailovers == 0 {
+		t.Errorf("rail died mid-job but no path migrated and no connection failed over: %+v", c)
+	}
+	if c.PEFailures != 0 {
+		t.Errorf("rail failure misdiagnosed as %d peer deaths", c.PEFailures)
+	}
+
+	ir := BuildIncidentReport(res)
+	if ir == nil || !ir.Reconciled {
+		t.Fatalf("rail-down incident did not reconcile: %+v", ir)
+	}
+
+	// The schedule-driven topology gauges must record the rail going dark.
+	final := map[int]int64{}
+	for _, g := range res.Obs.Gauges().Stats() {
+		if g.Name == "net.rail_up" {
+			final[obs.InstRailIndex(g.Inst)] = g.Final
+		}
+	}
+	if final[0] != 0 || final[1] != 1 {
+		t.Errorf("net.rail_up finals = %v, want rail0=0 rail1=1", final)
+	}
+}
+
+// TestPartitionHealTransparent severs node 0 from the rest of the fabric on
+// every rail for a 150ms window mid-workload. Both sides stay alive; the
+// detector must suspend the unreachable peers (never confirm them dead), and
+// after the heal the retained-frame replay must deliver every op exactly
+// once: digests byte-identical to the clean run, zero false peer deaths,
+// every incident reconciled.
+func TestPartitionHealTransparent(t *testing.T) {
+	clean, _ := runRail(t, railCfg())
+
+	cfg := railCfg()
+	cfg.Partitions = []PartitionFault{{
+		A: []int{0, 1, 2, 3}, B: []int{4, 5, 6, 7, 8, 9, 10, 11},
+		At: 160 * vclock.Millisecond, Heal: 300 * vclock.Millisecond,
+	}}
+	dig, res := runRail(t, cfg)
+	if res.Aborted {
+		t.Fatalf("healed-partition run aborted: %s", res.AbortReason)
+	}
+	for _, p := range res.PEs {
+		if p.ExitCode != 0 {
+			t.Errorf("pe %d exited %d from a healed-partition run", p.Rank, p.ExitCode)
+		}
+	}
+	for r := range clean {
+		if dig[r] != clean[r] {
+			t.Errorf("rank %d digest diverged across the partition window: %x vs clean %x", r, dig[r], clean[r])
+		}
+	}
+	c := res.Counters()
+	if c.PEFailures != 0 {
+		t.Errorf("partition misdiagnosed as %d peer deaths (want suspend-and-retry)", c.PEFailures)
+	}
+	if c.PartitionSuspensions == 0 {
+		t.Error("no peer was suspended during a 150ms full partition")
+	}
+	if c.PartitionHeals == 0 {
+		t.Error("no suspended peer was observed to heal")
+	}
+	ir := BuildIncidentReport(res)
+	if ir == nil || !ir.Reconciled {
+		t.Fatalf("partition incident did not reconcile: %+v", ir)
+	}
+	for _, k := range ir.Kinds {
+		if k.Class == "net" && k.Kind == "partition" && k.MTTRMaxNS <= 0 {
+			t.Errorf("partition incident closed with non-positive MTTR: %+v", k)
+		}
+	}
+}
+
+// TestIncidentStragglerSweep covers the ledger's straggler path: a scheduled
+// network fault that no traffic ever trips is still reconciled — the
+// schedule-time Open has no Detect/Act during the run, so the job-complete
+// sweep must close it, stamping detection at job end and a nonzero MTTR.
+func TestIncidentStragglerSweep(t *testing.T) {
+	cfg := railCfg()
+	cfg.FailRails = []RailFault{{Rail: 1, At: 1 * vclock.Millisecond}}
+	// No traffic at all: every connection the launcher itself needs rides
+	// rail selection (which simply avoids the dead rail), and nothing can
+	// detect the fault in-band.
+	res := runBounded(t, cfg, func(c *shmem.Ctx) {})
+	if res.Aborted {
+		t.Fatalf("idle run with one dead rail aborted: %s", res.AbortReason)
+	}
+	ir := BuildIncidentReport(res)
+	if ir == nil || !ir.Reconciled {
+		t.Fatalf("straggler rail-down incident did not reconcile: %+v", ir)
+	}
+	found := false
+	for _, k := range ir.Kinds {
+		if k.Class != "net" || k.Kind != "rail-down" {
+			continue
+		}
+		found = true
+		if k.Closed != 1 || k.Total != 1 {
+			t.Errorf("straggler rail-down: total=%d closed=%d, want 1/1", k.Total, k.Closed)
+		}
+		if k.MTTRMaxNS <= 0 {
+			t.Errorf("straggler rail-down swept with non-positive MTTR: %+v", k)
+		}
+		if k.DetectMaxNS <= 0 {
+			t.Errorf("straggler rail-down swept with non-positive detection latency (Detect must be stamped at job end): %+v", k)
+		}
+	}
+	if !found {
+		t.Fatal("no net/rail-down incident in the report")
+	}
+	if c := res.Counters(); c.PathMigrations+c.RailFailovers != 0 {
+		t.Errorf("idle run recorded data-plane recovery (%+v) — the fault should have been a pure straggler", c)
+	}
+}
+
+// TestPermanentPartitionExitCode severs the fabric permanently. The job must
+// neither hang into the watchdog (124) nor misreport a peer death (exit 1):
+// the detector's bounded patience runs out and the job exits with the
+// partition code, in virtual time well under the watchdog deadline.
+func TestPermanentPartitionExitCode(t *testing.T) {
+	cfg := railCfg()
+	cfg.Partitions = []PartitionFault{{
+		A: []int{0, 1, 2, 3}, B: []int{4, 5, 6, 7, 8, 9, 10, 11},
+		At: 160 * vclock.Millisecond, Heal: -1,
+	}}
+	_, res := runRail(t, cfg)
+	if !res.Aborted {
+		t.Fatal("permanently partitioned job did not abort")
+	}
+	sawPartitionExit := false
+	for _, p := range res.PEs {
+		if p.ExitCode == ExitPartitioned {
+			sawPartitionExit = true
+		}
+		if p.ExitCode == ExitWatchdog {
+			t.Errorf("pe %d hit the watchdog; the partition verdict should fire first", p.Rank)
+		}
+	}
+	if !sawPartitionExit {
+		codes := make([]int, len(res.PEs))
+		for i, p := range res.PEs {
+			codes[i] = p.ExitCode
+		}
+		t.Fatalf("no PE exited with ExitPartitioned (%d); exit codes = %v", ExitPartitioned, codes)
+	}
+	if res.JobVT >= 60*vclock.Second {
+		t.Errorf("permanent partition ran to the watchdog deadline: JobVT=%d", res.JobVT)
+	}
+	c := res.Counters()
+	if c.PartitionSuspensions == 0 {
+		t.Error("no suspension recorded before the partition abort")
+	}
+	if c.PEFailures != 0 {
+		t.Errorf("permanent partition misdiagnosed as %d peer deaths", c.PEFailures)
+	}
+}

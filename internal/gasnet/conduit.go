@@ -167,6 +167,13 @@ type Stats struct {
 	DupOpsSuppressed     int // duplicate framed ops suppressed by the dedup ledger
 	IntegrityRetransmits int // framed sends replayed after NAK, RTO or reconnect
 
+	// Multi-rail fault-plane counters (rail failures, path migration and
+	// network-partition tolerance). All zero on a single-rail fault-free run.
+	PathMigrations       int // RC QPs migrated to their alternate path (IB APM), no teardown
+	RailFailovers        int // connections re-established on another rail after APM was impossible
+	PartitionSuspensions int // peers suspended as partitioned instead of confirmed dead
+	PartitionHeals       int // suspended peers recovered after their partition healed
+
 	// Flows is this PE's row of the communication matrix: per-peer op and
 	// byte counts split by kind (put/get/atomic/am/coll/barrier/ctrl),
 	// sorted by peer. Nil unless obs.Config.Flows was enabled.
@@ -1008,7 +1015,7 @@ func (c *Conduit) Close() {
 		// teardown proceeds. With a live peer that still needs the data the
 		// count always moves: every RTO replays, the peer executes and acks.
 		if c.lossy {
-			patience := 2 * c.rtoFor(c.retrans.MaxShift)
+			patience := 2 * c.fullRTO()
 			if patience < 100*time.Millisecond {
 				patience = 100 * time.Millisecond
 			}

@@ -58,6 +58,12 @@ const (
 	defaultRetransBaseRTO  = 25 * time.Millisecond
 	defaultRetransMaxShift = 6
 
+	// defaultProbeBackoffShift caps the exponential backoff of background
+	// probes — heartbeat confirmation probes (failure.go) and the RTO-driven
+	// window probes behind a dirty eviction — so both recovery clocks share
+	// one knob (RetransConfig.ProbeBackoffShift).
+	defaultProbeBackoffShift = 4
+
 	// recycleAttempts is the last-resort convergence bound: a handshake
 	// still not complete after this many retransmissions is torn down and,
 	// if traffic is queued behind it, restarted with a fresh attempt number.
@@ -94,6 +100,15 @@ type RetransConfig struct {
 	Interval time.Duration
 	BaseRTO  time.Duration
 	MaxShift int
+
+	// ProbeBackoffShift caps the exponential backoff of the background
+	// probes layered on the RTO machinery: the failure detector's
+	// confirmation/patience probes and the data-plane window probes that
+	// follow a dirty eviction. One knob, because the two are the same
+	// full-RTO patience applied to different planes — a chaos harness that
+	// compresses recovery time must compress both together or the slower one
+	// dominates the measured MTTR. Default 4.
+	ProbeBackoffShift int
 }
 
 // withDefaults fills zero fields with the default timing.
@@ -107,6 +122,9 @@ func (rc RetransConfig) withDefaults() RetransConfig {
 	if rc.MaxShift <= 0 {
 		rc.MaxShift = defaultRetransMaxShift
 	}
+	if rc.ProbeBackoffShift <= 0 {
+		rc.ProbeBackoffShift = defaultProbeBackoffShift
+	}
 	return rc
 }
 
@@ -118,11 +136,161 @@ func (c *Conduit) rtoFor(attempt int) time.Duration {
 	return c.retrans.BaseRTO << attempt
 }
 
+// fullRTO is the fully backed-off retransmission timeout — the shared
+// patience unit for every "wait one more full cycle" decision: the Close
+// drain, the dirty-eviction replay deferral, and (through ProbeBackoffShift)
+// the failure detector's probe cadence.
+func (c *Conduit) fullRTO() time.Duration {
+	return c.rtoFor(c.retrans.MaxShift)
+}
+
+// deferDirtyReplayLocked postpones a just-evicted connection's replay
+// reconnect by a full RTO: the victim still retains unacknowledged frames, and
+// letting its replay fire immediately would reclaim the queue-pair slot the
+// eviction just freed. Shared by cap-driven and pressure-relief eviction.
+// Caller holds connMu.
+func (c *Conduit) deferDirtyReplayLocked(victim *conn) {
+	if len(victim.unacked) == 0 {
+		return
+	}
+	victim.lastData = timeNow()
+	victim.dataAttempt++
+}
+
 // isLinkFault reports whether a post failed because the RC connection died
 // underneath it (link flap, peer teardown, or local eviction) — the errors
 // the connection manager recovers from by re-running the handshake.
+// ib.ErrPathDown is deliberately NOT a link fault: both queue pairs are
+// healthy and the recovery ladder (Automatic Path Migration, then a
+// reconnect on another rail) must run before anything is torn down.
 func isLinkFault(err error) bool {
 	return errors.Is(err, ib.ErrLinkDown) || errors.Is(err, ib.ErrBadState)
+}
+
+// pickRailsLocked selects the primary and alternate rails for a new RC
+// connection to the adapter at dst: the least-loaded live rail becomes the
+// primary (load = this PE's established connections per rail, so handshakes
+// spread deterministically), the next-least-loaded live rail the alternate
+// loaded for Automatic Path Migration. With every rail to dst dark the
+// default paths are returned and the first post's path-down error routes the
+// pair into the suspension machinery. Caller holds connMu.
+func (c *Conduit) pickRailsLocked(dst uint16, vt int64) (pri, alt int) {
+	fab := c.cfg.HCA.Fabric()
+	rails := fab.Rails()
+	if rails <= 1 {
+		return 0, 0
+	}
+	fi := fab.Faults()
+	src := c.cfg.HCA.LID()
+	load := make([]int, rails)
+	count := func(cn *conn) {
+		if cn != nil && cn.qp != nil {
+			if r := cn.qp.Rail(); r >= 0 && r < rails {
+				load[r]++
+			}
+		}
+	}
+	if c.connSlice != nil {
+		for _, cn := range c.connSlice {
+			count(cn)
+		}
+	} else {
+		for _, cn := range c.connMap {
+			count(cn)
+		}
+	}
+	pri, alt = -1, -1
+	for r := 0; r < rails; r++ {
+		if fi != nil && !fi.RailLive(src, dst, r, vt) {
+			continue
+		}
+		switch {
+		case pri == -1 || load[r] < load[pri]:
+			alt = pri
+			pri = r
+		case alt == -1 || load[r] < load[alt]:
+			alt = r
+		}
+	}
+	if pri == -1 {
+		// No live rail at all: suspension territory. Keep the defaults so the
+		// path error (and the detector's partition verdict) does the talking.
+		return 0, 1 % rails
+	}
+	if alt == -1 {
+		// A single live rail: arm the next rail as the alternate anyway — it
+		// is dead right now, but if it heals before the primary fails, APM to
+		// it beats a full reconnect.
+		alt = (pri + 1) % rails
+	}
+	return pri, alt
+}
+
+// tryMigrateLocked attempts IB Automatic Path Migration for a connection
+// whose primary path failed: if the loaded alternate rail is live, the queue
+// pair swaps to it in place — no teardown, no handshake, and the session
+// layer's retained-frame window survives by construction because the QP never
+// leaves RTS. Caller holds connMu.
+func (c *Conduit) tryMigrateLocked(cn *conn, peer int) bool {
+	qp := cn.qp
+	if qp == nil {
+		return false
+	}
+	fab := c.cfg.HCA.Fabric()
+	fi := fab.Faults()
+	now := c.mgrClk.Now()
+	alt := qp.AltRail()
+	if alt == qp.Rail() || fi == nil || !fi.RailLive(c.cfg.HCA.LID(), qp.Remote().LID, alt, now) {
+		return false
+	}
+	if qp.Migrate() != nil {
+		return false
+	}
+	c.statMu.Lock()
+	c.stats.PathMigrations++
+	c.statMu.Unlock()
+	c.event("path-migrate", peer, c.mgrClk.Now())
+	c.led.Detect("net", -1, c.mgrClk.Now(), "path-error")
+	c.led.Act("net", -1, c.mgrClk.Now(), "path-migrate")
+	return true
+}
+
+// tryMigrate is tryMigrateLocked for callers that dropped connMu: it
+// revalidates the slot (same generation, still ready) before migrating.
+func (c *Conduit) tryMigrate(peer int, epoch uint64) bool {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	cn := c.peekConn(peer)
+	if cn == nil || cn.epoch != epoch || cn.state != connReady {
+		// Someone else already recovered or tore the slot down; let the
+		// caller's retry loop observe the new state.
+		return true
+	}
+	return c.tryMigrateLocked(cn, peer)
+}
+
+// railFailover is the second rung of the path-error ladder: APM was
+// impossible (no live alternate loaded), so tear the connection down and
+// re-run the handshake — initiate's rail selection lands it on a live rail
+// when one exists, and when none does the handshake datagrams blackhole until
+// the partition heals, which is exactly the suspension the failure detector
+// supervises. The session layer's retained frames survive the teardown and
+// replay over the replacement connection.
+func (c *Conduit) railFailover(peer int, epoch uint64) {
+	c.connMu.Lock()
+	cn := c.peekConn(peer)
+	if cn == nil || cn.epoch != epoch || cn.state != connReady {
+		c.connMu.Unlock()
+		return
+	}
+	c.teardownLocked(cn)
+	c.connMu.Unlock()
+	c.statMu.Lock()
+	c.stats.RailFailovers++
+	c.statMu.Unlock()
+	c.event("rail-failover", peer, c.mgrClk.Now())
+	c.led.Detect("net", -1, c.mgrClk.Now(), "path-error")
+	c.led.Act("net", -1, c.mgrClk.Now(), "rail-failover")
 }
 
 // connFor returns (creating if necessary) the connection slot for peer.
@@ -268,13 +436,10 @@ func (c *Conduit) maybeEvictLocked(excludePeer int, vt int64) {
 			return
 		}
 		c.teardownLocked(victim)
-		if len(victim.unacked) > 0 {
-			// A last-resort victim still retaining unacknowledged frames: its
-			// replay reconnect starts a full RTO out so the slot we just freed
-			// is not immediately reclaimed by the victim itself.
-			victim.lastData = timeNow()
-			victim.dataAttempt++
-		}
+		// A last-resort victim still retaining unacknowledged frames: its
+		// replay reconnect starts a full RTO out so the slot we just freed
+		// is not immediately reclaimed by the victim itself.
+		c.deferDirtyReplayLocked(victim)
 		c.statMu.Lock()
 		c.stats.Evictions++
 		c.statMu.Unlock()
@@ -349,10 +514,7 @@ func (c *Conduit) reliefEvict(vt int64) bool {
 		return false
 	}
 	c.teardownLocked(victim)
-	if len(victim.unacked) > 0 {
-		victim.lastData = timeNow()
-		victim.dataAttempt++
-	}
+	c.deferDirtyReplayLocked(victim)
 	c.connMu.Unlock()
 	c.statMu.Lock()
 	c.stats.Evictions++
@@ -496,6 +658,16 @@ func (c *Conduit) post(peer int, wr ib.SendWR, clonePending bool) error {
 				// be re-queued untouched if the link fails.
 				err := c.postFramedLocked(cn, wr, c.clk)
 				c.connMu.Unlock()
+				if err != nil && errors.Is(err, ib.ErrPathDown) {
+					// Path-error ladder: migrate to the alternate rail in
+					// place (APM), else reconnect on another rail, else the
+					// reconnect blackholes and the pair suspends; then re-run
+					// this post (the failed frame rolled its sequence back).
+					if !c.tryMigrate(peer, epoch) {
+						c.railFailover(peer, epoch)
+					}
+					continue
+				}
 				if err == nil || !isLinkFault(err) {
 					return err
 				}
@@ -506,6 +678,12 @@ func (c *Conduit) post(peer int, wr ib.SendWR, clonePending bool) error {
 			c.connMu.Unlock()
 			wr.Clk = c.clk
 			err := c.postRNR(qp, wr)
+			if err != nil && errors.Is(err, ib.ErrPathDown) {
+				if !c.tryMigrate(peer, epoch) {
+					c.railFailover(peer, epoch)
+				}
+				continue
+			}
 			if err == nil || !isLinkFault(err) {
 				return err
 			}
@@ -698,6 +876,7 @@ func (c *Conduit) initiate(peer int) error {
 	qp.SetObs(c.obs)
 	c.obs.Emit(c.clk.Now(), obs.LayerIB, "qp-create-rc", peer, 0)
 	c.countQP(ib.RC)
+	qp.SetPath(c.pickRailsLocked(ud.LID, c.clk.Now()))
 	if e := qp.ToInit(); e != nil {
 		c.connMu.Unlock()
 		return e
@@ -999,6 +1178,7 @@ func (c *Conduit) handleReq(m connMsg, at int64, svc *vclock.Clock) {
 	qp.SetObs(c.obs)
 	c.obs.Emit(svc.Now(), obs.LayerIB, "qp-create-rc", peer, 0)
 	c.countQP(ib.RC)
+	qp.SetPath(c.pickRailsLocked(m.RC.LID, svc.Now()))
 	if qp.ToInit() != nil || qp.ToRTR(m.RC) != nil || qp.ToRTS() != nil {
 		c.connMu.Unlock()
 		return
@@ -1274,28 +1454,46 @@ func (c *Conduit) flushLocked(cn *conn, peer int) bool {
 		fc.AdvanceTo(p.enq)
 		wr := p.wr
 		wr.Clk = fc
-		var err error
-		if c.lossy && wr.Op == ib.OpSend {
-			// Queued sends were never framed (p.wr keeps the caller's bytes);
-			// they take a fresh sequence now, on the flush clock.
-			err = c.postFramedLocked(cn, wr, fc)
-		} else {
-			err = c.postRNR(cn.qp, wr)
+		post := func() error {
+			if c.lossy && wr.Op == ib.OpSend {
+				// Queued sends were never framed (p.wr keeps the caller's
+				// bytes); they take a fresh sequence now, on the flush clock.
+				return c.postFramedLocked(cn, wr, fc)
+			}
+			return c.postRNR(cn.qp, wr)
+		}
+		err := post()
+		if err != nil && errors.Is(err, ib.ErrPathDown) && c.tryMigrateLocked(cn, peer) {
+			// The primary rail died mid-flush but APM found a live alternate:
+			// one in-place retry (a failed framed post rolled its sequence
+			// back, so the number is safe to reuse).
+			err = post()
 		}
 		if err != nil {
-			if !isLinkFault(err) {
+			pathDown := errors.Is(err, ib.ErrPathDown)
+			if !isLinkFault(err) && !pathDown {
 				// Non-recoverable local fault (e.g. MTU): drop the request as
 				// a direct post would, keep flushing the rest.
 				continue
 			}
-			// The queue pair failed underneath us; keep the remainder queued
-			// behind a replacement connection.
+			// The queue pair (or its last live path) failed underneath us;
+			// keep the remainder queued behind a replacement connection.
 			cn.pending = cn.pending[i:]
 			c.teardownLocked(cn)
 			c.statMu.Lock()
-			c.stats.LinkFaults++
+			if pathDown {
+				c.stats.RailFailovers++
+			} else {
+				c.stats.LinkFaults++
+			}
 			c.statMu.Unlock()
-			c.event("conn-link-fault", peer, c.mgrClk.Now())
+			if pathDown {
+				c.event("rail-failover", peer, c.mgrClk.Now())
+				c.led.Detect("net", -1, c.mgrClk.Now(), "path-error")
+				c.led.Act("net", -1, c.mgrClk.Now(), "rail-failover")
+			} else {
+				c.event("conn-link-fault", peer, c.mgrClk.Now())
+			}
 			go c.initiate(peer)
 			return false
 		}
@@ -1420,6 +1618,7 @@ func (c *Conduit) retransScan() {
 			qp.SetObs(c.obs)
 			c.obs.Emit(c.mgrClk.Now(), obs.LayerIB, "qp-create-rc", peer, 0)
 			c.countQP(ib.RC)
+			qp.SetPath(c.pickRailsLocked(cn.peerUD.LID, c.mgrClk.Now()))
 			if e := qp.ToInit(); e != nil {
 				qp.Destroy()
 				return
@@ -1442,7 +1641,15 @@ func (c *Conduit) retransScan() {
 		// Each retransmission is charged at a virtual time derived from the
 		// attempt's first transmission and the attempt count alone, so the
 		// resend timestamps do not depend on when the wall-clock scan fired.
+		// It must also never lag the manager clock: a handshake that began
+		// just inside a partition window would otherwise replay its REQ at
+		// in-window virtual times forever — blackholed every attempt — while
+		// the detector (whose probes ride the manager clock) has already
+		// warped past the heal and sees the peer as healthy.
 		at := cn.firstTx + int64(cn.attempt)*c.model.ConnRetransmitTimeout
+		if mnow := c.mgrClk.Now(); mnow > at {
+			at = mnow
+		}
 		c.mgrClk.AdvanceTo(at)
 		kind := msgConnReq
 		if cn.state == connAccepted {

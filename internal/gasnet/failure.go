@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"goshmem/internal/ib"
+	"goshmem/internal/obs"
 	"goshmem/internal/pmi"
 	"goshmem/internal/vclock"
 )
@@ -29,6 +30,14 @@ const ExitPMIFailure = 123
 // and failed. Deliberately distinct from 124 (watchdog): exhaustion is
 // detected and reported, not a hang.
 const ExitResourceExhausted = 125
+
+// ExitPartitioned is the distinct launcher exit code for a job aborted
+// because a network partition severing a needed pair of PEs will provably
+// never heal: every rail between the pair is dark, no scheduled heal exists,
+// and the detector's bounded virtual-time patience ran out. Deliberately
+// distinct from both 1 (peer confirmed dead — here both sides are alive) and
+// 124 (watchdog — the partition is detected and reported, not a hang).
+const ExitPartitioned = 126
 
 // AbortError is the terminal job-abort error. It is raised by the PE that
 // confirms a peer dead, by an explicit GlobalExit, or by the cluster
@@ -85,9 +94,9 @@ func (e *WedgeError) Error() string {
 // a bounded number of virtual detector periods.
 const (
 	defaultHBInterval     = 2 * time.Millisecond
-	defaultHBSuspectAfter = 3 // silent scan periods before suspicion
-	defaultHBConfirmAfter = 4 // unanswered backoff probes before confirm-dead
-	hbBackoffMaxShift     = 4
+	defaultHBSuspectAfter = 3  // silent scan periods before suspicion
+	defaultHBConfirmAfter = 4  // unanswered backoff probes before confirm-dead
+	defaultHBPartition    = 16 // charged patience probes before a permanent partition aborts
 )
 
 // HeartbeatConfig tunes the UD-heartbeat failure detector. The detector is
@@ -116,6 +125,14 @@ type HeartbeatConfig struct {
 	// ConfirmAfter is the number of unanswered confirmation probes, with
 	// exponential backoff, before a suspect is confirmed dead (default 4).
 	ConfirmAfter int
+	// PartitionPatience bounds how long the detector waits on a peer that is
+	// provably partitioned (every rail between the pair severed) with no
+	// scheduled heal: after this many charged patience probes — each
+	// advancing virtual time by one detector period — the job aborts with
+	// ExitPartitioned instead of hanging into the watchdog (default 16). A
+	// partition with a known heal time is waited out regardless: suspension
+	// is bounded by the schedule itself.
+	PartitionPatience int
 }
 
 // withDefaults fills zero fields with the default timing.
@@ -129,6 +146,9 @@ func (hc HeartbeatConfig) withDefaults() HeartbeatConfig {
 	if hc.ConfirmAfter <= 0 {
 		hc.ConfirmAfter = defaultHBConfirmAfter
 	}
+	if hc.PartitionPatience <= 0 {
+		hc.PartitionPatience = defaultHBPartition
+	}
 	return hc
 }
 
@@ -141,6 +161,24 @@ type peerHealth struct {
 	lastProbe time.Time
 	probeVT   int64 // virtual send time of the last explicit probe (RTT hist)
 	dead      bool
+
+	// suspended marks a peer the detector would have confirmed dead but for
+	// the fabric's verdict that the pair is partitioned (every rail severed
+	// while both sides are alive): the peer is held in suspend-and-retry
+	// instead of aborting the job, with patience probes advancing virtual
+	// time. suspendVT is the virtual time suspension began; patienceProbes
+	// counts the charged probes spent waiting on a permanent partition.
+	suspended      bool
+	suspendVT      int64
+	patienceProbes int
+	// reconfirmRounds counts the clear-air reconfirmation rounds spent on
+	// this peer after a severance ended (the partition healed, or the
+	// verdict clock passed the window): the silence accumulated while the
+	// fabric was dark proves nothing, and even afterwards a live peer can
+	// lag behind recovery replays, so the detector re-drains the
+	// confirmation budget PartitionPatience times in quiet air before it
+	// may declare the peer dead. An ack clears it via noteAlive.
+	reconfirmRounds int
 }
 
 // Self-fate states cached in Conduit.selfState.
@@ -158,7 +196,7 @@ func (c *Conduit) hbInit() {
 	c.deadPeers = make(map[int]bool)
 	c.health = make(map[int]*peerHealth)
 	fab := c.cfg.HCA.Fabric()
-	c.hbArmed = !c.hb.Disable && (c.hb.Enable || fab.PEFaulty())
+	c.hbArmed = !c.hb.Disable && (c.hb.Enable || fab.PEFaulty() || fab.NetFaulty())
 	if c.hbArmed {
 		c.hbMu.Lock()
 		c.hbTimer = time.AfterFunc(c.hb.Interval, c.hbScan)
@@ -351,11 +389,27 @@ func (c *Conduit) noteAlive(peer int) {
 	h.lastHeard = timeNow()
 	h.missed = 0
 	cleared := h.suspect && !h.dead
+	healed := h.suspended && !h.dead
 	if cleared {
 		h.suspect = false
 		h.probes = 0
+		h.suspended = false
+		h.patienceProbes = 0
+		h.reconfirmRounds = 0
 	}
 	c.hbMu.Unlock()
+	if healed {
+		// A suspended peer answered: the partition healed and the pair is
+		// reconnected. This is recovery, not a false alarm — the detector's
+		// suspicion was correct while the windows were active.
+		c.statMu.Lock()
+		c.stats.PartitionHeals++
+		c.statMu.Unlock()
+		c.event("partition-heal", peer, c.mgrClk.Now())
+		c.gSuspect.Add(c.mgrClk.Now(), -1)
+		c.led.CloseAll("net", []string{"partition"}, -1, obs.InstJob, c.mgrClk.Now(), "heal-observed")
+		return
+	}
 	if cleared {
 		c.statMu.Lock()
 		c.stats.FalseSuspicions++
@@ -401,7 +455,7 @@ func (c *Conduit) hbScan() {
 		charge bool // confirmation probe: charge virtual detector period
 	}
 	var probes []ping
-	var confirms []int
+	var verdicts []int
 	c.hbMu.Lock()
 	for peer, h := range c.health {
 		if h.dead {
@@ -427,8 +481,8 @@ func (c *Conduit) hbScan() {
 		// Suspect: confirmation probes with exponential backoff, so a merely
 		// slow or descheduled peer gets geometrically growing grace periods.
 		shift := h.probes
-		if shift > hbBackoffMaxShift {
-			shift = hbBackoffMaxShift
+		if shift > c.retrans.ProbeBackoffShift {
+			shift = c.retrans.ProbeBackoffShift
 		}
 		if now.Sub(h.lastProbe) < c.hb.Interval<<shift {
 			continue
@@ -436,8 +490,14 @@ func (c *Conduit) hbScan() {
 		h.probes++
 		h.lastProbe = now
 		if h.probes > c.hb.ConfirmAfter {
-			h.dead = true
-			confirms = append(confirms, peer)
+			// The confirmation budget is spent. Before declaring the peer
+			// dead, consult the fabric: a peer silenced by a partition (every
+			// rail between the pair severed, both sides alive) must be
+			// suspended and retried, not aborted. Hold the probe count at the
+			// threshold so the verdict re-runs every capped backoff period
+			// for as long as the suspension lasts.
+			h.probes = c.hb.ConfirmAfter
+			verdicts = append(verdicts, peer)
 			continue
 		}
 		probes = append(probes, ping{peer, true})
@@ -446,8 +506,8 @@ func (c *Conduit) hbScan() {
 	for _, p := range probes {
 		c.sendPing(p.peer, p.charge)
 	}
-	for _, peer := range confirms {
-		c.confirmDead(peer)
+	for _, peer := range verdicts {
+		c.partitionVerdict(peer)
 	}
 	if c.Err() == nil {
 		c.hbRearm()
@@ -460,6 +520,136 @@ func (c *Conduit) hbRearm() {
 		c.hbTimer = time.AfterFunc(c.hb.Interval, c.hbScan)
 	}
 	c.hbMu.Unlock()
+}
+
+// partitionVerdict decides the fate of a suspect whose confirmation budget is
+// spent: dead peer or partitioned peer. A peer that stayed silent while a
+// live path to it existed is dead — abort, the PR 2 path. A peer severed on
+// every rail is *partitioned*: both sides are alive but cannot talk, so the
+// detector suspends it and retries, with bounded virtual-time patience. A
+// partition with a scheduled heal is simply waited out — the suspension is
+// bounded by the schedule, and the first post-heal ack resumes normal
+// operation (and exactly-once delivery, via the session layer's retained
+// window) through noteAlive. A permanent severance aborts the job with the
+// distinct ExitPartitioned code once PartitionPatience charged probes — each
+// advancing virtual time one detector period — go unanswered.
+func (c *Conduit) partitionVerdict(peer int) {
+	fab := c.cfg.HCA.Fabric()
+	fi := fab.Faults()
+	netFaults := fi.NetFaultsScheduled()
+	blocked := false
+	heal := int64(0)
+	// The verdict is judged at the job's current virtual time, not the
+	// detector's: the manager clock only advances on served messages and
+	// charged probes, so it can still sit before a fault window the app
+	// thread has already run into (its send is what went silent). Take the
+	// later of the two clocks.
+	now := c.mgrClk.Now()
+	if app := c.clk.Now(); app > now {
+		now = app
+	}
+	if netFaults {
+		ud, err := c.resolveUDOpt(peer, false)
+		if err != nil {
+			return // resolution in flight; re-evaluate at the next backoff period
+		}
+		src, dst := c.cfg.HCA.LID(), ud.LID
+		blocked = fab.PathsSevered(src, dst, now)
+		if blocked {
+			var windowed bool
+			windowed, heal = fi.PartitionInfo(src, dst, now)
+			if !windowed {
+				// Severed by permanent port/rail failures rather than a
+				// partition window: no heal is ever coming.
+				heal = -1
+			}
+		}
+	}
+	if !blocked {
+		c.hbMu.Lock()
+		h := c.health[peer]
+		if h == nil || h.dead {
+			c.hbMu.Unlock()
+			return
+		}
+		if netFaults && (h.reconfirmRounds < c.hb.PartitionPatience || fi.SeveranceActiveAt(now)) {
+			// The paths between us are clear, but the silence still proves
+			// nothing. Three reasons. (1) Every probe so far may have been
+			// swallowed by a severance window one of the pair's clocks was
+			// inside (this peer need not be marked suspended: another peer's
+			// suspension can warp the verdict clock past a window this one
+			// silently sat out). (2) While ANY severance is in effect, a
+			// live peer — even one on our own node — can be transitively
+			// stalled behind a dark path to a third rank; death verdicts are
+			// deferred until the fabric is quiet. (3) Even after a heal, a
+			// live peer can lag for a while behind its own recovery replays.
+			// So: restart the confirmation budget and probe from the verdict
+			// clock, up to PartitionPatience quiet-air rounds. A live peer's
+			// first ack ends the suspicion via noteAlive; a dead one stays
+			// silent until the rounds are spent and the verdict falls
+			// through to confirmDead. Termination stays bounded: the rounds
+			// are finite once the fabric is quiet, and a permanently severed
+			// pair aborts with ExitPartitioned through the patience path
+			// below.
+			h.reconfirmRounds++
+			h.probes = 0
+			c.hbMu.Unlock()
+			c.mgrClk.AdvanceTo(now)
+			c.sendPing(peer, true)
+			return
+		}
+		h.dead = true
+		c.hbMu.Unlock()
+		c.confirmDead(peer)
+		return
+	}
+	first, exhausted := false, false
+	c.hbMu.Lock()
+	h := c.health[peer]
+	if h == nil || h.dead {
+		c.hbMu.Unlock()
+		return
+	}
+	if !h.suspended {
+		h.suspended = true
+		h.suspendVT = c.mgrClk.Now()
+		h.patienceProbes = 0
+		first = true
+	}
+	h.reconfirmRounds = 0 // back inside a severance window; re-arm the grace
+	if heal < 0 {
+		h.patienceProbes++
+		exhausted = h.patienceProbes > c.hb.PartitionPatience
+	} else {
+		h.patienceProbes = 0 // a scheduled heal re-opens unlimited patience
+	}
+	c.hbMu.Unlock()
+	if first {
+		c.statMu.Lock()
+		c.stats.PartitionSuspensions++
+		c.statMu.Unlock()
+		c.event("partition-suspend", peer, c.mgrClk.Now())
+		c.led.Detect("net", -1, c.mgrClk.Now(), "partition-suspend")
+	}
+	if exhausted {
+		c.event("partition-fatal", peer, c.mgrClk.Now())
+		c.raiseAbort(&AbortError{Origin: c.cfg.Rank, Dead: -1, Code: ExitPartitioned,
+			Reason: fmt.Sprintf("rank %d partitioned from rank %d on every rail with no scheduled heal; gave up after %d patience probes",
+				c.cfg.Rank, peer, c.hb.PartitionPatience)}, true)
+		return
+	}
+	// A suspension with a scheduled heal is waited out in virtual time: warp
+	// the detector clock to the heal boundary — nothing else can advance VT
+	// while every path is dark, exactly like a discrete-event simulator
+	// jumping to its next scheduled event — so the charged probe below
+	// departs after the heal and draws the ack that ends the suspension.
+	if heal >= 0 {
+		c.mgrClk.AdvanceTo(heal)
+	}
+	// Charged patience probe: advances virtual time, keeping the suspension
+	// bounded in VT, and — once the partition heals — draws the ack whose
+	// arrival ends the suspension.
+	c.sendPing(peer, true)
 }
 
 // sendPing sends one explicit heartbeat probe. Confirmation probes (charge)
@@ -681,6 +871,7 @@ type HealthSnapshot struct {
 	Outstanding int   // puts/gets not yet complete (Quiet accounting)
 	LastReadyVT int64 // virtual time the last connection became ready
 	Suspects    []int // peers currently under suspicion
+	Suspended   []int // peers suspended as partitioned (all rails severed)
 	Dead        []int // peers confirmed dead
 	Wedged      bool
 	Killed      bool
@@ -727,12 +918,16 @@ func (c *Conduit) HealthSnapshot() HealthSnapshot {
 		if h.suspect && !h.dead {
 			s.Suspects = append(s.Suspects, peer)
 		}
+		if h.suspended && !h.dead {
+			s.Suspended = append(s.Suspended, peer)
+		}
 	}
 	c.hbMu.Unlock()
 	c.outMu.Lock()
 	s.Outstanding = c.outstanding
 	c.outMu.Unlock()
 	sort.Ints(s.Suspects)
+	sort.Ints(s.Suspended)
 	sort.Ints(s.Dead)
 	return s
 }

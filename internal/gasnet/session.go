@@ -151,9 +151,16 @@ func (c *Conduit) dropUnackedLocked(cn *conn, vt int64) {
 func (c *Conduit) resendUnackedLocked(cn *conn, peer int, clk *vclock.Clock) bool {
 	sent := 0
 	ok := true
-	for _, tx := range cn.unacked {
-		wr := ib.SendWR{Op: ib.OpSend, Data: tx.data, Clk: clk, NoSendCompletion: true}
-		if err := c.postRNR(cn.qp, wr); err != nil {
+	for i := 0; i < len(cn.unacked); i++ {
+		wr := ib.SendWR{Op: ib.OpSend, Data: cn.unacked[i].data, Clk: clk, NoSendCompletion: true}
+		err := c.postRNR(cn.qp, wr)
+		if err != nil && errors.Is(err, ib.ErrPathDown) && c.tryMigrateLocked(cn, peer) {
+			// Primary rail died mid-replay; APM swapped to the live alternate
+			// without leaving RTS, so replay the same frame there.
+			i--
+			continue
+		}
+		if err != nil {
 			if isLinkFault(err) {
 				c.noteDataFault(err)
 				c.teardownLocked(cn)
@@ -164,6 +171,10 @@ func (c *Conduit) resendUnackedLocked(cn *conn, peer int, clk *vclock.Clock) boo
 				go c.initiate(peer)
 				ok = false
 			}
+			// A path-down with no live alternate breaks the replay WITHOUT a
+			// teardown: both queue pairs are healthy, the frames stay
+			// retained, and the RTO rescan replays them after a failover or
+			// the partition's heal.
 			break
 		}
 		sent++

@@ -13,6 +13,13 @@ type Fabric struct {
 	model  *vclock.CostModel
 	faults *FaultInjector
 
+	// rails is the number of independent physical rails (switch planes) the
+	// fabric provides; every HCA exposes one port per rail. Each rail is its
+	// own fault domain: a failed rail or port blocks only the paths crossing
+	// it, and RC queue pairs migrate to their alternate path (IB APM) while
+	// other rails stay up. Default 1 — the flat single-rail fabric.
+	rails int
+
 	mu   sync.RWMutex
 	hcas []*HCA
 }
@@ -22,7 +29,25 @@ func NewFabric(model *vclock.CostModel, faults *FaultInjector) *Fabric {
 	if model == nil {
 		model = vclock.Default()
 	}
-	return &Fabric{model: model, faults: faults}
+	return &Fabric{model: model, faults: faults, rails: 1}
+}
+
+// SetRails sets the number of independent rails (ports per HCA). Call it at
+// setup, before traffic flows; values below 1 are clamped to 1.
+func (f *Fabric) SetRails(n int) {
+	if n < 1 {
+		n = 1
+	}
+	f.mu.Lock()
+	f.rails = n
+	f.mu.Unlock()
+}
+
+// Rails returns the number of independent rails the fabric provides.
+func (f *Fabric) Rails() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.rails
 }
 
 // Model returns the fabric's cost model.
@@ -41,6 +66,23 @@ func (f *Fabric) Faults() *FaultInjector { return f.faults }
 // fabric. Upper layers arm their failure detector only then, so fault-free
 // runs record zero heartbeat activity.
 func (f *Fabric) PEFaulty() bool { return f.faults.PEFaultsScheduled() }
+
+// NetFaulty reports whether any port/rail/partition injections are scheduled.
+// The failure detector also arms on it, so a partitioned-but-alive peer can
+// be told apart from a dead one (and a permanent partition can abort with its
+// own exit code instead of wedging into the watchdog).
+func (f *Fabric) NetFaulty() bool { return f.faults.NetFaultsScheduled() }
+
+// PathsSevered reports whether EVERY rail between the two adapters is blocked
+// at virtual time now — the true-partition condition: UD datagrams blackhole,
+// no reconnect on any rail can succeed, and the failure detector must suspend
+// rather than confirm-dead. Always false on a fault-free fabric.
+func (f *Fabric) PathsSevered(src, dst uint16, now int64) bool {
+	if f.faults == nil {
+		return false
+	}
+	return f.faults.allPathsBlocked(src, dst, f.Rails(), now)
+}
 
 // AddHCA attaches a new adapter and assigns it the next LID (LIDs start at 1,
 // as LID 0 is reserved, like the permissive LID in real InfiniBand).
@@ -124,6 +166,16 @@ func (f *Fabric) sendUD(q *QP, wr SendWR) error {
 	depart := clk.Advance(f.model.SendPostOverhead)
 	if q.sendCQ != nil && !wr.NoSendCompletion {
 		q.sendCQ.Push(Completion{WRID: wr.WRID, QPN: q.qpn, Op: OpSend, Status: StatusOK, VTime: depart})
+	}
+	// A datagram whose source and destination are severed on every rail
+	// (failed ports/rails, or an active partition window) vanishes in the
+	// switch fabric, exactly like UD. It is deliberately NOT counted as an
+	// injected drop: the blackhole is the port/rail/partition fault's own
+	// effect, and its incident is opened by the schedule, not per datagram.
+	if f.faults != nil && f.faults.allPathsBlocked(q.hca.lid, wr.Dest.LID, f.Rails(), clk.Now()) {
+		q.obs.Emit(clk.Now(), obs.LayerIB, "fault-blackhole", -1, int64(len(wr.Data)))
+		q.obs.Count("ib.fault.blackhole", 1)
+		return nil
 	}
 	// Age the reorder window before deciding this datagram's fate so held
 	// datagrams flush even on a stream of drops.
@@ -225,6 +277,17 @@ func (f *Fabric) sendRC(q *QP, wr SendWR) error {
 	dh := f.HCA(q.remote.LID)
 	if dh == nil {
 		return ErrBadLID
+	}
+	// Path error: the QP's primary rail is severed between the endpoints
+	// (port/rail failure or partition window). The operation is refused
+	// before any byte moves and before any teardown — both queue pairs stay
+	// healthy, so the connection manager can migrate to the loaded alternate
+	// path (APM) and simply re-post. Only when every rail is dead does the
+	// caller escalate to the reconnect/suspension machinery.
+	if f.faults != nil && f.faults.pathBlocked(q.hca.lid, q.remote.LID, q.Rail(), clk.Now()) {
+		q.obs.Emit(clk.Now(), obs.LayerIB, "fault-path-down", -1, int64(q.Rail()))
+		q.obs.Count("ib.fault.path_down", 1)
+		return ErrPathDown
 	}
 	if f.faults.rcFlap() {
 		// Injected link fault: both queue pairs error out mid-stream, before

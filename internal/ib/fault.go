@@ -165,6 +165,17 @@ type FaultInjector struct {
 	peSched  map[int]*peFault
 	peKills  int
 	peWedges int
+
+	// Rail-scoped fault schedules (see rail.go): port failures, whole-rail
+	// failures and partition windows, all tripping on virtual time. The
+	// *Injected counters advance at scheduling time — a scheduled network
+	// fault IS the injection.
+	portFaults         []portFault
+	railFaults         []railFault
+	partitions         []partitionWindow
+	portFaultsInjected int
+	railFaultsInjected int
+	partitionsInjected int
 }
 
 // PEFate is a PE's failure state under the injected kill/wedge schedule.

@@ -161,6 +161,16 @@ var (
 	// returns an RNR NAK and the sender retries after a backoff). Only armed
 	// when Limits.RQDepth is set; an unbudgeted receive queue never NAKs.
 	ErrRNR = errors.New("ib: receiver not ready (receive queue full)")
+
+	// ErrPathDown marks an RC operation refused because the connection's
+	// primary path (rail) is down while both queue pairs are healthy: the
+	// port flapped, the rail's switch died, or a partition window severs the
+	// pair. Deliberately NOT wrapped in ErrLinkDown — the queue pair is not
+	// torn down and no byte moved, so the connection manager's first response
+	// is Automatic Path Migration to the loaded alternate path (QP.Migrate),
+	// falling back to a reconnect on another rail, and finally to suspension,
+	// only when every rail between the pair is dead.
+	ErrPathDown = errors.New("ib: primary path (rail) down")
 )
 
 // RC payload-fault errors. Both wrap ErrLinkDown: the receiving adapter

@@ -26,8 +26,14 @@ type QP struct {
 	// sorted because RC arrivals on one QP are monotone.
 	rqDepth int
 	rqRel   []int64
-	typ     QPType
-	state   QPState
+	// primaryRail and altRail are the QP's loaded paths on a multi-rail
+	// fabric (IB APM: the alternate path is programmed alongside the primary
+	// and armed for migration; see SetPath/Migrate). Both default to rail 0,
+	// which on a single-rail fabric means no alternate exists.
+	primaryRail int
+	altRail     int
+	typ         QPType
+	state       QPState
 }
 
 // SetObs binds the owning PE's observability recorder, so state transitions
@@ -65,6 +71,55 @@ func (q *QP) SetClock(clk *vclock.Clock) {
 
 // Remote returns the connected peer address (RC only).
 func (q *QP) Remote() Dest { return q.remote }
+
+// SetPath loads the QP's primary and alternate paths (rail indices) — the
+// simulated equivalent of programming the primary path at INIT->RTR and the
+// alternate path alongside it, armed for Automatic Path Migration. The
+// connection manager calls it before the handshake transitions; an alternate
+// equal to the primary means no alternate is loaded (single-rail fabric).
+func (q *QP) SetPath(primary, alt int) {
+	q.hca.mu.Lock()
+	q.primaryRail = primary
+	q.altRail = alt
+	q.hca.mu.Unlock()
+}
+
+// Rail returns the QP's primary path (rail index).
+func (q *QP) Rail() int {
+	q.hca.mu.Lock()
+	defer q.hca.mu.Unlock()
+	return q.primaryRail
+}
+
+// AltRail returns the QP's loaded alternate path (rail index); equal to
+// Rail() when no alternate is loaded.
+func (q *QP) AltRail() int {
+	q.hca.mu.Lock()
+	defer q.hca.mu.Unlock()
+	return q.altRail
+}
+
+// Migrate performs Automatic Path Migration: the loaded alternate path
+// becomes the primary and the old primary is demoted to alternate, without
+// leaving RTS — in-flight state (sequence numbers, the conduit's retained
+// frames) survives because the queue pair is never torn down. Real APM keys
+// this off the path-error event; here the connection manager drives it when a
+// post fails with ErrPathDown. It fails with ErrBadState outside RTS and with
+// ErrPathDown when no distinct alternate is loaded.
+func (q *QP) Migrate() error {
+	q.hca.mu.Lock()
+	defer q.hca.mu.Unlock()
+	if q.state != StateRTS {
+		return ErrBadState
+	}
+	if q.altRail == q.primaryRail {
+		return ErrPathDown
+	}
+	q.primaryRail, q.altRail = q.altRail, q.primaryRail
+	q.clk.Advance(q.hca.f.model.QPTransition)
+	q.obs.Emit(q.clk.Now(), obs.LayerIB, "qp-migrate", -1, int64(q.primaryRail))
+	return nil
+}
 
 // ToInit transitions RESET -> INIT.
 func (q *QP) ToInit() error {

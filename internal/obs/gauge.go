@@ -116,6 +116,14 @@ func InstHCA(lid uint16) int { return -2 - int(lid) }
 // InstLID recovers the adapter LID from an InstHCA-encoded instance.
 func InstLID(inst int) uint16 { return uint16(-2 - inst) }
 
+// InstRail encodes a fabric rail index as a gauge instance, disjoint from PE
+// ranks (non-negative), the job instance (-1) and HCA instances (InstHCA
+// stays within [-65537, -3] for 16-bit LIDs). InstRailIndex decodes it.
+func InstRail(rail int) int { return -(1 << 20) - rail }
+
+// InstRailIndex recovers the rail index from an InstRail-encoded instance.
+func InstRailIndex(inst int) int { return -(1 << 20) - inst }
+
 type gaugeKey struct {
 	name string
 	inst int

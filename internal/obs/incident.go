@@ -33,6 +33,13 @@ import (
 //	"pe"    — injected process failures (kill/wedge). Rank is the victim.
 //	          Never repaired: the sweep marks them aborted (the deliberate
 //	          outcome — detection and job abort ARE the recovery).
+//	"net"   — rail-scoped fabric faults (port-down/rail-down/partition).
+//	          Rank -1 (fabric-scoped); Inst keys the schedule (rail index,
+//	          packed lid:rail, or the job instance for partitions). Opened at
+//	          schedule time by the cluster layer. A healed partition closes on
+//	          the first post-heal liveness proof; permanent port/rail faults
+//	          close at job completion — surviving them via the other rails IS
+//	          the repair.
 const (
 	IncidentOpen       = "open"
 	IncidentClosed     = "closed"
@@ -206,6 +213,9 @@ func (l *Ledger) CloseAll(class string, kinds []string, rank, inst int, vt int64
 // complete over a lost or torn payload, so an rc incident still open here
 // was a fault whose effects were already durable (e.g. a flap landing after
 // the final delivery to that adapter, with no later op to stamp the close).
+// Rail-scoped fabric faults (net) close the same way: a completed job proves
+// the surviving rails (or the healed partition) carried every byte, and
+// permanent port/rail failures have no explicit repair event to close on.
 // Anything else (alloc, pmi) becomes unresolved — a loud reconciliation
 // failure, because those lanes have explicit repair points (alloc-ok,
 // op-admitted) and a leftover means one leaked. On an aborted job
@@ -236,7 +246,7 @@ func (l *Ledger) Sweep(finalVT int64, jobAborted bool) {
 			}
 			in.RepairVT = finalVT
 			in.Log = append(in.Log, IncidentEvent{VT: finalVT, What: "job-abort"})
-		case in.Class == "ud" || in.Class == "rc":
+		case in.Class == "ud" || in.Class == "rc" || in.Class == "net":
 			in.State = IncidentClosed
 			if in.DetectVT == 0 {
 				in.DetectVT = finalVT
