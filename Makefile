@@ -10,11 +10,11 @@ GO ?= go
 # CHAOS_SEED=<seed> make soak (failures print the seed to replay).
 CHAOS_SEED ?= 1786034998553156286
 
-.PHONY: all tier1 tier2 build test vet race soak smoke incident-smoke rail-smoke trace-demo bench clean
+.PHONY: all tier1 tier2 build test vet race soak smoke incident-smoke rail-smoke footprint-smoke trace-demo bench clean
 
 all: tier1
 
-tier1: build test race smoke incident-smoke rail-smoke
+tier1: build test race smoke incident-smoke rail-smoke footprint-smoke
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,22 @@ rail-smoke:
 	echo "rail-smoke: clean $$clean / rail-failure $$faulted"; \
 	test -n "$$clean" && test "$$clean" = "$$faulted" || \
 		{ echo "rail-smoke: DIGEST MISMATCH after rail failure"; exit 1; }
+
+# Engine-observatory smoke: one np=64 run with the footprint census on,
+# checked end to end through the -json export — the schema-versioned
+# footprint section must be present and the modeled bytes must tile the
+# measured heap (reconciled). Seconds of wall time; guards the whole
+# census -> report -> JSON path.
+footprint-smoke:
+	@out=$$($(GO) run ./cmd/oshrun -np 64 -ppn 16 -footprint -json) || \
+		{ echo "footprint-smoke: run failed"; exit 1; }; \
+	echo "$$out" | grep -q '"footprint"' || \
+		{ echo "footprint-smoke: -json output missing footprint section"; exit 1; }; \
+	echo "$$out" | grep -q '"tolerance_frac"' || \
+		{ echo "footprint-smoke: footprint section missing its schema fields"; exit 1; }; \
+	echo "$$out" | grep -q '"reconciled": true' || \
+		{ echo "footprint-smoke: census did not reconcile against the measured heap"; exit 1; }; \
+	echo "footprint-smoke: census reconciled at np=64"
 
 # Write an 8-PE sample Perfetto trace (open trace-demo.json at
 # https://ui.perfetto.dev) plus the text report with phase breakdown,

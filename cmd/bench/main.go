@@ -54,11 +54,23 @@ type doc struct {
 	// breakdowns (virtual seconds per phase, averaged across PEs).
 	PhasesStatic   []bench.PhasePoint `json:"phases_static"`
 	PhasesOnDemand []bench.PhasePoint `json:"phases_ondemand"`
+
+	// Footprint is the engine scaling sweep: census-measured bytes-per-PE,
+	// goroutines-per-PE and startup time versus np in both connection
+	// modes — the trajectory ROADMAP item 1's refactor will be judged
+	// against. Warn-gated (not fail) by -check.
+	Footprint []bench.FootprintPoint `json:"footprint"`
 }
 
 // regressPct is the latency-regression gate -check enforces: any put/get or
 // credit-stall point more than this much slower than the baseline fails CI.
+// The footprint suite shares the threshold but only warns — the suite is
+// new, and memory noise across Go releases needs a trajectory before a hard
+// gate is honest.
 const regressPct = 10.0
+
+// footprintSizes is the fixed np sweep of the footprint suite.
+var footprintSizes = []int{64, 256, 1024, 4096}
 
 // loadBaseline decodes the lexically-latest BENCH_*.json in the current
 // directory other than the file this run just wrote — with date-stamped
@@ -102,12 +114,38 @@ func pctDelta(old, cur float64) float64 {
 func reportDeltas(base, cur *doc, basePath string) bool {
 	fmt.Printf("\ndeltas vs %s (%s):\n", basePath, base.Date)
 	regressed := false
+	var failedSuites, warnedSuites []string
+	noted := func(list []string, s string) bool {
+		for _, x := range list {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
 	row := func(suite, point, metric string, old, new float64, gated bool) {
 		d := pctDelta(old, new)
 		verdict := ""
 		if gated && d > regressPct {
 			verdict = "  REGRESSION"
 			regressed = true
+			if !noted(failedSuites, suite) {
+				failedSuites = append(failedSuites, suite)
+			}
+		}
+		fmt.Printf("  %-20s %-10s %-12s %14.1f -> %14.1f  %+7.1f%%%s\n",
+			suite, point, metric, old, new, d, verdict)
+	}
+	// warnRow is the footprint suite's gate: past-threshold growth is called
+	// out loudly but does not fail the run (see regressPct doc).
+	warnRow := func(suite, point, metric string, old, new float64) {
+		d := pctDelta(old, new)
+		verdict := ""
+		if d > regressPct {
+			verdict = "  WARN"
+			if !noted(warnedSuites, suite) {
+				warnedSuites = append(warnedSuites, suite)
+			}
 		}
 		fmt.Printf("  %-20s %-10s %-12s %14.1f -> %14.1f  %+7.1f%%%s\n",
 			suite, point, metric, old, new, d, verdict)
@@ -156,13 +194,35 @@ func reportDeltas(base, cur *doc, basePath string) bool {
 		row("latency_credit_stall", id, "burst_put_ns", b.BurstPutNS, p.BurstPutNS, true)
 	}
 
+	fpByKey := map[string]bench.FootprintPoint{}
+	for _, p := range base.Footprint {
+		fpByKey[fmt.Sprintf("%s/%d", p.Mode, p.N)] = p
+	}
+	for _, p := range cur.Footprint {
+		b, ok := fpByKey[fmt.Sprintf("%s/%d", p.Mode, p.N)]
+		if !ok {
+			continue
+		}
+		id := fmt.Sprintf("%s np=%d", p.Mode, p.N)
+		warnRow("footprint", id, "bytes_per_pe", b.BytesPerPE, p.BytesPerPE)
+		warnRow("footprint", id, "startup_s", b.StartupS, p.StartupS)
+	}
+
 	row("wall", "suite", "wall_ns", float64(base.WallNS), float64(cur.WallNS), false)
+	if len(failedSuites) > 0 {
+		fmt.Printf("  regressed suites: %v\n", failedSuites)
+	}
+	if len(warnedSuites) > 0 {
+		fmt.Printf("  warned suites (>%.0f%%, not failing): %v\n", regressPct, warnedSuites)
+	}
 	return regressed
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default BENCH_<yyyy-mm-dd>.json)")
-	check := flag.Bool("check", false, "compare against the most recent committed BENCH_*.json and exit nonzero when a latency suite regresses more than 10%")
+	check := flag.Bool("check", false, "compare against the most recent committed BENCH_*.json and exit nonzero when a latency suite regresses more than 10% (footprint-suite growth warns only)")
+	fpMaxNP := flag.Int("footprint-max-np", 4096, "cap the footprint sweep at this np (the full sweep's static np=4096 point builds ~8.4M connections; CI runners cap lower)")
+	fpCSV := flag.String("footprint-csv", "", "also write the footprint sweep as CSV to FILE (the nightly artifact)")
 	flag.Parse()
 
 	path := *out
@@ -201,6 +261,37 @@ func main() {
 	die(err)
 	d.PhasesOnDemand, err = bench.PhaseBreakdown(gasnet.OnDemand, []int{64, 128}, 8)
 	die(err)
+
+	// Footprint sweep. A capped run must be loud about what it dropped: a
+	// silently-truncated sweep reads as "covered the full range" in the
+	// committed trajectory.
+	fpSizes := footprintSizes
+	if *fpMaxNP > 0 {
+		var kept, dropped []int
+		for _, n := range footprintSizes {
+			if n > *fpMaxNP {
+				dropped = append(dropped, n)
+			} else {
+				kept = append(kept, n)
+			}
+		}
+		if len(dropped) > 0 {
+			fmt.Fprintf(os.Stderr, "bench: footprint sweep capped at np=%d; dropping sizes %v\n", *fpMaxNP, dropped)
+		}
+		fpSizes = kept
+	}
+	fpStatic, err := bench.FootprintSweep(gasnet.Static, fpSizes, 16, 0)
+	die(err)
+	fpOD, err := bench.FootprintSweep(gasnet.OnDemand, fpSizes, 16, 0)
+	die(err)
+	d.Footprint = append(fpStatic, fpOD...)
+	if *fpCSV != "" {
+		cf, err := os.Create(*fpCSV)
+		die(err)
+		die(bench.WriteFootprintCSV(cf, d.Footprint))
+		die(cf.Close())
+		fmt.Printf("wrote %s\n", *fpCSV)
+	}
 
 	d.WallNS = time.Since(t0).Nanoseconds()
 

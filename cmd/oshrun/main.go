@@ -18,8 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"goshmem/internal/apps/graph500"
 	"goshmem/internal/apps/heat2d"
@@ -330,7 +334,10 @@ func main() {
 	metrics := flag.Bool("metrics", false, "collect latency histograms and generic counters and print them in the text report")
 	metricsAll := flag.Bool("metrics-all", false, "like -metrics but print the full registry, including all-zero counters and empty histograms")
 	timeseriesOut := flag.String("timeseries-out", "", "write the virtual-time gauge series (live QPs, pinned bytes, retained frames, credits, RQ occupancy, suspects) to FILE as CSV, or JSON when FILE ends in .json")
-	incidents := flag.Bool("incidents", false, "record the causal incident ledger and print the per-fault-kind detection/MTTR summary plus the injector reconciliation; exit 1 when reconciliation fails on a completed job")
+	footprint := flag.Bool("footprint", false, "take engine footprint censuses (per-subsystem memory/goroutine attribution reconciled against the measured heap) at startup boundaries and job end; prints the census table and adds the footprint section to -json")
+	profileOut := flag.String("profile-out", "", "write Go pprof profiles of the simulator itself (cpu.pprof, heap.pprof, allocs.pprof) into DIR")
+	memstatsEvery := flag.Int("memstats-every", 0, "sample the runtime (heap bytes, goroutines) into the engine.* gauge series every N milliseconds of real time — long-soak memory telemetry; implies -footprint")
+	incidents := flag.Bool("incidents", false,"record the causal incident ledger and print the per-fault-kind detection/MTTR summary plus the injector reconciliation; exit 1 when reconciliation fails on a completed job")
 	topology := flag.Bool("topology", false, "record the per-pair flow matrix and print the traffic heatmap, peer-degree table and QP waste attribution")
 	qpCap := flag.Int("qp-cap", 0, "cap live RC queue pairs per HCA; idle connections are LRU-evicted (0 = unbounded; on-demand mode only)")
 	qpBudget := flag.Int("qp-budget", 0, "hard per-HCA queue-pair budget (UD+RC) the adapter enforces; exhaustion triggers eviction+retry, admission rejection, and exit 125 when progress is impossible (0 = unbounded)")
@@ -541,6 +548,7 @@ func main() {
 	}
 
 	wantMetrics := *jsonOut || *metrics || *metricsAll
+	wantFootprint := *footprint || *memstatsEvery > 0
 	// Any configured fault source makes the incident ledger worth carrying in
 	// the JSON report; the text path keeps it opt-in via -incidents.
 	anyFaults := faults != nil || pmiFaults != nil ||
@@ -560,19 +568,69 @@ func main() {
 		FailPorts:    failPorts,
 		FailRails:    failRails,
 		Partitions:   partitions,
-		Deadline:     int64(*deadline * float64(vclock.Second)),
+		Deadline:      int64(*deadline * float64(vclock.Second)),
+		MemstatsEvery: time.Duration(*memstatsEvery) * time.Millisecond,
 		Obs: obs.Config{
-			Events:    *trace > 0 || *traceOut != "",
-			Metrics:   wantMetrics,
-			Flows:     *topology || *jsonOut,
-			Gauges:    wantMetrics || *timeseriesOut != "",
+			Events:  *trace > 0 || *traceOut != "",
+			Metrics: wantMetrics,
+			Flows:   *topology || *jsonOut,
+			Gauges:  wantMetrics || *timeseriesOut != "" || wantFootprint,
+			// Footprint stays strictly opt-in (never implied by -json or
+			// -metrics): census snapshots read wall-clock runtime state, so
+			// the footprint section and engine.* gauges are not
+			// run-to-run-deterministic and must not leak into report or
+			// time-series diffs that are.
+			Footprint: wantFootprint,
 			Incidents: *incidents || (*jsonOut && anyFaults),
 		},
 	}
+
+	// -profile-out profiles the simulator itself (not the simulation): CPU
+	// over the whole run, heap and allocation profiles at job end. The
+	// census answers "which subsystem owns the bytes"; the pprof artifacts
+	// answer "which call stacks allocated them".
+	if *profileOut != "" {
+		if err := os.MkdirAll(*profileOut, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "oshrun:", err)
+			os.Exit(1)
+		}
+		cf, err := os.Create(filepath.Join(*profileOut, "cpu.pprof"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oshrun:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			fmt.Fprintln(os.Stderr, "oshrun: cpu profile:", err)
+			os.Exit(1)
+		}
+		defer cf.Close()
+	}
+
 	res, err := cluster.Run(cfg, body)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oshrun:", err)
 		os.Exit(1)
+	}
+
+	if *profileOut != "" {
+		pprof.StopCPUProfile()
+		writeProfile := func(name, profile string, gc bool) {
+			f, err := os.Create(filepath.Join(*profileOut, name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "oshrun:", err)
+				os.Exit(1)
+			}
+			if gc {
+				runtime.GC() // heap.pprof should show retained bytes, not float
+			}
+			if err := pprof.Lookup(profile).WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "oshrun: writing", name+":", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		writeProfile("heap.pprof", "heap", true)
+		writeProfile("allocs.pprof", "allocs", false)
 	}
 
 	if *traceOut != "" {
@@ -689,6 +747,11 @@ func main() {
 		printPhaseTable(res)
 		printMetricTables(res, *metricsAll)
 		printGaugeTable(res)
+	}
+
+	if res.Footprint != nil {
+		fmt.Println()
+		res.Footprint.WriteText(os.Stdout)
 	}
 
 	reconFailed := false

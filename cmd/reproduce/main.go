@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	reproduce [-exp all|fig1|fig2|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|table1|ablation|phases|topology|credits] [-full]
+//	reproduce [-exp all|fig1|fig2|fig5a|fig5b|fig6|fig7|fig8a|fig8b|fig9|table1|ablation|phases|topology|credits|footprint] [-full]
 package main
 
 import (
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, fig1, fig2, fig5a, fig5b, fig6, fig7, fig8a, fig8b, fig9, table1, ablation, phases, topology, credits)")
+	exp := flag.String("exp", "all", "experiment to run (all, fig1, fig2, fig5a, fig5b, fig6, fig7, fig8a, fig8b, fig9, table1, ablation, phases, topology, credits, footprint)")
 	full := flag.Bool("full", false, "use paper-scale job sizes (slower; needs several GiB of RAM)")
 	maxStatic := flag.Int("maxstatic", 0, "largest job size for static (fully connected) sweeps; 0 = preset")
 	out := flag.String("o", "", "also write output to this file")
@@ -175,6 +175,21 @@ func main() {
 		pts, err := bench.CreditStallLatency([]int{0, 16, 4, 1}, 32, 20)
 		die(err)
 		emit(bench.CreditTable(pts))
+	}
+	if want("footprint") {
+		// Fig 5(a)'s memory story measured from inside the engine: the
+		// footprint census at the init-done boundary, per-PE bytes and
+		// goroutines versus job size in both modes, reconciled against
+		// runtime.ReadMemStats.
+		sizes := []int{64, 256, 1024}
+		if *full {
+			sizes = []int{64, 256, 1024, 4096}
+		}
+		st, err := bench.FootprintSweep(gasnet.Static, capSizes(sizes, capStatic), ppn, 0)
+		die(err)
+		od, err := bench.FootprintSweep(gasnet.OnDemand, sizes, ppn, 0)
+		die(err)
+		emit(bench.FootprintTable(st, od))
 	}
 	if want("topology") {
 		// Flow-telemetry reproduction of Table I: rerun the applications

@@ -8,7 +8,6 @@ package cluster
 
 import (
 	"fmt"
-	"runtime"
 	"runtime/debug"
 	"sync"
 	"time"
@@ -112,6 +111,13 @@ type Config struct {
 	// armed automatically only when PE faults are scheduled).
 	Heartbeat gasnet.HeartbeatConfig
 
+	// MemstatsEvery, when positive, samples the runtime (live heap bytes,
+	// goroutine count) into the engine.* gauge series at that real-time
+	// period — the long-soak companion to the boundary census. It requires
+	// Obs.Footprint (the census owns the series) and, to be visible, Obs.
+	// Gauges.
+	MemstatsEvery time.Duration
+
 	// Deadline, when positive, is the job's virtual-time budget; the
 	// watchdog terminates the job with exit code 124 when any PE's clock
 	// exceeds it. StallTimeout, when positive, terminates the job when no
@@ -180,6 +186,11 @@ type Result struct {
 	// Obs is the observability plane when Config.Trace or Config.Obs
 	// enabled it, else nil.
 	Obs *obs.Plane
+
+	// Footprint is the engine self-observability report — census snapshots
+	// at every startup boundary and job end, reconciled against measured
+	// heap deltas — when Config.Obs.Footprint was set, else nil.
+	Footprint *obs.FootprintReport
 
 	// InitAvg and InitMax summarize start_pes across PEs (the paper's
 	// initialization-time metric averages over PEs).
@@ -371,6 +382,11 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 	if obsCfg.Enabled() {
 		plane = obs.NewPlane(cfg.NP, obsCfg)
 	}
+	// The engine census baseline is taken before any job object exists, so
+	// later snapshots measure job-owned heap growth only. Every census call
+	// below is nil-safe: a disabled footprint plane costs one pointer check.
+	census := plane.Census()
+	census.Snapshot("baseline", 0)
 	// Scheduled PE faults open their incidents at setup: the injection time
 	// is the scheduled trigger, known before any PE runs. The failure
 	// detector's suspicion/confirmation stamps detection later; the sweep
@@ -418,6 +434,51 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 	for r := 0; r < cfg.NP; r++ {
 		clks[r] = vclock.NewClock(launchVT)
 	}
+	for _, h := range hcas {
+		census.Register(h)
+	}
+	census.Register(srv)
+	census.Register(vclockReporter{clks: clks, bars: bars})
+	census.Register(engineReporter{res: res})
+	census.Snapshot("setup", 0)
+
+	// The init-done census waits for every PE to finish shmem.Attach — the
+	// point Fig. 5(a)'s per-PE memory is defined at. Each PE goroutine
+	// arrives exactly once (a deferred arrive covers panic paths, so a
+	// crashed PE can never strand the barrier), the last arrival triggers
+	// the snapshot, and only then are the PEs released into the app: the
+	// snapshot must see post-init state, not the first application puts.
+	var initWG sync.WaitGroup
+	var censusReady chan struct{}
+	if census != nil {
+		initWG.Add(cfg.NP)
+		censusReady = make(chan struct{})
+		go func() {
+			initWG.Wait()
+			census.Snapshot("init-done", maxClockVT(clks))
+			close(censusReady)
+		}()
+	}
+
+	// The -memstats-every soak sampler: wall-clock runtime observations
+	// stamped at the engine's current virtual frontier.
+	var samplerStop chan struct{}
+	if census != nil && cfg.MemstatsEvery > 0 {
+		samplerStop = make(chan struct{})
+		go func() {
+			t := time.NewTicker(cfg.MemstatsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-samplerStop:
+					return
+				case <-t.C:
+					census.ObserveRuntime(maxClockVT(clks))
+				}
+			}
+		}()
+	}
+
 	wd := newWatchdog(cfg, clks, fab, srv, bars)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -428,6 +489,13 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 			defer wg.Done()
 			clk := clks[rank]
 			var ctx *shmem.Ctx
+			arrived := false
+			arrive := func() {
+				if censusReady != nil && !arrived {
+					arrived = true
+					initWG.Done()
+				}
+			}
 			defer func() {
 				if p := recover(); p != nil {
 					if code, ok := exitCodeForPanic(p); ok {
@@ -456,6 +524,11 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 					}
 				}
 			}()
+			// Registered after the recover handler so it runs first on a
+			// panic unwind (LIFO): the init barrier is released before the
+			// handler's best-effort Finalize can block on peers that are
+			// themselves parked on the census gate.
+			defer arrive()
 			node := rank / cfg.PPN
 			pe := plane.PE(rank)
 			pe.Span(0, launchVT, obs.LayerCluster, "launch", -1, 0)
@@ -477,6 +550,15 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 			})
 			pe.Span(attachVT, clk.Now(), obs.LayerCluster, "init", -1, 0)
 			wd.register(rank, ctx.Conduit())
+			census.Register(ctx.Conduit())
+			census.Register(ctx)
+			arrive()
+			if censusReady != nil {
+				// Hold every PE at the init boundary until the census has
+				// read post-attach state. Pure real-time synchronization: no
+				// clock advances, so virtual-time results are unchanged.
+				<-censusReady
+			}
 			appVT := clk.Now()
 			app(ctx)
 			pe.Span(appVT, clk.Now(), obs.LayerCluster, "app", -1, 0)
@@ -511,6 +593,9 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 	}
 	wg.Wait()
 	wd.stop()
+	if samplerStop != nil {
+		close(samplerStop)
+	}
 	res.Wall = time.Since(start)
 	select {
 	case err := <-errs:
@@ -564,12 +649,16 @@ func Run(cfg Config, app func(ctx *shmem.Ctx)) (*Result, error) {
 	// the sweep is what turns leftover-open into closed/aborted/unresolved,
 	// and the registry mirror below wants final timestamps.
 	plane.Ledger().Sweep(res.JobVT, res.Aborted)
+	// The job-end census is taken before the registry mirrors below so the
+	// mirrored counters cannot perturb the measured heap. Its forced
+	// collection also subsumes the old unconditional post-job runtime.GC():
+	// with engine telemetry off, plain runs no longer pay a forced
+	// collection at all — O(NP^2) dead protocol objects after large static
+	// jobs are left to the normal GC pacer (and sweep callers that care run
+	// with the census on, where the collection doubles as measurement).
+	census.Snapshot("job-end", res.JobVT)
+	res.Footprint = census.BuildReport()
 	mirrorCounters(plane, res)
 	mirrorIncidents(plane)
-	if cfg.NP >= 512 {
-		// Large static jobs leave O(NP^2) dead protocol objects behind;
-		// reclaim them before the caller starts the next sweep point.
-		runtime.GC()
-	}
 	return res, nil
 }

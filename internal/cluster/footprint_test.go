@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"testing"
+
+	"goshmem/internal/gasnet"
+	"goshmem/internal/obs"
+)
+
+func runFootprint(t *testing.T, mode gasnet.Mode, np int) *Result {
+	t.Helper()
+	res, err := Run(Config{
+		NP: np, PPN: 16, Mode: mode, HeapSize: 64 << 10,
+		Obs: obs.Config{Footprint: true},
+	}, ringApp(1, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFootprintReconcilesNP256 is the acceptance gate: at np=256 in both
+// connection modes, the modeled subsystem bytes must tile the measured heap
+// delta within the documented tolerance — the drift list stays empty.
+func TestFootprintReconcilesNP256(t *testing.T) {
+	if testing.Short() {
+		t.Skip("np=256 census run in -short mode")
+	}
+	for _, mode := range []gasnet.Mode{gasnet.Static, gasnet.OnDemand} {
+		res := runFootprint(t, mode, 256)
+		fp := res.Footprint
+		if fp == nil {
+			t.Fatalf("%v: footprint plane enabled but report missing", mode)
+		}
+		if !fp.Reconciled || len(fp.Drift) != 0 {
+			for _, d := range fp.Drift {
+				t.Errorf("%v: drift row %s: modeled %d vs measured %d (%+.0f%%)",
+					mode, d.Label, d.ModeledBytes, d.MeasuredBytes, d.DriftFrac*100)
+			}
+			t.Fatalf("%v: census failed to tile the heap", mode)
+		}
+		labels := map[string]obs.CensusSnapshot{}
+		for _, s := range fp.Snapshots {
+			labels[s.Label] = s
+		}
+		for _, want := range []string{"baseline", "setup", "init-done", "job-end"} {
+			if _, ok := labels[want]; !ok {
+				t.Fatalf("%v: missing census snapshot %q", mode, want)
+			}
+		}
+		// Two goroutines per PE (app thread + conduit progress thread) must
+		// be alive at the init boundary.
+		if got := labels["init-done"].Goroutines; got < 2*256 {
+			t.Errorf("%v: init-done goroutine census %d, want >= %d", mode, got, 2*256)
+		}
+		// The modeled attribution must actually attribute: the dominant
+		// subsystems all report bytes at init-done.
+		initDone := labels["init-done"]
+		sub := initDone.SubsystemHeapBytes()
+		for _, s := range []string{"ib", "gasnet", "shmem", "pmi", "obs", "vclock", "cluster"} {
+			if sub[s] <= 0 {
+				t.Errorf("%v: subsystem %s modeled no bytes at init-done", mode, s)
+			}
+		}
+		// The symmetric heaps alone are np x 64 KiB = 16 MiB of pinned
+		// bytes; ib must claim at least that.
+		if sub["ib"] < 256*(64<<10) {
+			t.Errorf("%v: ib modeled %d bytes, want >= %d (the symmetric heaps)", mode, sub["ib"], 256*(64<<10))
+		}
+	}
+}
+
+// TestFootprintModeledBytesStable pins byte-stability: two identical
+// fault-free static runs must model identical per-category numbers. The
+// models use exact lengths (never capacities) and deterministic object
+// counts, so any instability here is a model reading schedule-dependent
+// state. The off-heap goroutine census is exempt — goroutine exit is
+// asynchronous, so the job-end count is inherently schedule-dependent.
+func TestFootprintModeledBytesStable(t *testing.T) {
+	onHeap := func(res *Result) map[string]obs.FootprintItem {
+		last := res.Footprint.Snapshots[len(res.Footprint.Snapshots)-1]
+		m := map[string]obs.FootprintItem{}
+		for _, it := range last.Items {
+			if !it.OffHeap {
+				m[it.Subsystem+"/"+it.Category] = it
+			}
+		}
+		return m
+	}
+	a := onHeap(runFootprint(t, gasnet.Static, 64))
+	b := onHeap(runFootprint(t, gasnet.Static, 64))
+	if len(a) != len(b) {
+		t.Fatalf("category sets differ: %d vs %d", len(a), len(b))
+	}
+	for k, ia := range a {
+		if ib, ok := b[k]; !ok || ia != ib {
+			t.Errorf("category %s not byte-stable: %+v vs %+v", k, ia, ib)
+		}
+	}
+}
+
+// TestFootprintOffByDefault pins satellite behavior: a plain run creates no
+// census, takes no snapshots and — per the gated post-job collection — never
+// forces a GC on the caller.
+func TestFootprintOffByDefault(t *testing.T) {
+	res, err := Run(Config{NP: 8, PPN: 4, Mode: gasnet.OnDemand, HeapSize: 1 << 16}, ringApp(1, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Footprint != nil {
+		t.Fatal("plain run produced a footprint report")
+	}
+	if res.Obs.Census() != nil {
+		t.Fatal("plain run created a census")
+	}
+}
+
+// TestFootprintGaugeSeries checks the engine.* export path end to end: with
+// gauges co-enabled the census mirrors heap/goroutine levels and the
+// per-subsystem bytes onto the virtual-time grid.
+func TestFootprintGaugeSeries(t *testing.T) {
+	res, err := Run(Config{
+		NP: 16, PPN: 8, Mode: gasnet.OnDemand, HeapSize: 1 << 16,
+		Obs: obs.Config{Footprint: true, Gauges: true},
+	}, ringApp(1, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"engine.heap_bytes": false, "engine.goroutines": false,
+		"engine.bytes.ib": false, "engine.bytes.gasnet": false,
+	}
+	for _, st := range res.Obs.Gauges().Stats() {
+		if _, ok := want[st.Name]; ok {
+			want[st.Name] = true
+			if st.Inst != obs.InstJob {
+				t.Errorf("%s on inst %d, want job-level %d", st.Name, st.Inst, obs.InstJob)
+			}
+			if st.Max <= 0 {
+				t.Errorf("%s never rose above zero", st.Name)
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("gauge %s missing", name)
+		}
+	}
+}

@@ -68,6 +68,12 @@ type Report struct {
 	// Incidents is the causal-incident section (per-kind MTTR summary and
 	// injector-vs-ledger reconciliation) when the ledger was enabled.
 	Incidents *IncidentReport `json:"incidents,omitempty"`
+
+	// Footprint is the engine self-observability section (census snapshots,
+	// per-subsystem attribution, modeled-vs-measured heap reconciliation)
+	// when the footprint plane was enabled. It carries its own
+	// obs.FootprintSchemaVersion so the section can evolve independently.
+	Footprint *obs.FootprintReport `json:"footprint,omitempty"`
 }
 
 // PEReport is one PE's slice of the report.
@@ -118,6 +124,7 @@ func BuildReport(res *Result) *Report {
 		}
 		rep.Gauges = res.Obs.Gauges().Stats()
 		rep.Incidents = BuildIncidentReport(res)
+		rep.Footprint = res.Footprint
 	}
 	rep.Topology = BuildTopology(res)
 	return rep

@@ -1,0 +1,113 @@
+package gasnet
+
+import (
+	"unsafe"
+
+	"goshmem/internal/ib"
+	"goshmem/internal/obs"
+)
+
+// Footprint models this conduit's retained memory for the engine census
+// (obs.FootprintReporter). One conduit exists per PE, so at np PEs the
+// census sums np of these; the static-mode scaling story — O(np) connection
+// shells per PE, O(np²) job-wide — falls straight out of the "conns"
+// category, which is exactly the curve the paper's Fig. 5(a) plots.
+//
+// All quantities are object counts × struct-shell sizes plus exact lengths
+// (len, never cap), so fixed-seed modeled numbers are byte-stable; capacity
+// slack from append growth is covered by the census drift tolerance.
+//
+// Locks are taken one at a time (never nested), so the census boundary can
+// never deadlock against the progress goroutine.
+func (c *Conduit) Footprint() []obs.FootprintItem {
+	connSize := int64(unsafe.Sizeof(conn{}))
+	pendSize := int64(unsafe.Sizeof(pendingWR{}))
+	retSize := int64(unsafe.Sizeof(retainedTx{}))
+	heldSize := int64(unsafe.Sizeof(heldReq{}))
+	defAMSize := int64(unsafe.Sizeof(deferredAM{}))
+	complSize := int64(unsafe.Sizeof(ib.Completion{}))
+
+	var conns, retained, credits, misc obs.FootprintItem
+	misc.Bytes = int64(unsafe.Sizeof(Conduit{}))
+	misc.Objects = 1
+
+	c.connMu.Lock()
+	// The connection table itself: a dense pointer slice in static mode, a
+	// map in on-demand mode — the allocation asymmetry under study.
+	misc.Bytes += int64(len(c.connSlice)) * int64(unsafe.Sizeof((*conn)(nil)))
+	misc.Bytes += int64(len(c.connMap)) * (int64(unsafe.Sizeof((*conn)(nil))) + mapEntryOverhead)
+	forEachConn(c, func(cn *conn) {
+		conns.Objects++
+		conns.Bytes += connSize + int64(len(cn.pending))*pendSize
+		for _, tx := range cn.unacked {
+			retained.Objects++
+			retained.Bytes += retSize + int64(len(tx.data))
+		}
+		credits.Objects += int64(len(cn.creditRel))
+		credits.Bytes += int64(len(cn.creditRel)) * 8
+	})
+	misc.Bytes += int64(len(c.heldReqs)) * heldSize
+	misc.Bytes += int64(len(c.qpPeer)) * (12 + mapEntryOverhead)
+	misc.Bytes += int64(len(c.deadPeers)) * (9 + mapEntryOverhead)
+	for _, ams := range c.deferredAM {
+		for _, am := range ams {
+			misc.Bytes += defAMSize + int64(len(am.payload))
+		}
+	}
+	c.connMu.Unlock()
+
+	if c.cq != nil {
+		misc.Bytes += int64(c.cq.Len()) * complSize
+	}
+
+	c.waiterMu.Lock()
+	misc.Bytes += int64(len(c.waiters)) * (16 + mapEntryOverhead)
+	for _, buf := range c.pendingGets {
+		misc.Bytes += int64(len(buf)) + mapEntryOverhead
+	}
+	c.waiterMu.Unlock()
+
+	c.hbMu.Lock()
+	misc.Bytes += int64(len(c.health)) * (int64(unsafe.Sizeof(peerHealth{})) + mapEntryOverhead)
+	c.hbMu.Unlock()
+
+	c.statMu.Lock()
+	misc.Bytes += int64(len(c.peers)) * (8 + mapEntryOverhead)
+	c.statMu.Unlock()
+
+	// The endpoint directory (udVals) is deliberately NOT charged here: it is
+	// a reference to the single job-wide slice the PMI server's AllgatherOp
+	// retains — every conduit shares the same backing, the slice header is
+	// already inside sizeof(Conduit), and the np string headers plus their
+	// encoded-Dest contents are attributed once by the pmi reporter
+	// (pmi/allgather). Charging contents per PE over-modeled the job by np×
+	// the directory size; the census drift check is what caught it. Static
+	// mode retains even less: udFromKVS resolves through the server on every
+	// lookup.
+
+	return []obs.FootprintItem{
+		{Subsystem: "gasnet", Category: "conns", Bytes: conns.Bytes, Objects: conns.Objects},
+		{Subsystem: "gasnet", Category: "retained-frames", Bytes: retained.Bytes, Objects: retained.Objects},
+		{Subsystem: "gasnet", Category: "credit-state", Bytes: credits.Bytes, Objects: credits.Objects},
+		{Subsystem: "gasnet", Category: "conduit", Bytes: misc.Bytes, Objects: misc.Objects},
+	}
+}
+
+// forEachConn visits every connection slot currently allocated. Caller holds
+// connMu.
+func forEachConn(c *Conduit, f func(*conn)) {
+	for _, cn := range c.connSlice {
+		if cn != nil {
+			f(cn)
+		}
+	}
+	for _, cn := range c.connMap {
+		if cn != nil {
+			f(cn)
+		}
+	}
+}
+
+// mapEntryOverhead mirrors obs.mapEntryOverhead: the estimated per-entry
+// cost of a Go map beyond key and value.
+const mapEntryOverhead = 48

@@ -1,0 +1,8 @@
+//go:build race
+
+package gasnet
+
+// raceEnabled reports whether this binary was built with the race detector.
+// A few assertions hold under production scheduling but not under the
+// detector's heavy scheduling perturbation; they gate themselves on this.
+const raceEnabled = true

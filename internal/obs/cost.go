@@ -3,16 +3,18 @@ package obs
 import "time"
 
 // NopCallCost measures the per-call wall cost of the disabled
-// instrumentation path (nil *PE / nil *Hist / nil *Counter) by timing n
-// iterations of a representative call mix and returning the mean
-// nanoseconds per call. The cluster-level overhead guard multiplies this
-// by the number of instrumentation call sites actually hit during a run to
-// bound the disabled-path overhead deterministically, instead of diffing
-// two noisy end-to-end wall-clock measurements.
+// instrumentation path (nil *PE / nil *Hist / nil *Counter / nil *Gauge /
+// nil *Census) by timing n iterations of a representative call mix and
+// returning the mean nanoseconds per call. The cluster-level overhead guard
+// multiplies this by the number of instrumentation call sites actually hit
+// during a run to bound the disabled-path overhead deterministically,
+// instead of diffing two noisy end-to-end wall-clock measurements.
 func NopCallCost(n int) (perCallNS float64) {
 	var p *PE
 	var h *Hist
 	var c *Counter
+	var g *Gauge
+	var cs *Census
 	t0 := time.Now()
 	for i := 0; i < n; i++ {
 		p.Emit(int64(i), LayerGasnet, "x", 1, 0)
@@ -20,7 +22,9 @@ func NopCallCost(n int) (perCallNS float64) {
 		p.Flow(1, FlowPut, int64(i))
 		h.Record(int64(i))
 		c.Add(1)
+		g.Add(int64(i), 1)
+		cs.Snapshot("x", int64(i))
 	}
 	elapsed := time.Since(t0).Nanoseconds()
-	return float64(elapsed) / float64(n*5)
+	return float64(elapsed) / float64(n*7)
 }

@@ -80,6 +80,13 @@ type Config struct {
 	// Incidents enables the causal incident ledger (required for -incidents
 	// and the report's incident section; see incident.go).
 	Incidents bool
+	// Footprint enables the engine self-observability census (required for
+	// -footprint and the report's footprint section; see footprint.go). It
+	// is deliberately not implied by the other planes: census snapshots read
+	// wall-clock runtime state (ReadMemStats, goroutine counts), so the
+	// engine.* gauge series they produce are not schedule-deterministic and
+	// must never leak into the byte-identity contracts of -timeseries-out.
+	Footprint bool
 	// RingCap bounds each PE's event ring. 0 means DefaultRingCap;
 	// negative means unbounded (needed when a complete trace must be
 	// exported). When a bounded ring overflows the oldest events are
@@ -92,7 +99,7 @@ const DefaultRingCap = 1 << 16
 
 // Enabled reports whether any plane is live.
 func (c Config) Enabled() bool {
-	return c.Events || c.Metrics || c.Flows || c.Gauges || c.Incidents
+	return c.Events || c.Metrics || c.Flows || c.Gauges || c.Incidents || c.Footprint
 }
 
 // Plane is the job-level observability state: one recorder per PE plus the
@@ -102,6 +109,7 @@ type Plane struct {
 	reg    *Registry
 	gauges *GaugeSet
 	ledger *Ledger
+	census *Census
 	pes    []*PE
 	start  time.Time
 }
@@ -122,6 +130,10 @@ func NewPlane(np int, cfg Config) *Plane {
 	}
 	if cfg.Incidents {
 		p.ledger = NewLedger()
+	}
+	if cfg.Footprint {
+		p.census = NewCensus(p.gauges)
+		p.census.Register(p) // the plane attributes its own rings/logs
 	}
 	p.pes = make([]*PE, np)
 	for r := range p.pes {
@@ -160,6 +172,15 @@ func (pl *Plane) Gauges() *GaugeSet {
 		return nil
 	}
 	return pl.gauges
+}
+
+// Census returns the engine footprint census, or nil when the footprint
+// plane is disabled; every Census method is nil-safe.
+func (pl *Plane) Census() *Census {
+	if pl == nil {
+		return nil
+	}
+	return pl.census
 }
 
 // Ledger returns the incident ledger, or nil when incidents are disabled.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"unsafe"
 
 	"goshmem/internal/obs"
 )
@@ -62,6 +63,21 @@ func (as ActiveSet) ctxID(n int) uint64 {
 type collMsg struct {
 	data []byte
 	at   int64
+}
+
+// memSize models the collective state's retained bytes for the footprint
+// census: the struct shell, the per-context sequence map, and any undelivered
+// inbox fragments with their payloads (exact lengths — see Ctx.Footprint).
+func (s *collState) memSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := int64(unsafe.Sizeof(collState{}))
+	b += int64(len(s.seqs)) * (16 + mapEntryOverhead)
+	for _, m := range s.inbox {
+		b += int64(unsafe.Sizeof(collKey{})) + int64(unsafe.Sizeof(collMsg{})) +
+			mapEntryOverhead + int64(len(m.data))
+	}
+	return b
 }
 
 func newCollState() *collState {

@@ -1,0 +1,50 @@
+package shmem
+
+import (
+	"unsafe"
+
+	"goshmem/internal/obs"
+)
+
+// Footprint models this context's retained memory for the engine census
+// (obs.FootprintReporter). The dominant term is the segment directory: every
+// PE holds an <address, size, rkey> triplet for every peer's symmetric heap,
+// O(np) per PE and therefore O(np²) job-wide — alongside the connection mesh
+// and the endpoint directory, one of the quantities that make static-mode
+// jobs expensive at scale. (The census caught this table as an unattributed
+// ~400 MB drift row at np=4096 before this reporter existed, which is
+// exactly the failure mode the reconciliation check is for.)
+//
+// The symmetric heap's backing buffer is NOT counted here: it is registered
+// with the adapter and already attributed as ib/pinned-bytes; counting it
+// twice would overstate the modeled total by the largest single allocation
+// in the job.
+//
+// All quantities are object counts × struct sizes plus exact lengths (len,
+// never cap), keeping modeled numbers byte-stable across identical runs.
+func (c *Ctx) Footprint() []obs.FootprintItem {
+	segDir := obs.FootprintItem{Subsystem: "shmem", Category: "seg-dir"}
+	c.segMu.Lock()
+	segDir.Objects = int64(len(c.segs))
+	segDir.Bytes = int64(len(c.segs)) * int64(unsafe.Sizeof(segInfo{}))
+	c.segMu.Unlock()
+
+	shell := obs.FootprintItem{Subsystem: "shmem", Category: "ctx", Objects: 1}
+	shell.Bytes = int64(unsafe.Sizeof(Ctx{}))
+	if c.heap != nil {
+		c.heap.mu.Lock()
+		shell.Bytes += int64(unsafe.Sizeof(heap{}))
+		shell.Bytes += int64(len(c.heap.free)) * int64(unsafe.Sizeof(span{}))
+		shell.Bytes += int64(len(c.heap.used)) * (16 + mapEntryOverhead)
+		c.heap.mu.Unlock()
+	}
+	if c.coll != nil {
+		shell.Bytes += c.coll.memSize()
+	}
+
+	return []obs.FootprintItem{segDir, shell}
+}
+
+// mapEntryOverhead mirrors obs.mapEntryOverhead: the estimated per-entry
+// cost of a Go map beyond key and value.
+const mapEntryOverhead = 48

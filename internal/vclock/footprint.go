@@ -1,0 +1,27 @@
+package vclock
+
+import "unsafe"
+
+// MemSize reports the clock's retained bytes for the engine footprint
+// census: one atomic word wrapped in a shell, but there is one per PE plus
+// the throwaway clocks the launcher mints, so the census sums them rather
+// than rounding the subsystem to zero.
+func (c *Clock) MemSize() int64 {
+	if c == nil {
+		return 0
+	}
+	return int64(unsafe.Sizeof(*c))
+}
+
+// MemSize reports the barrier's retained bytes (shell plus its condition
+// variable) for the engine footprint census.
+func (b *VBarrier) MemSize() int64 {
+	if b == nil {
+		return 0
+	}
+	n := int64(unsafe.Sizeof(*b))
+	if b.cond != nil {
+		n += int64(unsafe.Sizeof(*b.cond))
+	}
+	return n
+}
